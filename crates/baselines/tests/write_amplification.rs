@@ -1,0 +1,190 @@
+//! The quantitative premises behind Table I and Figure 6, as tests: each
+//! baseline's write amplification, log volume, and read-copy behaviour
+//! must match the storage design it models — otherwise every benchmark
+//! built on these models measures the wrong thing.
+
+use lobster_baselines::{
+    ClientServerCost, FsProfile, LobsterMode, LobsterStore, ModelFs, ObjectStore, OverflowStore,
+    SqliteStore, ToastStore,
+};
+use lobster_core::Config;
+use lobster_storage::MemDevice;
+use std::sync::Arc;
+use std::time::Duration;
+
+const OBJ: usize = 1 << 20; // 1 MiB object
+
+fn payload() -> Vec<u8> {
+    (0..OBJ).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn fast(mut p: FsProfile) -> FsProfile {
+    p.syscall = Duration::ZERO;
+    p.page_op = Duration::ZERO;
+    p
+}
+
+/// bytes physically written per logical byte stored, for one put+quiesce.
+fn write_amp(store: &dyn ObjectStore) -> f64 {
+    let data = payload();
+    let before = store.stats().metrics;
+    store.put("obj", &data).unwrap();
+    store.flush().unwrap();
+    store.quiesce();
+    let delta = store.stats().metrics - before;
+    delta.bytes_written as f64 / OBJ as f64
+}
+
+#[test]
+fn our_engine_writes_content_exactly_once() {
+    let store = LobsterStore::new(
+        "Our",
+        Arc::new(MemDevice::new(256 << 20)),
+        Arc::new(MemDevice::new(64 << 20)),
+        Config {
+            pool_frames: 2048,
+            ..Config::default()
+        },
+        LobsterMode::Blobs,
+    )
+    .unwrap();
+    let data = payload();
+    let before = store.stats().metrics;
+    store.put("obj", &data).unwrap();
+    store.quiesce();
+    let delta = store.stats().metrics - before;
+    let amp = delta.bytes_written as f64 / OBJ as f64;
+    assert!(
+        (1.0..1.1).contains(&amp),
+        "single-flush logging must write ~1.0x, got {amp:.2}x"
+    );
+    // And the WAL share of that is a few hundred bytes, not the content.
+    assert!(
+        delta.wal_bytes < 1024,
+        "Blob-State-only log, got {} WAL bytes for one put",
+        delta.wal_bytes
+    );
+}
+
+#[test]
+fn journaling_and_doublewrite_pay_two_copies() {
+    // ext4 data=journal: journal copy + in-place copy.
+    let ext4j = ModelFs::new(
+        fast(FsProfile::ext4_journal()),
+        Arc::new(MemDevice::new(256 << 20)),
+        4096,
+    );
+    let amp = write_amp(&ext4j);
+    assert!(amp >= 1.9, "data=journal writes everything twice, got {amp:.2}x");
+
+    // ext4 ordered mode: data once, tiny metadata journal.
+    let ext4o = ModelFs::new(
+        fast(FsProfile::ext4_ordered()),
+        Arc::new(MemDevice::new(256 << 20)),
+        4096,
+    );
+    let amp = write_amp(&ext4o);
+    assert!((1.0..1.2).contains(&amp), "ordered mode ~1x, got {amp:.2}x");
+
+    // InnoDB-style overflow pages: doublewrite buffer + redo.
+    let innodb = OverflowStore::new(
+        Arc::new(MemDevice::new(256 << 20)),
+        4096,
+        ClientServerCost::none(),
+    );
+    let amp = write_amp(&innodb);
+    assert!(amp >= 2.5, "doublewrite + redo ≥ 2.5x, got {amp:.2}x");
+
+    // PostgreSQL TOAST: full content into the WAL plus the heap pages.
+    let pg = ToastStore::new(
+        Arc::new(MemDevice::new(256 << 20)),
+        4096,
+        ClientServerCost::none(),
+    );
+    let amp = write_amp(&pg);
+    assert!(amp >= 1.9, "TOAST logs full content, got {amp:.2}x");
+
+    // SQLite WAL mode: content to the WAL, checkpoint copies it back.
+    let sqlite = SqliteStore::new(Arc::new(MemDevice::new(256 << 20)), 4096, false);
+    let amp = write_amp(&sqlite);
+    assert!(amp >= 1.9, "SQLite WAL + checkpoint ≥ 2x, got {amp:.2}x");
+}
+
+#[test]
+fn log_structured_fs_stays_stable_under_churn_while_extent_fs_fragments() {
+    let mk = |p: FsProfile| ModelFs::new(fast(p), Arc::new(MemDevice::new(512 << 20)), 4096);
+    let xfs = mk(FsProfile::xfs());
+    let f2fs = mk(FsProfile::f2fs());
+
+    // Fill to ~70 %, then churn: delete/recreate with varying sizes so
+    // the extent allocator's free space splinters.
+    let sizes = [120_000usize, 64_000, 200_000, 30_000];
+    for (i, fsm) in [&xfs, &f2fs].into_iter().enumerate() {
+        let mut seq = i as u64;
+        for k in 0..600 {
+            let data = vec![k as u8; sizes[k % sizes.len()]];
+            fsm.put(&format!("f{k}"), &data).unwrap();
+            seq += 1;
+        }
+        for round in 0..4 {
+            for k in (0..600).step_by(2) {
+                fsm.delete(&format!("f{k}")).unwrap();
+                let data = vec![(seq % 251) as u8; sizes[(k + round) % sizes.len()]];
+                fsm.put(&format!("f{k}"), &data).unwrap();
+                seq += 1;
+            }
+        }
+        let _ = seq;
+    }
+    let xfs_frag = xfs.fragment_count();
+    let f2fs_frag = f2fs.fragment_count();
+    assert!(
+        xfs_frag > f2fs_frag.max(1) * 4,
+        "extent-based fs must fragment under churn (xfs {xfs_frag} vs f2fs {f2fs_frag})"
+    );
+}
+
+#[test]
+fn reads_copy_for_filesystems_but_not_for_blob_aliasing() {
+    let data = payload();
+    let fs = ModelFs::new(
+        fast(FsProfile::ext4_ordered()),
+        Arc::new(MemDevice::new(256 << 20)),
+        4096,
+    );
+    fs.put("obj", &data).unwrap();
+    let before = fs.stats().metrics;
+    let mut got = Vec::new();
+    fs.get("obj", &mut |b| got = b.to_vec()).unwrap();
+    let delta = fs.stats().metrics - before;
+    assert_eq!(got, data);
+    assert!(
+        delta.memcpy_bytes >= OBJ as u64,
+        "page-cache read copies content, got {} copied",
+        delta.memcpy_bytes
+    );
+
+    let our = LobsterStore::new(
+        "Our",
+        Arc::new(MemDevice::new(256 << 20)),
+        Arc::new(MemDevice::new(64 << 20)),
+        Config {
+            pool_frames: 2048,
+            ..Config::default()
+        },
+        LobsterMode::Blobs,
+    )
+    .unwrap();
+    our.put("obj", &data).unwrap();
+    our.quiesce();
+    let before = our.stats().metrics;
+    let mut got = Vec::new();
+    our.get("obj", &mut |b| got = b.to_vec()).unwrap();
+    let delta = our.stats().metrics - before;
+    assert_eq!(got, data);
+    assert!(
+        delta.memcpy_bytes < OBJ as u64 / 2,
+        "aliasing read must not copy the content, got {} copied",
+        delta.memcpy_bytes
+    );
+}

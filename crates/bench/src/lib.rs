@@ -1,0 +1,381 @@
+//! Shared harness machinery for the paper-reproduction benchmarks.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure of the
+//! paper's evaluation (§V); see DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results. Scale factors are chosen
+//! so the full suite runs in minutes on a laptop; set
+//! `LOBSTER_BENCH_SCALE` (default `1.0`) to grow or shrink workloads.
+
+use lobster_baselines::{
+    ClientServerCost, FsProfile, LobsterMode, LobsterStore, ModelFs, ObjectStore, OverflowStore,
+    SqliteStore, ToastStore,
+};
+use lobster_buffer::AliasConfig;
+use lobster_core::{BlobLogging, Config, PoolVariant};
+use lobster_storage::{Device, MemDevice, ThrottleProfile, ThrottledDevice};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use lobster_workloads::{make_payload, PayloadDist, WikiCorpus, YcsbConfig, YcsbGenerator};
+
+/// Workload scale multiplier from `LOBSTER_BENCH_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("LOBSTER_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled, with a floor of 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(1)
+}
+
+static THROTTLED: AtomicBool = AtomicBool::new(false);
+
+/// Route all subsequently built devices through the NVMe throttle model
+/// (used by the I/O-bound experiments so every system pays realistic
+/// device costs; in-memory experiments leave this off).
+pub fn use_throttled_devices(on: bool) {
+    THROTTLED.store(on, Ordering::SeqCst);
+}
+
+/// Default device: sparse in-memory, optionally behind the NVMe model.
+/// `sync` is free, matching the paper's fsync-disabled competitor setup.
+pub fn mem_device(bytes: usize) -> Arc<dyn Device> {
+    let raw = MemDevice::new(bytes);
+    if THROTTLED.load(Ordering::SeqCst) {
+        // Calibrated to the paper's testbed *ratio*, not absolute speed:
+        // on the i7-13700K + 980 Pro, SHA-NI throughput (~2 GB/s) and
+        // sustained SSD write bandwidth are roughly 1:1. Our SHA-NI path
+        // measures ~1.2 GB/s, so the device model keeps the same ratio
+        // (see EXPERIMENTS.md "Calibration").
+        let mut profile = ThrottleProfile::nvme();
+        profile.write_bw = 1_200_000_000;
+        profile.read_bw = 2_000_000_000;
+        profile.sync_latency = Duration::ZERO; // "fsync disabled"
+        Arc::new(ThrottledDevice::new(raw, profile))
+    } else {
+        Arc::new(raw)
+    }
+}
+
+/// Engine configuration used by the benchmarks (scaled-down §V-A setup).
+pub fn our_config(workers: usize) -> Config {
+    Config {
+        pool_frames: 128 * 1024, // 512 MiB buffer pool
+        pool_variant: PoolVariant::Vm {
+            alias: Some(AliasConfig {
+                workers: workers.max(1),
+                worker_local_bytes: 16 << 20,
+                shared_bytes: 256 << 20,
+            }),
+        },
+        workers: workers.max(1),
+        checkpoint_threshold: 256 << 20,
+        // One in-flight request per extent of a large BLOB: the commit
+        // flush is a single asynchronous batch (§III-C), so its latencies
+        // must overlap like an io_uring submission would.
+        io_threads: 16,
+        // The paper's setup: group commit keeps I/O off the critical path
+        // (fsync is disabled for every competitor, so commits are compared
+        // at equal durability).
+        commit_wait: false,
+        ..Config::default()
+    }
+}
+
+/// The competitor line-up for the YCSB experiments. Each builder is
+/// invoked lazily so only one store's data is alive at a time.
+pub struct SystemSpec {
+    pub name: &'static str,
+    pub build: Box<dyn Fn() -> Box<dyn ObjectStore>>,
+}
+
+/// Device size used by the standard line-up.
+const DEV_BYTES: usize = 3 << 30; // sparse: actual memory = data written
+const CACHE_PAGES: usize = 96 * 1024; // 384 MiB model page caches
+
+fn lobster_variant(name: &'static str, mutate: impl Fn(&mut Config) + 'static, mode: LobsterMode) -> SystemSpec {
+    SystemSpec {
+        name,
+        build: Box::new(move |/* lazily built */| {
+            let mut cfg = our_config(1);
+            mutate(&mut cfg);
+            Box::new(
+                LobsterStore::new(
+                    name,
+                    mem_device(DEV_BYTES),
+                    mem_device(512 << 20),
+                    cfg,
+                    mode,
+                )
+                .expect("create lobster store"),
+            )
+        }),
+    }
+}
+
+/// `Our` with the default (vmcache + aliasing + async BLOB logging) setup.
+pub fn sys_our(mode: LobsterMode) -> SystemSpec {
+    lobster_variant("Our", |_| {}, mode)
+}
+
+/// `Our.ht`: hash-table buffer pool.
+pub fn sys_our_ht(mode: LobsterMode) -> SystemSpec {
+    lobster_variant(
+        "Our.ht",
+        |cfg| cfg.pool_variant = PoolVariant::Ht,
+        mode,
+    )
+}
+
+/// `Our.physlog`: full content in the WAL.
+pub fn sys_our_physlog(mode: LobsterMode) -> SystemSpec {
+    lobster_variant(
+        "Our.physlog",
+        |cfg| cfg.blob_logging = BlobLogging::Physical { segment: 1 << 20 },
+        mode,
+    )
+}
+
+/// The four filesystem models.
+pub fn sys_fs(profile: fn() -> FsProfile) -> SystemSpec {
+    let name = profile().name;
+    SystemSpec {
+        name,
+        build: Box::new(move || {
+            Box::new(ModelFs::new(profile(), mem_device(DEV_BYTES), CACHE_PAGES))
+        }),
+    }
+}
+
+/// PostgreSQL (TOAST + unix socket).
+pub fn sys_postgres() -> SystemSpec {
+    SystemSpec {
+        name: "PostgreSQL",
+        build: Box::new(|| {
+            Box::new(ToastStore::new(
+                mem_device(DEV_BYTES),
+                CACHE_PAGES / 2, // 16 GB shared buffers vs 32 GB pools in the paper
+                ClientServerCost::unix_socket(),
+            ))
+        }),
+    }
+}
+
+/// MySQL/InnoDB (overflow chains + unix socket).
+pub fn sys_mysql() -> SystemSpec {
+    SystemSpec {
+        name: "MySQL",
+        build: Box::new(|| {
+            Box::new(OverflowStore::new(
+                mem_device(DEV_BYTES),
+                CACHE_PAGES,
+                ClientServerCost::unix_socket(),
+            ))
+        }),
+    }
+}
+
+/// SQLite (in-process, WAL mode).
+pub fn sys_sqlite() -> SystemSpec {
+    SystemSpec {
+        name: "SQLite",
+        build: Box::new(|| {
+            Box::new(SqliteStore::new(mem_device(DEV_BYTES), CACHE_PAGES, false))
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- runner ---
+
+/// Outcome of one measured run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub system: String,
+    pub ops: u64,
+    pub elapsed: Duration,
+    pub stats: lobster_baselines::StoreStats,
+    pub note: String,
+}
+
+impl RunResult {
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run a YCSB phase against one store: `ops` operations drawn from `gen`.
+pub fn run_ycsb(
+    store: &dyn ObjectStore,
+    gen: &mut YcsbGenerator,
+    ops: usize,
+) -> Result<(u64, Duration), lobster_types::Error> {
+    use lobster_workloads::Op;
+    // One pre-generated scratch payload, sliced per update: payload
+    // *generation* must not pollute the measured system costs.
+    let mut scratch: Vec<u8> = Vec::new();
+    let t0 = Instant::now();
+    let mut done = 0u64;
+    for _ in 0..ops {
+        match gen.next_op() {
+            Op::Read { key } => {
+                let mut sink = 0usize;
+                store.get(&key_name(key), &mut |b| sink = b.len())?;
+                std::hint::black_box(sink);
+            }
+            Op::Update { key, size } => {
+                if scratch.len() < size {
+                    scratch = make_payload(size, 0xF00D);
+                }
+                store.replace(&key_name(key), &scratch[..size])?;
+            }
+        }
+        done += 1;
+    }
+    // Background group commits belong to the measured window.
+    store.quiesce();
+    Ok((done, t0.elapsed()))
+}
+
+/// Load the initial YCSB dataset.
+pub fn load_ycsb(
+    store: &dyn ObjectStore,
+    gen: &mut YcsbGenerator,
+) -> Result<(), lobster_types::Error> {
+    let mut scratch: Vec<u8> = Vec::new();
+    for (key, size) in gen.load_phase() {
+        if scratch.len() < size {
+            scratch = make_payload(size, 0x10AD);
+        }
+        store.put(&key_name(key), &scratch[..size])?;
+    }
+    Ok(())
+}
+
+pub fn key_name(key: u64) -> String {
+    format!("user{key:012}")
+}
+
+// ----------------------------------------------------------------- output ---
+
+/// Fixed-width table printer for paper-style result tables.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Human formatting helpers.
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+pub fn fmt_bytes(bytes: f64) -> String {
+    if bytes >= (1 << 30) as f64 {
+        format!("{:.2}GiB", bytes / (1u64 << 30) as f64)
+    } else if bytes >= (1 << 20) as f64 {
+        format!("{:.1}MiB", bytes / (1 << 20) as f64)
+    } else if bytes >= 1024.0 {
+        format!("{:.1}KiB", bytes / 1024.0)
+    } else {
+        format!("{bytes:.0}B")
+    }
+}
+
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_floors_at_one() {
+        assert!(scaled(1) >= 1);
+    }
+
+    #[test]
+    fn table_prints() {
+        let mut t = Table::new(&["sys", "txn/s"]);
+        t.row(&["Our".into(), "123k".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_rate(1500.0), "1.5k");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_bytes(2048.0), "2.0KiB");
+    }
+
+    #[test]
+    fn ycsb_runner_smoke() {
+        let spec = sys_our(LobsterMode::Blobs);
+        let store = (spec.build)();
+        let mut gen = YcsbGenerator::new(YcsbConfig {
+            records: 10,
+            read_ratio: 0.5,
+            payload: PayloadDist::Fixed(10_000),
+            zipf_theta: 0.9,
+            seed: 1,
+        });
+        load_ycsb(store.as_ref(), &mut gen).unwrap();
+        let (ops, _) = run_ycsb(store.as_ref(), &mut gen, 50).unwrap();
+        assert_eq!(ops, 50);
+    }
+}

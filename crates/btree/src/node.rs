@@ -1,0 +1,376 @@
+//! Slotted-page node layout with prefix truncation.
+//!
+//! Layout of a node (one buffer extent of `node_bytes` bytes):
+//!
+//! ```text
+//! [header: 32 B][prefix: prefix_len B][slots: 6 B each →] ... [← heap]
+//! ```
+//!
+//! Every key in the node shares `prefix`; slots store only the suffix. The
+//! heap grows downward from the end of the node and holds `suffix ++ value`
+//! per entry. Prefix truncation is only applied for byte-wise comparators
+//! (see [`crate::KeyCmp::bytewise`]); custom comparators (the Blob State
+//! comparator) see full keys.
+
+use lobster_types::{read_u16, read_u64, Pid, INVALID_PID};
+
+pub const HEADER: usize = 32;
+pub const SLOT: usize = 6;
+
+const OFF_KIND: usize = 0;
+const OFF_COUNT: usize = 2;
+const OFF_HEAP_START: usize = 4; // offset of lowest heap byte in use
+const OFF_PREFIX_LEN: usize = 6;
+const OFF_NEXT: usize = 8; // leaf: right sibling
+const OFF_UPPER: usize = 16; // inner: rightmost child
+const OFF_DEAD_SPACE: usize = 24; // bytes of heap garbage (from deletes)
+
+pub const KIND_LEAF: u8 = 0;
+pub const KIND_INNER: u8 = 1;
+
+/// Read-only and mutating accessors over a node's byte buffer.
+///
+/// All methods are plain functions over `&[u8]`/`&mut [u8]`, so they work
+/// directly on buffer-pool guards.
+pub struct Node;
+
+impl Node {
+    pub fn init(buf: &mut [u8], kind: u8) {
+        buf[..HEADER].fill(0);
+        buf[OFF_KIND] = kind;
+        let heap_start = buf.len() as u16;
+        buf[OFF_HEAP_START..OFF_HEAP_START + 2].copy_from_slice(&heap_start.to_le_bytes());
+        Self::set_next(buf, INVALID_PID);
+        Self::set_upper(buf, INVALID_PID);
+    }
+
+    #[inline]
+    pub fn is_leaf(buf: &[u8]) -> bool {
+        buf[OFF_KIND] == KIND_LEAF
+    }
+
+    #[inline]
+    pub fn count(buf: &[u8]) -> usize {
+        read_u16(&buf[OFF_COUNT..]) as usize
+    }
+
+    #[inline]
+    fn set_count(buf: &mut [u8], n: usize) {
+        buf[OFF_COUNT..OFF_COUNT + 2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    #[inline]
+    fn heap_start(buf: &[u8]) -> usize {
+        read_u16(&buf[OFF_HEAP_START..]) as usize
+    }
+
+    #[inline]
+    fn set_heap_start(buf: &mut [u8], v: usize) {
+        buf[OFF_HEAP_START..OFF_HEAP_START + 2].copy_from_slice(&(v as u16).to_le_bytes());
+    }
+
+    #[inline]
+    pub fn prefix_len(buf: &[u8]) -> usize {
+        read_u16(&buf[OFF_PREFIX_LEN..]) as usize
+    }
+
+    #[inline]
+    pub fn prefix(buf: &[u8]) -> &[u8] {
+        &buf[HEADER..HEADER + Self::prefix_len(buf)]
+    }
+
+    fn set_prefix(buf: &mut [u8], prefix: &[u8]) {
+        buf[OFF_PREFIX_LEN..OFF_PREFIX_LEN + 2]
+            .copy_from_slice(&(prefix.len() as u16).to_le_bytes());
+        buf[HEADER..HEADER + prefix.len()].copy_from_slice(prefix);
+    }
+
+    #[inline]
+    pub fn next_leaf(buf: &[u8]) -> Pid {
+        Pid::new(read_u64(&buf[OFF_NEXT..]))
+    }
+
+    #[inline]
+    pub fn set_next(buf: &mut [u8], pid: Pid) {
+        buf[OFF_NEXT..OFF_NEXT + 8].copy_from_slice(&pid.raw().to_le_bytes());
+    }
+
+    #[inline]
+    pub fn upper(buf: &[u8]) -> Pid {
+        Pid::new(read_u64(&buf[OFF_UPPER..]))
+    }
+
+    #[inline]
+    pub fn set_upper(buf: &mut [u8], pid: Pid) {
+        buf[OFF_UPPER..OFF_UPPER + 8].copy_from_slice(&pid.raw().to_le_bytes());
+    }
+
+    #[inline]
+    fn dead_space(buf: &[u8]) -> usize {
+        read_u16(&buf[OFF_DEAD_SPACE..]) as usize
+    }
+
+    #[inline]
+    fn set_dead_space(buf: &mut [u8], v: usize) {
+        buf[OFF_DEAD_SPACE..OFF_DEAD_SPACE + 2].copy_from_slice(&(v as u16).to_le_bytes());
+    }
+
+    #[inline]
+    fn slots_end(buf: &[u8]) -> usize {
+        HEADER + Self::prefix_len(buf) + Self::count(buf) * SLOT
+    }
+
+    #[inline]
+    fn slot_off(buf: &[u8], i: usize) -> usize {
+        HEADER + Self::prefix_len(buf) + i * SLOT
+    }
+
+    fn slot(buf: &[u8], i: usize) -> (usize, usize, usize) {
+        let o = Self::slot_off(buf, i);
+        let off = read_u16(&buf[o..]) as usize;
+        let klen = read_u16(&buf[o + 2..]) as usize;
+        let vlen = read_u16(&buf[o + 4..]) as usize;
+        (off, klen, vlen)
+    }
+
+    /// Key suffix of entry `i` (the full key is `prefix ++ suffix`).
+    pub fn key_suffix(buf: &[u8], i: usize) -> &[u8] {
+        let (off, klen, _) = Self::slot(buf, i);
+        &buf[off..off + klen]
+    }
+
+    /// Full key of entry `i`, materialized.
+    pub fn full_key(buf: &[u8], i: usize) -> Vec<u8> {
+        let mut k = Self::prefix(buf).to_vec();
+        k.extend_from_slice(Self::key_suffix(buf, i));
+        k
+    }
+
+    pub fn value(buf: &[u8], i: usize) -> &[u8] {
+        let (off, klen, vlen) = Self::slot(buf, i);
+        &buf[off + klen..off + klen + vlen]
+    }
+
+    /// Child pid stored as the value of inner-node entry `i`.
+    pub fn child(buf: &[u8], i: usize) -> Pid {
+        Pid::new(read_u64(Self::value(buf, i)))
+    }
+
+    /// Free bytes available for new entries (slot + heap), counting dead
+    /// space as unavailable until compaction.
+    pub fn free_space(buf: &[u8]) -> usize {
+        Self::heap_start(buf).saturating_sub(Self::slots_end(buf))
+    }
+
+    /// Free space if the node were compacted.
+    pub fn free_space_after_compaction(buf: &[u8]) -> usize {
+        Self::free_space(buf) + Self::dead_space(buf)
+    }
+
+    /// Can an entry with this suffix/value size be inserted (possibly after
+    /// compaction)?
+    pub fn has_room(buf: &[u8], suffix_len: usize, vlen: usize) -> bool {
+        Self::free_space_after_compaction(buf) >= SLOT + suffix_len + vlen
+    }
+
+    /// Insert `(suffix, value)` at slot position `i`, shifting later slots.
+    /// The caller must have verified room and position.
+    pub fn insert_at(buf: &mut [u8], i: usize, suffix: &[u8], value: &[u8]) {
+        let need = suffix.len() + value.len();
+        if Self::heap_start(buf) < Self::slots_end(buf) + SLOT + need {
+            Self::compact(buf);
+        }
+        let count = Self::count(buf);
+        debug_assert!(i <= count);
+        debug_assert!(Self::heap_start(buf) >= Self::slots_end(buf) + SLOT + need);
+        // Shift slots right.
+        let from = Self::slot_off(buf, i);
+        let to_end = Self::slots_end(buf);
+        buf.copy_within(from..to_end, from + SLOT);
+        // Write heap payload.
+        let heap = Self::heap_start(buf) - need;
+        buf[heap..heap + suffix.len()].copy_from_slice(suffix);
+        buf[heap + suffix.len()..heap + need].copy_from_slice(value);
+        Self::set_heap_start(buf, heap);
+        // Write slot.
+        buf[from..from + 2].copy_from_slice(&(heap as u16).to_le_bytes());
+        buf[from + 2..from + 4].copy_from_slice(&(suffix.len() as u16).to_le_bytes());
+        buf[from + 4..from + 6].copy_from_slice(&(value.len() as u16).to_le_bytes());
+        Self::set_count(buf, count + 1);
+    }
+
+    /// Remove entry `i`; its heap bytes become dead space.
+    pub fn remove_at(buf: &mut [u8], i: usize) {
+        let count = Self::count(buf);
+        debug_assert!(i < count);
+        let (_, klen, vlen) = Self::slot(buf, i);
+        Self::set_dead_space(buf, Self::dead_space(buf) + klen + vlen);
+        let from = Self::slot_off(buf, i + 1);
+        let to_end = Self::slots_end(buf);
+        buf.copy_within(from..to_end, from - SLOT);
+        Self::set_count(buf, count - 1);
+    }
+
+    /// Overwrite the value of entry `i` (re-inserts if the size changed).
+    pub fn update_value(buf: &mut [u8], i: usize, value: &[u8]) {
+        let (off, klen, vlen) = Self::slot(buf, i);
+        if vlen == value.len() {
+            buf[off + klen..off + klen + vlen].copy_from_slice(value);
+            return;
+        }
+        let suffix = Self::key_suffix(buf, i).to_vec();
+        Self::remove_at(buf, i);
+        Self::insert_at(buf, i, &suffix, value);
+    }
+
+    /// Rewrite the node dropping dead heap space.
+    pub fn compact(buf: &mut [u8]) {
+        let count = Self::count(buf);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..count)
+            .map(|i| {
+                (
+                    Self::key_suffix(buf, i).to_vec(),
+                    Self::value(buf, i).to_vec(),
+                )
+            })
+            .collect();
+        let kind = buf[OFF_KIND];
+        let prefix = Self::prefix(buf).to_vec();
+        let next = Self::next_leaf(buf);
+        let upper = Self::upper(buf);
+        Self::init(buf, kind);
+        Self::set_prefix(buf, &prefix);
+        Self::set_next(buf, next);
+        Self::set_upper(buf, upper);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            Self::insert_at(buf, i, k, v);
+        }
+    }
+
+    /// Rebuild the node with a new (shorter or longer) shared prefix. All
+    /// existing full keys must start with `new_prefix`.
+    pub fn rebuild_with_prefix(buf: &mut [u8], new_prefix: &[u8]) {
+        let count = Self::count(buf);
+        let old_prefix = Self::prefix(buf).to_vec();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..count)
+            .map(|i| {
+                let mut full = old_prefix.clone();
+                full.extend_from_slice(Self::key_suffix(buf, i));
+                debug_assert!(full.starts_with(new_prefix));
+                (full[new_prefix.len()..].to_vec(), Self::value(buf, i).to_vec())
+            })
+            .collect();
+        let kind = buf[OFF_KIND];
+        let next = Self::next_leaf(buf);
+        let upper = Self::upper(buf);
+        Self::init(buf, kind);
+        Self::set_prefix(buf, new_prefix);
+        Self::set_next(buf, next);
+        Self::set_upper(buf, upper);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            Self::insert_at(buf, i, k, v);
+        }
+    }
+
+    /// Set the shared prefix of an empty node.
+    pub fn set_prefix_of_empty(buf: &mut [u8], prefix: &[u8]) {
+        debug_assert_eq!(Self::count(buf), 0);
+        Self::set_prefix(buf, prefix);
+    }
+
+    /// Bytes used by live entries (diagnostics and split decisions).
+    pub fn used_bytes(buf: &[u8]) -> usize {
+        buf.len() - Self::free_space_after_compaction(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; n];
+        Node::init(&mut buf, KIND_LEAF);
+        buf
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut b = mk(4096);
+        Node::insert_at(&mut b, 0, b"banana", b"yellow");
+        Node::insert_at(&mut b, 0, b"apple", b"red");
+        Node::insert_at(&mut b, 2, b"cherry", b"dark");
+        assert_eq!(Node::count(&b), 3);
+        assert_eq!(Node::key_suffix(&b, 0), b"apple");
+        assert_eq!(Node::value(&b, 0), b"red");
+        assert_eq!(Node::key_suffix(&b, 1), b"banana");
+        assert_eq!(Node::value(&b, 2), b"dark");
+    }
+
+    #[test]
+    fn remove_creates_dead_space_and_compaction_reclaims() {
+        let mut b = mk(256);
+        Node::insert_at(&mut b, 0, b"k1", &[1u8; 50]);
+        Node::insert_at(&mut b, 1, b"k2", &[2u8; 50]);
+        let free_before = Node::free_space(&b);
+        Node::remove_at(&mut b, 0);
+        assert_eq!(Node::count(&b), 1);
+        assert_eq!(Node::key_suffix(&b, 0), b"k2");
+        // Heap not reclaimed yet, but counted as reclaimable.
+        assert!(Node::free_space_after_compaction(&b) > free_before);
+        Node::compact(&mut b);
+        assert_eq!(Node::count(&b), 1);
+        assert_eq!(Node::value(&b, 0), &[2u8; 50]);
+        assert!(Node::free_space(&b) > free_before);
+    }
+
+    #[test]
+    fn insert_compacts_automatically_when_fragmented() {
+        let mut b = mk(256);
+        // 256 - 32 header = 224. Entry: 6 slot + 2 key + 80 val = 88.
+        Node::insert_at(&mut b, 0, b"k1", &[1u8; 80]);
+        Node::insert_at(&mut b, 1, b"k2", &[2u8; 80]);
+        Node::remove_at(&mut b, 0);
+        assert!(Node::has_room(&b, 2, 80));
+        Node::insert_at(&mut b, 1, b"k3", &[3u8; 80]);
+        assert_eq!(Node::count(&b), 2);
+        assert_eq!(Node::value(&b, 1), &[3u8; 80]);
+    }
+
+    #[test]
+    fn update_value_in_place_and_resized() {
+        let mut b = mk(4096);
+        Node::insert_at(&mut b, 0, b"k", b"aaaa");
+        Node::update_value(&mut b, 0, b"bbbb");
+        assert_eq!(Node::value(&b, 0), b"bbbb");
+        Node::update_value(&mut b, 0, b"cc");
+        assert_eq!(Node::value(&b, 0), b"cc");
+        assert_eq!(Node::key_suffix(&b, 0), b"k");
+    }
+
+    #[test]
+    fn prefix_rebuild_preserves_entries() {
+        let mut b = mk(4096);
+        Node::set_prefix_of_empty(&mut b, b"user:");
+        Node::insert_at(&mut b, 0, b"alice", b"1");
+        Node::insert_at(&mut b, 1, b"bob", b"2");
+        assert_eq!(Node::full_key(&b, 0), b"user:alice");
+
+        // Shrink the prefix to "us".
+        Node::rebuild_with_prefix(&mut b, b"us");
+        assert_eq!(Node::full_key(&b, 0), b"user:alice");
+        assert_eq!(Node::key_suffix(&b, 0), b"er:alice");
+        assert_eq!(Node::value(&b, 1), b"2");
+    }
+
+    #[test]
+    fn inner_node_children() {
+        let mut b = vec![0u8; 4096];
+        Node::init(&mut b, KIND_INNER);
+        Node::insert_at(&mut b, 0, b"m", &7u64.to_le_bytes());
+        Node::set_upper(&mut b, Pid::new(9));
+        assert!(!Node::is_leaf(&b));
+        assert_eq!(Node::child(&b, 0), Pid::new(7));
+        assert_eq!(Node::upper(&b), Pid::new(9));
+    }
+}

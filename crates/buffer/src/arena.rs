@@ -1,0 +1,293 @@
+//! The frame arena: the physical memory backing all buffer frames, plus the
+//! *aliasing region* used for virtual-memory aliasing (§IV-B).
+//!
+//! On Linux the arena is a `memfd` mapped once (the "physical" memory);
+//! aliasing maps frame ranges of that memfd a second time, contiguously,
+//! into a reserved region — a faithful userspace substitute for exmap's page
+//! table manipulation (DESIGN.md substitution 2). On failure (or other
+//! platforms) a plain heap arena is used and aliasing degrades to a gather
+//! copy, which is exactly the malloc+memcpy path the paper's hash-table
+//! baseline takes.
+
+use lobster_types::{Error, Result};
+
+/// Alignment/granularity of aliasing operations (the OS page size).
+pub const OS_PAGE: usize = 4096;
+
+enum Backing {
+    Mmap {
+        fd: libc::c_int,
+        frames: *mut u8,
+        alias: *mut u8,
+    },
+    Heap {
+        frames: Box<[u8]>,
+    },
+}
+
+// The raw pointers refer to process-global mappings; synchronization of the
+// *contents* is the buffer pool's latching protocol.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+/// Frame memory plus an optional aliasing region.
+pub struct Arena {
+    backing: Backing,
+    frame_bytes: usize,
+    alias_bytes: usize,
+}
+
+impl Arena {
+    /// Allocate an arena of `frame_bytes` of frame memory and reserve
+    /// `alias_bytes` of aliasing address space. Both are rounded up to the
+    /// OS page size.
+    pub fn new(frame_bytes: usize, alias_bytes: usize) -> Self {
+        let frame_bytes = frame_bytes.div_ceil(OS_PAGE) * OS_PAGE;
+        let alias_bytes = alias_bytes.div_ceil(OS_PAGE) * OS_PAGE;
+        match Self::try_mmap(frame_bytes, alias_bytes) {
+            Ok(backing) => Arena {
+                backing,
+                frame_bytes,
+                alias_bytes,
+            },
+            Err(_) => Arena {
+                backing: Backing::Heap {
+                    frames: vec![0u8; frame_bytes].into_boxed_slice(),
+                },
+                frame_bytes,
+                alias_bytes,
+            },
+        }
+    }
+
+    fn try_mmap(frame_bytes: usize, alias_bytes: usize) -> Result<Backing> {
+        unsafe {
+            let name = b"lobster-arena\0";
+            let fd = libc::syscall(
+                libc::SYS_memfd_create,
+                name.as_ptr() as *const libc::c_char,
+                0 as libc::c_uint,
+            ) as libc::c_int;
+            if fd < 0 {
+                return Err(Error::Io(std::io::Error::last_os_error()));
+            }
+            if libc::ftruncate(fd, frame_bytes as libc::off_t) != 0 {
+                let e = std::io::Error::last_os_error();
+                libc::close(fd);
+                return Err(Error::Io(e));
+            }
+            let frames = libc::mmap(
+                std::ptr::null_mut(),
+                frame_bytes,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            );
+            if frames == libc::MAP_FAILED {
+                let e = std::io::Error::last_os_error();
+                libc::close(fd);
+                return Err(Error::Io(e));
+            }
+            let alias = if alias_bytes > 0 {
+                let p = libc::mmap(
+                    std::ptr::null_mut(),
+                    alias_bytes,
+                    libc::PROT_NONE,
+                    libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                    -1,
+                    0,
+                );
+                if p == libc::MAP_FAILED {
+                    let e = std::io::Error::last_os_error();
+                    libc::munmap(frames, frame_bytes);
+                    libc::close(fd);
+                    return Err(Error::Io(e));
+                }
+                p as *mut u8
+            } else {
+                std::ptr::null_mut()
+            };
+            Ok(Backing::Mmap {
+                fd,
+                frames: frames as *mut u8,
+                alias,
+            })
+        }
+    }
+
+    /// Whether zero-copy aliasing is available.
+    pub fn supports_alias(&self) -> bool {
+        matches!(self.backing, Backing::Mmap { .. }) && self.alias_bytes > 0
+    }
+
+    pub fn frame_bytes(&self) -> usize {
+        self.frame_bytes
+    }
+
+    pub fn alias_bytes(&self) -> usize {
+        self.alias_bytes
+    }
+
+    fn frames_ptr(&self) -> *mut u8 {
+        match &self.backing {
+            Backing::Mmap { frames, .. } => *frames,
+            Backing::Heap { frames } => frames.as_ptr() as *mut u8,
+        }
+    }
+
+    /// Raw pointer to a frame byte range.
+    ///
+    /// # Safety
+    /// `off + len` must lie within the arena, and the caller must hold the
+    /// pool latch that grants it access to this range.
+    pub unsafe fn frame_ptr(&self, off: usize, len: usize) -> *mut u8 {
+        debug_assert!(off + len <= self.frame_bytes);
+        self.frames_ptr().add(off)
+    }
+
+    /// Mutable view of a frame range.
+    ///
+    /// # Safety
+    /// Same contract as [`Arena::frame_ptr`], and the caller must hold an
+    /// exclusive latch for mutation (shared for read-only use).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn frame_slice_mut(&self, off: usize, len: usize) -> &mut [u8] {
+        std::slice::from_raw_parts_mut(self.frame_ptr(off, len), len)
+    }
+
+    /// Map `len` bytes of frame memory starting at `src_off` into the
+    /// aliasing region at `dst_off` (both OS-page aligned). Zero-copy: the
+    /// same physical pages become visible at the alias address.
+    ///
+    /// # Safety
+    /// The caller must own `dst_off..dst_off+len` of the aliasing region
+    /// (via the aliasing-area reservation protocol) and hold latches on the
+    /// frames being aliased.
+    pub unsafe fn alias_map(&self, dst_off: usize, src_off: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(dst_off % OS_PAGE, 0);
+        debug_assert_eq!(src_off % OS_PAGE, 0);
+        debug_assert_eq!(len % OS_PAGE, 0);
+        debug_assert!(dst_off + len <= self.alias_bytes);
+        debug_assert!(src_off + len <= self.frame_bytes);
+        match &self.backing {
+            Backing::Mmap { fd, alias, .. } => {
+                let p = libc::mmap(
+                    alias.add(dst_off) as *mut libc::c_void,
+                    len,
+                    libc::PROT_READ,
+                    libc::MAP_SHARED | libc::MAP_FIXED,
+                    *fd,
+                    src_off as libc::off_t,
+                );
+                if p == libc::MAP_FAILED {
+                    return Err(Error::Io(std::io::Error::last_os_error()));
+                }
+                Ok(())
+            }
+            Backing::Heap { .. } => Err(Error::Unsupported("aliasing without mmap arena")),
+        }
+    }
+
+    /// Invalidate an aliasing mapping (the paper's TLB-shootdown moment):
+    /// the range reverts to inaccessible.
+    ///
+    /// # Safety
+    /// Caller owns the range per the reservation protocol.
+    pub unsafe fn alias_unmap(&self, dst_off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        debug_assert_eq!(dst_off % OS_PAGE, 0);
+        debug_assert_eq!(len % OS_PAGE, 0);
+        if let Backing::Mmap { alias, .. } = &self.backing {
+            // Remap as PROT_NONE anonymous memory rather than munmap so the
+            // reserved region stays contiguous.
+            let p = libc::mmap(
+                alias.add(dst_off) as *mut libc::c_void,
+                len,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED,
+                -1,
+                0,
+            );
+            debug_assert!(p != libc::MAP_FAILED);
+        }
+    }
+
+    /// Pointer to the start of the aliasing region.
+    pub fn alias_base(&self) -> *const u8 {
+        match &self.backing {
+            Backing::Mmap { alias, .. } => *alias,
+            Backing::Heap { .. } => std::ptr::null(),
+        }
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        if let Backing::Mmap { fd, frames, alias } = &self.backing {
+            unsafe {
+                libc::munmap(*frames as *mut libc::c_void, self.frame_bytes);
+                if !alias.is_null() {
+                    libc::munmap(*alias as *mut libc::c_void, self.alias_bytes);
+                }
+                libc::close(*fd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_memory_read_write() {
+        let arena = Arena::new(OS_PAGE * 4, 0);
+        unsafe {
+            let s = arena.frame_slice_mut(OS_PAGE, OS_PAGE);
+            s.fill(0xAB);
+            let s2 = arena.frame_slice_mut(OS_PAGE, OS_PAGE);
+            assert!(s2.iter().all(|&b| b == 0xAB));
+        }
+    }
+
+    #[test]
+    fn aliasing_gives_zero_copy_view() {
+        let arena = Arena::new(OS_PAGE * 8, OS_PAGE * 8);
+        if !arena.supports_alias() {
+            eprintln!("mmap arena unavailable; skipping alias test");
+            return;
+        }
+        unsafe {
+            // Two disjoint "extents" at frame offsets 1 and 5.
+            arena.frame_slice_mut(OS_PAGE, OS_PAGE).fill(0x11);
+            arena.frame_slice_mut(5 * OS_PAGE, 2 * OS_PAGE).fill(0x22);
+
+            // Alias them contiguously at offset 0 of the alias region.
+            arena.alias_map(0, OS_PAGE, OS_PAGE).unwrap();
+            arena.alias_map(OS_PAGE, 5 * OS_PAGE, 2 * OS_PAGE).unwrap();
+
+            let view = std::slice::from_raw_parts(arena.alias_base(), 3 * OS_PAGE);
+            assert!(view[..OS_PAGE].iter().all(|&b| b == 0x11));
+            assert!(view[OS_PAGE..].iter().all(|&b| b == 0x22));
+
+            // Zero-copy: mutating the frame shows through the alias.
+            arena.frame_slice_mut(OS_PAGE, 1)[0] = 0x99;
+            assert_eq!(view[0], 0x99);
+
+            arena.alias_unmap(0, 3 * OS_PAGE);
+        }
+    }
+
+    #[test]
+    fn heap_fallback_reports_no_alias_support() {
+        // Force the heap path by requesting zero alias space.
+        let arena = Arena::new(OS_PAGE, 0);
+        assert!(!arena.supports_alias());
+    }
+}

@@ -1,0 +1,191 @@
+//! Unified facade over the two buffer-pool variants the paper compares:
+//! the vmcache-style [`ExtentPool`] (with aliasing) and the traditional
+//! [`HashTablePool`] (`Our.ht`). The engine is written against this enum so
+//! the two variants can be swapped by configuration.
+
+use crate::htpool::HashTablePool;
+use crate::pool::{ExtentPool, FlushItem};
+use lobster_extent::ExtentSpec;
+use lobster_metrics::Metrics;
+use lobster_types::Result;
+use std::sync::Arc;
+
+/// The active BLOB buffer pool.
+#[derive(Clone)]
+pub enum BlobPool {
+    /// vmcache-style pool: extent-granular translation/latching, zero-copy
+    /// aliasing reads.
+    Vm(Arc<ExtentPool>),
+    /// Hash-table pool: per-page translation, malloc+memcpy reads.
+    Ht(Arc<HashTablePool>),
+}
+
+impl BlobPool {
+    pub fn metrics(&self) -> &Metrics {
+        match self {
+            BlobPool::Vm(p) => p.metrics(),
+            BlobPool::Ht(p) => p.metrics(),
+        }
+    }
+
+    /// Page size of the underlying geometry.
+    pub fn page_size(&self) -> usize {
+        match self {
+            BlobPool::Vm(p) => p.geometry().page_size(),
+            BlobPool::Ht(p) => p.page_size(),
+        }
+    }
+
+    /// Write fresh content into a newly allocated extent. The extent is
+    /// left dirty and pinned (`prevent_evict`) until the commit-time flush.
+    pub fn fill_extent(&self, spec: ExtentSpec, src: &[u8]) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => {
+                let mut g = p.create_extent(spec)?;
+                g[..src.len()].copy_from_slice(src);
+                p.metrics().bump_memcpy(src.len() as u64);
+                g.mark_dirty();
+                g.set_prevent_evict();
+                Ok(())
+            }
+            BlobPool::Ht(p) => p.fill_extent(spec, src),
+        }
+    }
+
+    /// Overwrite `src` at byte offset `byte_off` within an extent,
+    /// loading prior content from the device when `load_existing` (needed
+    /// for growth into a partially filled extent).
+    pub fn write_range(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        src: &[u8],
+        load_existing: bool,
+    ) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => {
+                let mut g = if load_existing {
+                    p.write_extent(spec)?
+                } else {
+                    p.create_extent(spec)?
+                };
+                g[byte_off..byte_off + src.len()].copy_from_slice(src);
+                p.metrics().bump_memcpy(src.len() as u64);
+                g.mark_dirty();
+                g.set_prevent_evict();
+                Ok(())
+            }
+            BlobPool::Ht(p) => p.write_range(spec, byte_off, src, load_existing),
+        }
+    }
+
+    /// Like [`BlobPool::write_range`] with `load_existing`, but only the
+    /// first `valid_pages` pages hold prior content worth loading (growth
+    /// into a partially filled extent).
+    pub fn write_range_partial(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        src: &[u8],
+        valid_pages: u64,
+    ) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => {
+                let mut g = p.write_extent_partial(spec, valid_pages)?;
+                g[byte_off..byte_off + src.len()].copy_from_slice(src);
+                p.metrics().bump_memcpy(src.len() as u64);
+                g.mark_dirty();
+                g.set_prevent_evict();
+                Ok(())
+            }
+            // The hash-table pool already loads per page.
+            BlobPool::Ht(p) => p.write_range(spec, byte_off, src, true),
+        }
+    }
+
+    /// Present the BLOB as one contiguous slice to `f`; zero-copy when the
+    /// vmcache pool has aliasing, gathered otherwise.
+    pub fn read_blob<R>(
+        &self,
+        worker: usize,
+        extents: &[ExtentSpec],
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        match self {
+            BlobPool::Vm(p) => p.read_blob(worker, extents, len, f),
+            BlobPool::Ht(p) => p.read_blob(extents, len, f),
+        }
+    }
+
+    /// Read a small range of one extent without forcing residency (the
+    /// append path's final-partial-block read).
+    pub fn read_range_uncached(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        out: &mut [u8],
+    ) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => p.read_range_uncached(spec, byte_off, out),
+            // The hash-table pool is page-granular already.
+            BlobPool::Ht(p) => p.read_range(spec, byte_off, out),
+        }
+    }
+
+    /// Visit the BLOB extent by extent (incremental comparator path).
+    pub fn for_each_extent<R>(
+        &self,
+        extents: &[ExtentSpec],
+        len: u64,
+        f: impl FnMut(&[u8]) -> Option<R>,
+    ) -> Result<Option<R>> {
+        match self {
+            BlobPool::Vm(p) => p.for_each_extent(extents, len, f),
+            BlobPool::Ht(p) => p.for_each_extent(extents, len, f),
+        }
+    }
+
+    /// Commit-time flush of dirty extent ranges (the single BLOB write).
+    pub fn flush_extents(&self, items: &[FlushItem]) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => p.flush_extents(items),
+            BlobPool::Ht(p) => p.flush_extents(items),
+        }
+    }
+
+    /// Clear the `prevent_evict` pin without flushing (physical-logging
+    /// mode: the WAL protects the content, eviction may write it back).
+    pub fn unpin_extent(&self, spec: ExtentSpec) {
+        match self {
+            BlobPool::Vm(p) => p.set_prevent_evict(spec.start, false),
+            BlobPool::Ht(p) => p.unpin_extent(spec),
+        }
+    }
+
+    /// Discard extents without write-back (delete / rollback).
+    pub fn drop_extents(&self, extents: &[ExtentSpec]) {
+        for &spec in extents {
+            match self {
+                BlobPool::Vm(p) => p.drop_extent(spec),
+                BlobPool::Ht(p) => p.drop_extent(spec),
+            }
+        }
+    }
+
+    /// Evict everything clean (recovery epilogue / cold-cache runs).
+    pub fn drop_caches(&self) {
+        match self {
+            BlobPool::Vm(p) => p.drop_caches(),
+            BlobPool::Ht(p) => p.drop_all(),
+        }
+    }
+
+    /// Flush all dirty state (checkpoint / clean shutdown).
+    pub fn flush_all_dirty(&self) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => p.flush_all_dirty(),
+            BlobPool::Ht(p) => p.flush_all_dirty(),
+        }
+    }
+}

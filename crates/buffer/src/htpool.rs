@@ -1,0 +1,469 @@
+//! Traditional hash-table buffer pool — the paper's `Our.ht` baseline
+//! (§V-B "Baselines").
+//!
+//! Pages are translated *individually* through a sharded hash map, frames
+//! are scattered heap allocations, and BLOB reads must allocate a buffer and
+//! gather the pages with `memcpy` — the exact costs §V-E attributes to
+//! pre-vmcache buffer pools (N translations per N-page extent, plus
+//! malloc+memcpy on every read).
+
+use lobster_extent::ExtentSpec;
+use lobster_metrics::Metrics;
+use lobster_storage::Device;
+use lobster_types::{Error, Geometry, Pid, Result};
+use parking_lot::{Mutex, RwLock};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 64;
+
+struct PageFrame {
+    data: RwLock<Box<[u8]>>,
+    dirty: AtomicBool,
+    prevent_evict: AtomicBool,
+}
+
+/// Page-granular hash-table buffer pool.
+pub struct HashTablePool {
+    device: Arc<dyn Device>,
+    geo: Geometry,
+    shards: Vec<Mutex<HashMap<u64, Arc<PageFrame>>>>,
+    max_pages: u64,
+    pages: AtomicU64,
+    metrics: Metrics,
+}
+
+impl HashTablePool {
+    pub fn new(
+        device: Arc<dyn Device>,
+        geo: Geometry,
+        max_pages: u64,
+        metrics: Metrics,
+    ) -> Arc<Self> {
+        Arc::new(HashTablePool {
+            device,
+            geo,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            max_pages,
+            pages: AtomicU64::new(0),
+            metrics,
+        })
+    }
+
+    pub fn pages_in_use(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.geo.page_size()
+    }
+
+    #[inline]
+    fn shard(&self, pid: Pid) -> &Mutex<HashMap<u64, Arc<PageFrame>>> {
+        // Multiplicative hash keeps consecutive pids on different shards.
+        let h = pid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 58) as usize % SHARDS]
+    }
+
+    fn lookup(&self, pid: Pid) -> Option<Arc<PageFrame>> {
+        self.metrics.translations.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .latch_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        self.shard(pid).lock().get(&pid.raw()).cloned()
+    }
+
+    fn insert(&self, pid: Pid, frame: Arc<PageFrame>) {
+        if self
+            .shard(pid)
+            .lock()
+            .insert(pid.raw(), frame)
+            .is_none()
+        {
+            self.pages.fetch_add(1, Ordering::Relaxed);
+        }
+        while self.pages.load(Ordering::Relaxed) > self.max_pages {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Random eviction of one clean, unpinned page.
+    fn evict_one(&self) -> bool {
+        let mut rng = rand::thread_rng();
+        for _ in 0..SHARDS * 4 {
+            let idx = rng.gen_range(0..SHARDS);
+            let victim = {
+                let shard = self.shards[idx].lock();
+                if shard.is_empty() {
+                    continue;
+                }
+                let skip = rng.gen_range(0..shard.len());
+                shard
+                    .iter()
+                    .nth(skip)
+                    .map(|(&pid, f)| (pid, f.clone()))
+            };
+            let Some((pid, frame)) = victim else { continue };
+            // No-steal: dirty or pinned pages stay resident until the
+            // commit flush or a checkpoint cleans them.
+            if frame.prevent_evict.load(Ordering::Acquire)
+                || frame.dirty.load(Ordering::Acquire)
+            {
+                continue;
+            }
+            if self.shards[idx].lock().remove(&pid).is_some() {
+                self.pages.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Load one whole extent from the device and distribute it into page
+    /// frames (one I/O, then per-page copies).
+    fn load_extent(&self, spec: ExtentSpec) -> Result<()> {
+        let p = self.geo.page_size();
+        let mut scratch = vec![0u8; (spec.pages as usize) * p];
+        self.device
+            .read_at(&mut scratch, self.geo.offset_of(spec.start))?;
+        self.metrics
+            .pages_read
+            .fetch_add(spec.pages, Ordering::Relaxed);
+        for i in 0..spec.pages {
+            let pid = spec.start.offset(i);
+            if self.lookup(pid).is_some() {
+                continue;
+            }
+            let mut page = vec![0u8; p].into_boxed_slice();
+            page.copy_from_slice(&scratch[(i as usize) * p..(i as usize + 1) * p]);
+            self.metrics.bump_memcpy(p as u64);
+            self.insert(
+                pid,
+                Arc::new(PageFrame {
+                    data: RwLock::new(page),
+                    dirty: AtomicBool::new(false),
+                    prevent_evict: AtomicBool::new(false),
+                }),
+            );
+        }
+        Ok(())
+    }
+
+    fn get_or_load_page(&self, spec: ExtentSpec, pid: Pid) -> Result<Arc<PageFrame>> {
+        if let Some(f) = self.lookup(pid) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(f);
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        // Under memory pressure a freshly loaded page can be evicted before
+        // we re-find it; retry a few times before giving up.
+        for _ in 0..8 {
+            self.load_extent(spec)?;
+            if let Some(f) = self.lookup(pid) {
+                return Ok(f);
+            }
+        }
+        Err(Error::BufferFull)
+    }
+
+    /// Write fresh content into a newly allocated extent's page frames
+    /// (dirty + pinned until the commit flush).
+    pub fn fill_extent(&self, spec: ExtentSpec, src: &[u8]) -> Result<()> {
+        self.write_range(spec, 0, src, false)
+    }
+
+    /// Overwrite a byte range within an extent; `load_existing` pulls pages
+    /// from the device first when they might be partially overwritten.
+    pub fn write_range(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        src: &[u8],
+        load_existing: bool,
+    ) -> Result<()> {
+        let p = self.geo.page_size();
+        debug_assert!(byte_off + src.len() <= (spec.pages as usize) * p);
+        let first_page = byte_off / p;
+        let last_page = (byte_off + src.len()).div_ceil(p).max(first_page + 1);
+        for i in first_page..last_page.min(spec.pages as usize) {
+            let pid = spec.start.offset(i as u64);
+            let frame = if load_existing {
+                self.get_or_load_page(spec, pid)?
+            } else {
+                match self.lookup(pid) {
+                    Some(f) => f,
+                    None => {
+                        let page = vec![0u8; p].into_boxed_slice();
+                        let f = Arc::new(PageFrame {
+                            data: RwLock::new(page),
+                            dirty: AtomicBool::new(false),
+                            prevent_evict: AtomicBool::new(false),
+                        });
+                        self.insert(pid, f.clone());
+                        f
+                    }
+                }
+            };
+            // Byte range of this page within the extent.
+            let page_start = i * p;
+            let page_end = page_start + p;
+            let copy_start = byte_off.max(page_start);
+            let copy_end = (byte_off + src.len()).min(page_end);
+            let mut data = frame.data.write();
+            data[copy_start - page_start..copy_end - page_start]
+                .copy_from_slice(&src[copy_start - byte_off..copy_end - byte_off]);
+            self.metrics.bump_memcpy((copy_end - copy_start) as u64);
+            frame.dirty.store(true, Ordering::Release);
+            frame.prevent_evict.store(true, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Gather a BLOB into a freshly allocated buffer and hand it to `f` —
+    /// the malloc+memcpy read path of hash-table pools (§V-E).
+    pub fn read_blob<R>(
+        &self,
+        extents: &[ExtentSpec],
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let p = self.geo.page_size();
+        let len = len as usize;
+        let mut buf = Vec::with_capacity(len);
+        'outer: for spec in extents {
+            for i in 0..spec.pages {
+                let pid = spec.start.offset(i);
+                let frame = self.get_or_load_page(*spec, pid)?;
+                let data = frame.data.read();
+                let take = (len - buf.len()).min(p);
+                buf.extend_from_slice(&data[..take]);
+                self.metrics.bump_memcpy(take as u64);
+                if buf.len() == len {
+                    break 'outer;
+                }
+            }
+        }
+        Ok(f(&buf))
+    }
+
+    /// Read a byte range of one extent, loading only the touched pages.
+    pub fn read_range(&self, spec: ExtentSpec, byte_off: usize, out: &mut [u8]) -> Result<()> {
+        let p = self.geo.page_size();
+        debug_assert!(byte_off + out.len() <= (spec.pages as usize) * p);
+        let mut done = 0usize;
+        while done < out.len() {
+            let abs = byte_off + done;
+            let page_idx = abs / p;
+            let in_page = abs % p;
+            let take = (out.len() - done).min(p - in_page);
+            let frame = self.get_or_load_page(spec, spec.start.offset(page_idx as u64))?;
+            let data = frame.data.read();
+            out[done..done + take].copy_from_slice(&data[in_page..in_page + take]);
+            self.metrics.bump_memcpy(take as u64);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Visit a BLOB extent by extent without materializing the whole object.
+    pub fn for_each_extent<R>(
+        &self,
+        extents: &[ExtentSpec],
+        len: u64,
+        mut f: impl FnMut(&[u8]) -> Option<R>,
+    ) -> Result<Option<R>> {
+        let p = self.geo.page_size();
+        let mut remaining = len as usize;
+        for spec in extents {
+            if remaining == 0 {
+                break;
+            }
+            let ext_len = ((spec.pages as usize) * p).min(remaining);
+            let mut ext_buf = Vec::with_capacity(ext_len);
+            for i in 0..spec.pages {
+                if ext_buf.len() == ext_len {
+                    break;
+                }
+                let frame = self.get_or_load_page(*spec, spec.start.offset(i))?;
+                let data = frame.data.read();
+                let take = (ext_len - ext_buf.len()).min(p);
+                ext_buf.extend_from_slice(&data[..take]);
+                self.metrics.bump_memcpy(take as u64);
+            }
+            if let Some(r) = f(&ext_buf) {
+                return Ok(Some(r));
+            }
+            remaining -= ext_len;
+        }
+        Ok(None)
+    }
+
+    /// Commit-time flush: one contiguous device write per extent (gathered
+    /// from the page frames), then unpin and mark clean.
+    pub fn flush_extents(&self, items: &[crate::pool::FlushItem]) -> Result<()> {
+        let p = self.geo.page_size();
+        for item in items {
+            let mut scratch = vec![0u8; (item.dirty_pages as usize) * p];
+            for i in 0..item.dirty_pages {
+                let pid = item.spec.start.offset(item.dirty_from + i);
+                if let Some(frame) = self.lookup(pid) {
+                    let data = frame.data.read();
+                    scratch[(i as usize) * p..(i as usize + 1) * p].copy_from_slice(&data);
+                    self.metrics.bump_memcpy(p as u64);
+                }
+            }
+            self.device.write_at(
+                &scratch,
+                self.geo.offset_of(item.spec.start.offset(item.dirty_from)),
+            )?;
+            self.metrics
+                .pages_written
+                .fetch_add(item.dirty_pages, Ordering::Relaxed);
+            self.metrics
+                .bytes_written
+                .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+            for i in 0..item.spec.pages {
+                if let Some(frame) = self.lookup(item.spec.start.offset(i)) {
+                    frame.dirty.store(false, Ordering::Release);
+                    frame.prevent_evict.store(false, Ordering::Release);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page (checkpoint / shutdown).
+    pub fn flush_all_dirty(&self) -> Result<()> {
+        for shard in &self.shards {
+            let entries: Vec<(u64, Arc<PageFrame>)> = shard
+                .lock()
+                .iter()
+                .map(|(&pid, f)| (pid, f.clone()))
+                .collect();
+            for (pid, frame) in entries {
+                if frame.dirty.swap(false, Ordering::AcqRel) {
+                    let data = frame.data.read();
+                    self.device
+                        .write_at(&data, self.geo.offset_of(Pid::new(pid)))?;
+                    self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
+                }
+                frame.prevent_evict.store(false, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every cached page (recovery epilogue / cold-cache runs). Dirty
+    /// pages must have been flushed first.
+    pub fn drop_all(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let n = shard.len() as u64;
+            shard.clear();
+            self.pages.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear `prevent_evict` on an extent's pages without flushing.
+    pub fn unpin_extent(&self, spec: ExtentSpec) {
+        for i in 0..spec.pages {
+            if let Some(frame) = self.lookup(spec.start.offset(i)) {
+                frame.prevent_evict.store(false, Ordering::Release);
+            }
+        }
+    }
+
+    /// Discard an extent's pages without writing them back.
+    pub fn drop_extent(&self, spec: ExtentSpec) {
+        for i in 0..spec.pages {
+            let pid = spec.start.offset(i);
+            if self.shard(pid).lock().remove(&pid.raw()).is_some() {
+                self.pages.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_storage::MemDevice;
+
+    fn pool(max_pages: u64) -> (Arc<HashTablePool>, Arc<dyn Device>) {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new(4 << 20));
+        let m = lobster_metrics::new_metrics();
+        (
+            HashTablePool::new(dev.clone(), Geometry::new(4096), max_pages, m),
+            dev,
+        )
+    }
+
+    #[test]
+    fn fill_flush_read_roundtrip() {
+        let (p, _dev) = pool(64);
+        let spec = ExtentSpec::new(Pid::new(10), 3);
+        let data: Vec<u8> = (0..3 * 4096).map(|i| (i % 256) as u8).collect();
+        p.fill_extent(spec, &data).unwrap();
+        p.flush_extents(&[crate::pool::FlushItem::whole(spec)]).unwrap();
+        p.drop_extent(spec);
+        // Reload from device.
+        let out = p
+            .read_blob(&[spec], data.len() as u64, |b| b.to_vec())
+            .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_pins() {
+        let (p, _dev) = pool(8);
+        for e in 0..4u64 {
+            let spec = ExtentSpec::new(Pid::new(e * 4), 4);
+            p.fill_extent(spec, &vec![e as u8; 4 * 4096]).unwrap();
+            // Unpin so eviction can work.
+            p.flush_extents(&[crate::pool::FlushItem::whole(spec)]).unwrap();
+        }
+        assert!(
+            p.pages_in_use() <= 9,
+            "pool must stay near its budget, got {}",
+            p.pages_in_use()
+        );
+    }
+
+    #[test]
+    fn partial_overwrite_with_load() {
+        let (p, _dev) = pool(64);
+        let spec = ExtentSpec::new(Pid::new(0), 2);
+        p.fill_extent(spec, &vec![7u8; 8192]).unwrap();
+        p.flush_extents(&[crate::pool::FlushItem::whole(spec)]).unwrap();
+        p.drop_extent(spec);
+        // Overwrite bytes 100..300 after reload.
+        p.write_range(spec, 100, &[9u8; 200], true).unwrap();
+        let out = p.read_blob(&[spec], 8192, |b| b.to_vec()).unwrap();
+        assert_eq!(&out[..100], &vec![7u8; 100][..]);
+        assert_eq!(&out[100..300], &vec![9u8; 200][..]);
+        assert_eq!(&out[300..], &vec![7u8; 8192 - 300][..]);
+    }
+
+    #[test]
+    fn per_page_translations_counted() {
+        let (p, _dev) = pool(64);
+        let m = p.metrics().clone();
+        let spec = ExtentSpec::new(Pid::new(0), 8);
+        p.fill_extent(spec, &vec![1u8; 8 * 4096]).unwrap();
+        let before = m.snapshot().translations;
+        p.read_blob(&[spec], 8 * 4096, |_| ()).unwrap();
+        let delta = m.snapshot().translations - before;
+        assert!(
+            delta >= 8,
+            "hash-table pool must translate per page, got {delta}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Buffer management for LOBSTER (§III-G and §IV of the paper).
+//!
+//! Two pool designs are provided, matching the paper's comparison:
+//!
+//! * [`ExtentPool`] — the vmcache-style pool: a flat page table with CAS
+//!   state transitions, **extent-granular (coarse) latching**, contiguous
+//!   frame ranges per extent, size-fair randomized eviction, a
+//!   `prevent_evict` pin used by the single-flush commit protocol, and
+//!   **virtual-memory aliasing** that presents multi-extent BLOBs as one
+//!   contiguous zero-copy view ([`AliasingManager`], memfd+mmap — see
+//!   DESIGN.md substitution 2).
+//! * [`HashTablePool`] — the traditional design (`Our.ht` baseline):
+//!   per-page hash-map translation, scattered frames, malloc+memcpy reads.
+//!
+//! [`BlobPool`] is the configuration-selected facade the engine uses.
+
+mod alias;
+mod arena;
+mod blob_pool;
+mod htpool;
+mod pool;
+
+pub use alias::{AliasConfig, AliasGuard, AliasStats, AliasingManager};
+pub use arena::{Arena, OS_PAGE};
+pub use blob_pool::BlobPool;
+pub use htpool::HashTablePool;
+pub use pool::{ExtentPool, FlushItem, PoolConfig, ShGuard, XGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_extent::ExtentSpec;
+    use lobster_storage::{Device, MemDevice};
+    use lobster_types::{Geometry, Pid};
+    use std::sync::Arc;
+
+    fn vm_pool(frames: u64, alias: bool) -> Arc<ExtentPool> {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new(16 << 20));
+        let cfg = PoolConfig {
+            frames,
+            alias: alias.then_some(AliasConfig {
+                workers: 2,
+                worker_local_bytes: 64 * 1024,
+                shared_bytes: 512 * 1024,
+            }),
+            io_threads: 2,
+        };
+        ExtentPool::new(dev, Geometry::new(4096), cfg, lobster_metrics::new_metrics())
+    }
+
+    #[test]
+    fn create_flush_evict_reload() {
+        let pool = vm_pool(64, false);
+        let spec = ExtentSpec::new(Pid::new(5), 4);
+        let data: Vec<u8> = (0..4 * 4096).map(|i| (i % 253) as u8).collect();
+        {
+            let mut g = pool.create_extent(spec).unwrap();
+            g[..].copy_from_slice(&data);
+            g.mark_dirty();
+            g.set_prevent_evict();
+        }
+        assert!(pool.is_dirty(spec.start));
+        pool.flush_extents(&[FlushItem::whole(spec)]).unwrap();
+        assert!(!pool.is_dirty(spec.start), "flush must clean the extent");
+        pool.drop_extent(spec);
+        assert!(!pool.is_resident(spec.start));
+
+        let g = pool.read_extent(spec).unwrap();
+        assert_eq!(&g[..], &data[..]);
+    }
+
+    #[test]
+    fn shared_guards_are_concurrent() {
+        let pool = vm_pool(64, false);
+        let spec = ExtentSpec::new(Pid::new(0), 2);
+        {
+            let mut g = pool.create_extent(spec).unwrap();
+            g.fill(3);
+            g.mark_dirty();
+        }
+        let g1 = pool.read_extent(spec).unwrap();
+        let g2 = pool.read_extent(spec).unwrap();
+        assert_eq!(g1[0], 3);
+        assert_eq!(g2[0], 3);
+    }
+
+    #[test]
+    fn eviction_frees_frames_under_pressure() {
+        let pool = vm_pool(16, false);
+        // Create 8 extents of 4 pages = 32 pages > 16 frames; older ones
+        // must be evicted (they are clean after flush).
+        for e in 0..8u64 {
+            let spec = ExtentSpec::new(Pid::new(e * 4), 4);
+            {
+                let mut g = pool.create_extent(spec).unwrap();
+                g.fill(e as u8);
+                g.mark_dirty();
+            }
+            pool.flush_extents(&[FlushItem::whole(spec)]).unwrap();
+        }
+        assert!(pool.frames_in_use() <= 16);
+        // Every extent must still be readable (reloaded from device).
+        for e in 0..8u64 {
+            let spec = ExtentSpec::new(Pid::new(e * 4), 4);
+            let g = pool.read_extent(spec).unwrap();
+            assert!(g.iter().all(|&b| b == e as u8), "extent {e} corrupted");
+        }
+    }
+
+    #[test]
+    fn prevent_evict_blocks_eviction() {
+        let pool = vm_pool(8, false);
+        let pinned = ExtentSpec::new(Pid::new(0), 4);
+        {
+            let mut g = pool.create_extent(pinned).unwrap();
+            g.fill(0xAA);
+            g.mark_dirty();
+            g.set_prevent_evict();
+        }
+        // Fill the rest of the pool; the pinned extent must survive.
+        for e in 1..6u64 {
+            let spec = ExtentSpec::new(Pid::new(e * 4), 4);
+            if let Ok(mut g) = pool.create_extent(spec) {
+                g.fill(e as u8);
+                g.mark_dirty();
+            }
+            pool.flush_extents(&[FlushItem::whole(spec)]).ok();
+        }
+        assert!(pool.is_resident(pinned.start), "pinned extent evicted");
+        assert!(pool.is_dirty(pinned.start), "pinned extent must stay dirty");
+    }
+
+    #[test]
+    fn multi_extent_blob_read_zero_copy() {
+        let pool = vm_pool(64, true);
+        let e1 = ExtentSpec::new(Pid::new(0), 1);
+        let e2 = ExtentSpec::new(Pid::new(10), 2);
+        {
+            let mut g = pool.create_extent(e1).unwrap();
+            g.fill(1);
+            g.mark_dirty();
+        }
+        {
+            let mut g = pool.create_extent(e2).unwrap();
+            g.fill(2);
+            g.mark_dirty();
+        }
+        let len = 3 * 4096 - 100; // logical size ends mid-page
+        let before = pool.metrics().snapshot();
+        pool.read_blob(0, &[e1, e2], len as u64, |view| {
+            assert_eq!(view.len(), len);
+            assert!(view[..4096].iter().all(|&b| b == 1));
+            assert!(view[4096..].iter().all(|&b| b == 2));
+        })
+        .unwrap();
+        let delta = pool.metrics().snapshot() - before;
+        if pool.aliasing_enabled() {
+            assert_eq!(delta.memcpy_bytes, 0, "aliased read must be zero-copy");
+            assert!(delta.alias_ops > 0);
+        }
+    }
+
+    #[test]
+    fn single_extent_blob_read_needs_no_alias() {
+        let pool = vm_pool(64, true);
+        let e = ExtentSpec::new(Pid::new(0), 2);
+        {
+            let mut g = pool.create_extent(e).unwrap();
+            g.fill(9);
+            g.mark_dirty();
+        }
+        let before = pool.metrics().snapshot();
+        pool.read_blob(0, &[e], 5000, |view| assert_eq!(view.len(), 5000))
+            .unwrap();
+        let delta = pool.metrics().snapshot() - before;
+        assert_eq!(delta.alias_ops, 0, "single extent is already contiguous");
+        assert_eq!(delta.memcpy_bytes, 0);
+    }
+
+    #[test]
+    fn blob_pool_facade_roundtrip_both_variants() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new(16 << 20));
+        let geo = Geometry::new(4096);
+        let m = lobster_metrics::new_metrics();
+        let variants = vec![
+            BlobPool::Vm(ExtentPool::new(
+                dev.clone(),
+                geo,
+                PoolConfig {
+                    frames: 64,
+                    alias: None,
+                    io_threads: 1,
+                },
+                m.clone(),
+            )),
+            BlobPool::Ht(HashTablePool::new(dev.clone(), geo, 64, m.clone())),
+        ];
+        for (vi, pool) in variants.into_iter().enumerate() {
+            let spec = ExtentSpec::new(Pid::new(100 + (vi as u64) * 10), 3);
+            let data: Vec<u8> = (0..3 * 4096).map(|i| ((i + vi) % 251) as u8).collect();
+            pool.fill_extent(spec, &data).unwrap();
+            pool.flush_extents(&[FlushItem::whole(spec)]).unwrap();
+            pool.drop_extents(&[spec]);
+            let out = pool
+                .read_blob(0, &[spec], data.len() as u64, |b| b.to_vec())
+                .unwrap();
+            assert_eq!(out, data, "variant {vi}");
+        }
+    }
+
+    #[test]
+    fn coarse_latching_one_load_for_concurrent_readers() {
+        let pool = vm_pool(64, false);
+        let spec = ExtentSpec::new(Pid::new(0), 8);
+        {
+            let mut g = pool.create_extent(spec).unwrap();
+            g.fill(7);
+            g.mark_dirty();
+        }
+        pool.flush_extents(&[FlushItem::whole(spec)]).unwrap();
+        pool.drop_extent(spec);
+
+        let before = pool.metrics().snapshot();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = &pool;
+                s.spawn(move || {
+                    let g = p.read_extent(spec).unwrap();
+                    assert_eq!(g[0], 7);
+                });
+            }
+        });
+        let delta = pool.metrics().snapshot() - before;
+        assert_eq!(delta.cache_misses, 1, "exactly one thread loads the extent");
+        assert_eq!(delta.pages_read, 8);
+    }
+}

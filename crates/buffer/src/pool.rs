@@ -1,0 +1,919 @@
+//! The vmcache-style extent buffer pool.
+//!
+//! Pages are translated through a flat page table (`Vec<AtomicU64>` indexed
+//! by PID) with versioned-latch-style CAS state transitions — the userspace
+//! analogue of vmcache [55]. Latching is *coarse-grained at extent
+//! granularity* (§III-G): an extent of N pages has a single page-table
+//! entry on its head page, so N threads racing to read it perform one device
+//! read and one latch acquisition, not N.
+//!
+//! Each resident extent occupies a *contiguous* frame range in the arena, so
+//! an extent is always contiguous in memory and a multi-extent BLOB can be
+//! presented contiguously via virtual-memory aliasing (§IV-B).
+//!
+//! Eviction is randomized and *size-fair* (§III-G "Fair extent eviction"):
+//! an N-page extent is N times more likely to be evicted than a single page,
+//! implemented exactly as the paper's pseudo-code
+//! `if rand(MAX_EXT_SIZE) < extent_size[pid] { evict() }`.
+
+use crate::alias::{AliasConfig, AliasingManager};
+use crate::arena::Arena;
+use lobster_extent::{ExtentSpec, RangeAllocator};
+use lobster_metrics::Metrics;
+use lobster_storage::{AsyncIo, Device, IoKind, IoReq};
+use lobster_types::{Error, Geometry, Pid, Result};
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- entry ---
+
+// Page-table entry layout (64 bits):
+//   [tag:8][prevent:1][dirty:1][pages:22][frame:32]
+// tag: 0xFF = evicted, 0xFE = locked exclusive, 0..=0xFC = shared count
+// (0 = resident, unlatched).
+const TAG_EVICTED: u64 = 0xFF;
+const TAG_LOCKED: u64 = 0xFE;
+const MAX_SHARED: u64 = 0xFC;
+
+const PREVENT_BIT: u64 = 1 << 55;
+const DIRTY_BIT: u64 = 1 << 54;
+const PAGES_SHIFT: u32 = 32;
+const PAGES_MASK: u64 = (1 << 22) - 1;
+const FRAME_MASK: u64 = (1 << 32) - 1;
+
+#[inline]
+fn pack(tag: u64, flags: u64, pages: u64, frame: u64) -> u64 {
+    debug_assert!(tag <= 0xFF && pages <= PAGES_MASK && frame <= FRAME_MASK);
+    (tag << 56) | flags | (pages << PAGES_SHIFT) | frame
+}
+
+#[inline]
+fn tag_of(e: u64) -> u64 {
+    e >> 56
+}
+
+#[inline]
+fn flags_of(e: u64) -> u64 {
+    e & (PREVENT_BIT | DIRTY_BIT)
+}
+
+#[inline]
+fn pages_of(e: u64) -> u64 {
+    (e >> PAGES_SHIFT) & PAGES_MASK
+}
+
+#[inline]
+fn frame_of(e: u64) -> u64 {
+    e & FRAME_MASK
+}
+
+const EVICTED_ENTRY: u64 = TAG_EVICTED << 56;
+
+// ------------------------------------------------------------- resident ---
+
+/// Registry of resident extents for eviction sampling: O(1) insert, remove,
+/// and uniform sampling.
+#[derive(Default)]
+struct ResidentSet {
+    vec: Vec<Pid>,
+    pos: HashMap<u64, usize>,
+}
+
+impl ResidentSet {
+    fn insert(&mut self, pid: Pid) {
+        if self.pos.contains_key(&pid.raw()) {
+            return;
+        }
+        self.pos.insert(pid.raw(), self.vec.len());
+        self.vec.push(pid);
+    }
+
+    fn remove(&mut self, pid: Pid) {
+        if let Some(i) = self.pos.remove(&pid.raw()) {
+            let last = self.vec.pop().expect("non-empty");
+            if i < self.vec.len() {
+                self.vec[i] = last;
+                self.pos.insert(last.raw(), i);
+            }
+        }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> Option<Pid> {
+        if self.vec.is_empty() {
+            None
+        } else {
+            Some(self.vec[rng.gen_range(0..self.vec.len())])
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Pid> {
+        self.vec.clone()
+    }
+}
+
+// ----------------------------------------------------------------- pool ---
+
+/// Configuration of an [`ExtentPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of buffer frames (pages of arena memory).
+    pub frames: u64,
+    /// Aliasing-area sizing; `None` disables zero-copy aliasing (gather
+    /// copies are used instead, as in the hash-table baseline).
+    pub alias: Option<AliasConfig>,
+    /// Threads in the asynchronous I/O engine.
+    pub io_threads: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            frames: 16 * 1024, // 64 MiB at 4 KiB pages
+            alias: None,
+            io_threads: 4,
+        }
+    }
+}
+
+/// Work item for the commit-time flush: which extent, and which page range
+/// within it is dirty (only dirty pages are written, §III-C).
+#[derive(Clone, Copy, Debug)]
+pub struct FlushItem {
+    pub spec: ExtentSpec,
+    /// First dirty page within the extent.
+    pub dirty_from: u64,
+    /// Number of dirty pages.
+    pub dirty_pages: u64,
+}
+
+impl FlushItem {
+    pub fn whole(spec: ExtentSpec) -> Self {
+        FlushItem {
+            spec,
+            dirty_from: 0,
+            dirty_pages: spec.pages,
+        }
+    }
+}
+
+/// The vmcache-style buffer pool with extent-granular latching.
+pub struct ExtentPool {
+    geo: Geometry,
+    arena: Arena,
+    table: Vec<AtomicU64>,
+    frames: RangeAllocator,
+    resident: Mutex<ResidentSet>,
+    max_resident_pages: AtomicU64,
+    aliasing: Option<AliasingManager>,
+    io: AsyncIo,
+    device: Arc<dyn Device>,
+    metrics: Metrics,
+    frame_count: u64,
+}
+
+impl ExtentPool {
+    pub fn new(
+        device: Arc<dyn Device>,
+        geo: Geometry,
+        cfg: PoolConfig,
+        metrics: Metrics,
+    ) -> Arc<Self> {
+        let page_capacity = device.capacity() / geo.page_size() as u64;
+        assert!(page_capacity > 0, "device too small");
+        assert!(cfg.frames <= FRAME_MASK);
+        let alias_bytes = cfg.alias.map(|a| a.total_bytes()).unwrap_or(0);
+        let arena = Arena::new((cfg.frames as usize) * geo.page_size(), alias_bytes);
+        let aliasing = cfg.alias.map(AliasingManager::new);
+        let table = (0..page_capacity)
+            .map(|_| AtomicU64::new(EVICTED_ENTRY))
+            .collect();
+        Arc::new(ExtentPool {
+            geo,
+            arena,
+            table,
+            frames: RangeAllocator::new(cfg.frames),
+            resident: Mutex::new(ResidentSet::default()),
+            max_resident_pages: AtomicU64::new(1),
+            aliasing,
+            io: AsyncIo::new(device.clone(), cfg.io_threads.max(1)),
+            device,
+            metrics,
+            frame_count: cfg.frames,
+        })
+    }
+
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    /// Whether zero-copy aliasing is active.
+    pub fn aliasing_enabled(&self) -> bool {
+        self.aliasing.is_some() && self.arena.supports_alias()
+    }
+
+    pub fn alias_stats(&self) -> Option<crate::alias::AliasStats> {
+        self.aliasing.as_ref().map(|a| a.stats())
+    }
+
+    /// Frames currently holding data.
+    pub fn frames_in_use(&self) -> u64 {
+        self.frames.in_use()
+    }
+
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    #[inline]
+    fn entry(&self, pid: Pid) -> &AtomicU64 {
+        &self.table[pid.raw() as usize]
+    }
+
+    // ------------------------------------------------------- latching ---
+
+    /// Fix an extent shared, loading it from the device on a miss (one
+    /// contiguous read for the whole extent).
+    pub fn read_extent(&self, spec: ExtentSpec) -> Result<ShGuard<'_>> {
+        self.metrics.translations.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .latch_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        let entry = self.entry(spec.start);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            match tag_of(e) {
+                TAG_EVICTED => {
+                    if entry
+                        .compare_exchange_weak(
+                            e,
+                            pack(TAG_LOCKED, 0, spec.pages, 0),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        match self.load_extent(spec, spec.pages) {
+                            Ok(frame) => {
+                                // Enter shared with count 1.
+                                entry.store(pack(1, 0, spec.pages, frame), Ordering::Release);
+                                return Ok(ShGuard {
+                                    pool: self,
+                                    spec,
+                                    frame,
+                                });
+                            }
+                            Err(err) => {
+                                entry.store(EVICTED_ENTRY, Ordering::Release);
+                                return Err(err);
+                            }
+                        }
+                    }
+                }
+                TAG_LOCKED => std::hint::spin_loop(),
+                n if n < MAX_SHARED => {
+                    debug_assert_eq!(pages_of(e), spec.pages, "extent size mismatch at {:?}", spec.start);
+                    if entry
+                        .compare_exchange_weak(
+                            e,
+                            pack(n + 1, flags_of(e), pages_of(e), frame_of(e)),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(ShGuard {
+                            pool: self,
+                            spec,
+                            frame: frame_of(e),
+                        });
+                    }
+                }
+                _ => std::hint::spin_loop(), // shared count saturated
+            }
+        }
+    }
+
+    /// Fix an extent exclusive, loading it from the device on a miss.
+    pub fn write_extent(&self, spec: ExtentSpec) -> Result<XGuard<'_>> {
+        self.fix_exclusive(spec, spec.pages)
+    }
+
+    /// Fix exclusive, loading only the first `valid_pages` pages from the
+    /// device — growth into a partially filled extent: pages past the
+    /// valid content hold nothing and are about to be overwritten, so a
+    /// 2-page-full 1024-page extent costs 2 page reads, not 1024.
+    pub fn write_extent_partial(&self, spec: ExtentSpec, valid_pages: u64) -> Result<XGuard<'_>> {
+        self.fix_exclusive(spec, valid_pages.min(spec.pages))
+    }
+
+    /// Fix a *fresh* extent exclusive without reading the device (the pages
+    /// were just allocated; their content is about to be written).
+    pub fn create_extent(&self, spec: ExtentSpec) -> Result<XGuard<'_>> {
+        self.fix_exclusive(spec, 0)
+    }
+
+    fn fix_exclusive(&self, spec: ExtentSpec, load_pages: u64) -> Result<XGuard<'_>> {
+        self.metrics.translations.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .latch_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        let entry = self.entry(spec.start);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            match tag_of(e) {
+                TAG_EVICTED => {
+                    if entry
+                        .compare_exchange_weak(
+                            e,
+                            pack(TAG_LOCKED, 0, spec.pages, 0),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        match self.load_extent(spec, load_pages) {
+                            Ok(frame) => {
+                                // Stay locked; the guard releases on drop.
+                                entry.store(
+                                    pack(TAG_LOCKED, 0, spec.pages, frame),
+                                    Ordering::Release,
+                                );
+                                return Ok(XGuard {
+                                    pool: self,
+                                    spec,
+                                    frame,
+                                });
+                            }
+                            Err(err) => {
+                                entry.store(EVICTED_ENTRY, Ordering::Release);
+                                return Err(err);
+                            }
+                        }
+                    }
+                }
+                0 => {
+                    if entry
+                        .compare_exchange_weak(
+                            e,
+                            pack(TAG_LOCKED, flags_of(e), pages_of(e), frame_of(e)),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(XGuard {
+                            pool: self,
+                            spec,
+                            frame: frame_of(e),
+                        });
+                    }
+                }
+                _ => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Allocate frames and (optionally) read the extent from the device.
+    /// Read a small byte range of an extent *without* forcing residency: a
+    /// cached extent is read under its shared latch, an evicted one
+    /// straight from the device. Content only leaves the pool after it has
+    /// been flushed (no-steal), so the device copy of an evicted extent is
+    /// always current. This is the paper's "growth reads only the final
+    /// partial block": a 63-byte read of a cold 1024-page extent costs one
+    /// page of I/O, not the extent.
+    pub fn read_range_uncached(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        out: &mut [u8],
+    ) -> Result<()> {
+        debug_assert!(byte_off + out.len() <= (spec.pages as usize) * self.geo.page_size());
+        let entry = self.entry(spec.start);
+        if tag_of(entry.load(Ordering::Acquire)) != TAG_EVICTED {
+            // Resident (or in flight): go through the latch. If it gets
+            // evicted between the check and the fix, read_extent reloads —
+            // correct, just no longer cheap.
+            let g = self.read_extent(spec)?;
+            out.copy_from_slice(&g[byte_off..byte_off + out.len()]);
+            return Ok(());
+        }
+        self.device
+            .read_at(out, self.geo.offset_of(spec.start) + byte_off as u64)?;
+        let pages = ((byte_off + out.len()).div_ceil(self.geo.page_size())
+            - byte_off / self.geo.page_size()) as u64;
+        self.metrics.pages_read.fetch_add(pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn load_extent(&self, spec: ExtentSpec, load_pages: u64) -> Result<u64> {
+        let frame = self.allocate_frames(spec.pages)?;
+        if load_pages > 0 {
+            let len = (load_pages * self.geo.page_size() as u64) as usize;
+            let off = (frame as usize) * self.geo.page_size();
+            // SAFETY: we own this frame range exclusively until the entry is
+            // published.
+            let buf = unsafe { self.arena.frame_slice_mut(off, len) };
+            self.device.read_at(buf, self.geo.offset_of(spec.start))?;
+            self.metrics
+                .pages_read
+                .fetch_add(load_pages, Ordering::Relaxed);
+            self.metrics
+                .bytes_read
+                .fetch_add(len as u64, Ordering::Relaxed);
+        }
+        self.resident.lock().insert(spec.start);
+        self.max_resident_pages
+            .fetch_max(spec.pages, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    fn allocate_frames(&self, pages: u64) -> Result<u64> {
+        if pages > self.frame_count {
+            return Err(Error::InvalidArgument(format!(
+                "extent of {pages} pages exceeds pool of {} frames",
+                self.frame_count
+            )));
+        }
+        // Try, evict, retry. The attempt bound protects against livelock
+        // when everything is latched or prevent_evict'ed.
+        let mut attempts = 0u64;
+        let max_attempts = 128 + self.frame_count * 4;
+        loop {
+            if let Ok(f) = self.frames.allocate(pages) {
+                return Ok(f);
+            }
+            attempts += 1;
+            if attempts > max_attempts {
+                return Err(Error::BufferFull);
+            }
+            self.try_evict_one();
+        }
+    }
+
+    /// One randomized, size-fair eviction attempt.
+    fn try_evict_one(&self) {
+        let victim = {
+            let g = self.resident.lock();
+            let mut rng = rand::thread_rng();
+            g.sample(&mut rng)
+        };
+        let Some(pid) = victim else { return };
+        let entry = self.entry(pid);
+        let e = entry.load(Ordering::Acquire);
+        // No-steal: dirty extents are never evicted. BLOB content becomes
+        // clean at the commit flush; B-Tree nodes become clean at
+        // checkpoints — so the on-device tree always equals the last
+        // checkpoint, which logical redo/undo recovery relies on.
+        if tag_of(e) != 0 || e & (PREVENT_BIT | DIRTY_BIT) != 0 {
+            return; // latched, dirty, pinned, or already gone
+        }
+        let pages = pages_of(e);
+        // Fair eviction: rand(MAX_EXT_SIZE) < extent_size[pid].
+        let max_pages = self.max_resident_pages.load(Ordering::Relaxed).max(1);
+        if pages < max_pages && rand::thread_rng().gen_range(0..max_pages) >= pages {
+            return;
+        }
+        if entry
+            .compare_exchange(
+                e,
+                pack(TAG_LOCKED, flags_of(e), pages, frame_of(e)),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return;
+        }
+        let frame = frame_of(e);
+        self.frames.free(frame, pages);
+        self.resident.lock().remove(pid);
+        entry.store(EVICTED_ENTRY, Ordering::Release);
+    }
+
+    fn write_frames_to_device(
+        &self,
+        pid: Pid,
+        frame: u64,
+        from_page: u64,
+        pages: u64,
+    ) -> Result<()> {
+        let p = self.geo.page_size();
+        let off = ((frame + from_page) as usize) * p;
+        let len = (pages as usize) * p;
+        // SAFETY: caller holds the extent latched.
+        let buf = unsafe { self.arena.frame_slice_mut(off, len) };
+        self.device
+            .write_at(buf, self.geo.offset_of(pid.offset(from_page)))?;
+        self.metrics.pages_written.fetch_add(pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- flags ---
+
+    /// Set or clear the `prevent_evict` flag (§III-C "BLOB eviction"): set
+    /// after allocation, cleared once the commit-time flush completes.
+    pub fn set_prevent_evict(&self, pid: Pid, on: bool) {
+        let entry = self.entry(pid);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            if tag_of(e) == TAG_EVICTED {
+                return;
+            }
+            let new = if on { e | PREVENT_BIT } else { e & !PREVENT_BIT };
+            if entry
+                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn set_dirty(&self, pid: Pid, on: bool) {
+        let entry = self.entry(pid);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            if tag_of(e) == TAG_EVICTED {
+                return;
+            }
+            let new = if on { e | DIRTY_BIT } else { e & !DIRTY_BIT };
+            if entry
+                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Whether the extent is resident and dirty (test/diagnostic hook).
+    pub fn is_dirty(&self, pid: Pid) -> bool {
+        let e = self.entry(pid).load(Ordering::Acquire);
+        tag_of(e) != TAG_EVICTED && e & DIRTY_BIT != 0
+    }
+
+    /// Whether the extent is resident.
+    pub fn is_resident(&self, pid: Pid) -> bool {
+        tag_of(self.entry(pid).load(Ordering::Acquire)) != TAG_EVICTED
+    }
+
+    // ---------------------------------------------------------- flush ---
+
+    /// Commit-time flush: write the dirty pages of each extent with one
+    /// batched asynchronous submission, then mark the extents clean and
+    /// evictable. This is the *only* time BLOB content is written (§III-C).
+    pub fn flush_extents(&self, items: &[FlushItem]) -> Result<()> {
+        let mut guards = Vec::with_capacity(items.len());
+        let mut reqs = Vec::with_capacity(items.len());
+        let p = self.geo.page_size();
+        for item in items {
+            let g = self.read_extent(item.spec)?;
+            let off = ((g.frame + item.dirty_from) as usize) * p;
+            let len = (item.dirty_pages as usize) * p;
+            // SAFETY: the shared guard keeps the frames alive and unchanged
+            // until the batch completes.
+            let ptr = unsafe { self.arena.frame_ptr(off, len) };
+            reqs.push(IoReq {
+                kind: IoKind::Write,
+                offset: self.geo.offset_of(item.spec.start.offset(item.dirty_from)),
+                ptr,
+                len,
+            });
+            guards.push(g);
+        }
+        // SAFETY: guards outlive the wait below.
+        unsafe { self.io.submit_and_wait(reqs)? };
+        let total_pages: u64 = items.iter().map(|i| i.dirty_pages).sum();
+        self.metrics
+            .pages_written
+            .fetch_add(total_pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add(total_pages * p as u64, Ordering::Relaxed);
+        for item in items {
+            self.set_dirty(item.spec.start, false);
+            self.set_prevent_evict(item.spec.start, false);
+        }
+        drop(guards);
+        Ok(())
+    }
+
+    /// Snapshot every dirty resident extent's content (page-image
+    /// journaling before a checkpoint's in-place writes).
+    pub fn collect_dirty(&self) -> Result<Vec<(ExtentSpec, Vec<u8>)>> {
+        let snapshot = self.resident.lock().snapshot();
+        let mut out = Vec::new();
+        for pid in snapshot {
+            let e = self.entry(pid).load(Ordering::Acquire);
+            if tag_of(e) == TAG_EVICTED || e & DIRTY_BIT == 0 {
+                continue;
+            }
+            let spec = ExtentSpec::new(pid, pages_of(e));
+            let g = self.read_extent(spec)?;
+            out.push((spec, g.to_vec()));
+        }
+        Ok(out)
+    }
+
+    /// Flush every dirty resident extent (checkpoint / shutdown).
+    pub fn flush_all_dirty(&self) -> Result<()> {
+        let snapshot = self.resident.lock().snapshot();
+        for pid in snapshot {
+            let e = self.entry(pid).load(Ordering::Acquire);
+            if tag_of(e) == TAG_EVICTED || e & DIRTY_BIT == 0 {
+                continue;
+            }
+            let spec = ExtentSpec::new(pid, pages_of(e));
+            let g = self.read_extent(spec)?;
+            self.write_frames_to_device(pid, g.frame, 0, spec.pages)?;
+            self.set_dirty(pid, false);
+            self.set_prevent_evict(pid, false);
+        }
+        Ok(())
+    }
+
+    /// Evict every clean, unpinned extent (cold-cache experiments).
+    pub fn drop_caches(&self) {
+        let snapshot = self.resident.lock().snapshot();
+        for pid in snapshot {
+            let entry = self.entry(pid);
+            let e = entry.load(Ordering::Acquire);
+            if tag_of(e) != 0 || e & (DIRTY_BIT | PREVENT_BIT) != 0 {
+                continue;
+            }
+            if entry
+                .compare_exchange(
+                    e,
+                    pack(TAG_LOCKED, flags_of(e), pages_of(e), frame_of(e)),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.frames.free(frame_of(e), pages_of(e));
+                self.resident.lock().remove(pid);
+                entry.store(EVICTED_ENTRY, Ordering::Release);
+            }
+        }
+    }
+
+    /// Discard a resident extent without writing it (BLOB deletion or
+    /// transaction rollback of a fresh allocation).
+    pub fn drop_extent(&self, spec: ExtentSpec) {
+        let entry = self.entry(spec.start);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            match tag_of(e) {
+                TAG_EVICTED => return,
+                0 => {
+                    if entry
+                        .compare_exchange(
+                            e,
+                            pack(TAG_LOCKED, 0, pages_of(e), frame_of(e)),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.frames.free(frame_of(e), pages_of(e));
+                        self.resident.lock().remove(spec.start);
+                        entry.store(EVICTED_ENTRY, Ordering::Release);
+                        return;
+                    }
+                }
+                _ => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    // ------------------------------------------------------ blob read ---
+
+    /// Read a multi-extent BLOB and present it to `f` as one contiguous
+    /// slice of exactly `len` bytes.
+    ///
+    /// With aliasing enabled this is zero-copy: the extents' frames are
+    /// mapped contiguously into the caller's aliasing area (worker-local or
+    /// shared, §IV-B). Without aliasing the extents are gathered into a
+    /// temporary buffer — the malloc+memcpy path the paper attributes to
+    /// hash-table pools.
+    pub fn read_blob<R>(
+        &self,
+        worker: usize,
+        extents: &[ExtentSpec],
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let guards: Vec<ShGuard<'_>> = extents
+            .iter()
+            .map(|e| self.read_extent(*e))
+            .collect::<Result<_>>()?;
+        let len = len as usize;
+
+        // Empty BLOBs need no frames at all.
+        if guards.is_empty() || len == 0 {
+            return Ok(f(&[]));
+        }
+        // A single extent is already contiguous in the arena: zero-copy
+        // without any page-table manipulation.
+        if guards.len() == 1 {
+            return Ok(f(&guards[0][..len]));
+        }
+
+        if let Some(am) = &self.aliasing {
+            if self.arena.supports_alias() {
+                let p = self.geo.page_size();
+                let parts: Vec<(usize, usize)> = guards
+                    .iter()
+                    .map(|g| ((g.frame as usize) * p, (g.spec.pages as usize) * p))
+                    .collect();
+                // SAFETY: `guards` hold shared latches until after `f`.
+                let view = unsafe { am.alias(&self.arena, worker, &parts, &self.metrics) };
+                match view {
+                    Ok(v) => {
+                        let r = f(&v.as_slice()[..len]);
+                        drop(v);
+                        drop(guards);
+                        return Ok(r);
+                    }
+                    Err(Error::BufferFull) => { /* fall through to copy */ }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Gather-copy fallback.
+        let mut buf = Vec::with_capacity(len);
+        for g in &guards {
+            let take = (len - buf.len()).min(g.len());
+            buf.extend_from_slice(&g[..take]);
+            if buf.len() == len {
+                break;
+            }
+        }
+        self.metrics.bump_memcpy(len as u64);
+        Ok(f(&buf))
+    }
+
+    /// Visit a BLOB extent by extent (used by the incremental Blob State
+    /// comparator, which must avoid materializing whole BLOBs).
+    pub fn for_each_extent<R>(
+        &self,
+        extents: &[ExtentSpec],
+        len: u64,
+        mut f: impl FnMut(&[u8]) -> Option<R>,
+    ) -> Result<Option<R>> {
+        let mut remaining = len as usize;
+        for spec in extents {
+            if remaining == 0 {
+                break;
+            }
+            let g = self.read_extent(*spec)?;
+            let take = remaining.min(g.len());
+            if let Some(r) = f(&g[..take]) {
+                return Ok(Some(r));
+            }
+            remaining -= take;
+        }
+        Ok(None)
+    }
+}
+
+// --------------------------------------------------------------- guards ---
+
+/// Shared (read) latch on one extent. Derefs to the extent's bytes.
+pub struct ShGuard<'p> {
+    pool: &'p ExtentPool,
+    spec: ExtentSpec,
+    frame: u64,
+}
+
+impl ShGuard<'_> {
+    pub fn spec(&self) -> ExtentSpec {
+        self.spec
+    }
+
+    /// Byte offset of this extent's frames within the arena.
+    pub fn frame_byte_offset(&self) -> usize {
+        (self.frame as usize) * self.pool.geo.page_size()
+    }
+}
+
+impl Deref for ShGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        let len = (self.spec.pages as usize) * self.pool.geo.page_size();
+        // SAFETY: shared latch held; writers are excluded.
+        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+    }
+}
+
+impl Drop for ShGuard<'_> {
+    fn drop(&mut self) {
+        let entry = self.pool.entry(self.spec.start);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            let n = tag_of(e);
+            debug_assert!((1..=MAX_SHARED).contains(&n));
+            if entry
+                .compare_exchange_weak(
+                    e,
+                    pack(n - 1, flags_of(e), pages_of(e), frame_of(e)),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// Exclusive (write) latch on one extent. Derefs mutably to its bytes.
+pub struct XGuard<'p> {
+    pool: &'p ExtentPool,
+    spec: ExtentSpec,
+    frame: u64,
+}
+
+impl XGuard<'_> {
+    pub fn spec(&self) -> ExtentSpec {
+        self.spec
+    }
+
+    pub fn frame_byte_offset(&self) -> usize {
+        (self.frame as usize) * self.pool.geo.page_size()
+    }
+
+    /// Mark the extent dirty (it will be written back on eviction or
+    /// checkpoint unless the commit-time flush cleans it first).
+    pub fn mark_dirty(&self) {
+        self.pool.set_dirty(self.spec.start, true);
+    }
+
+    /// Pin the extent against eviction until the commit-time flush clears
+    /// the flag.
+    pub fn set_prevent_evict(&self) {
+        self.pool.set_prevent_evict(self.spec.start, true);
+    }
+}
+
+impl Deref for XGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        let len = (self.spec.pages as usize) * self.pool.geo.page_size();
+        // SAFETY: exclusive latch held.
+        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+    }
+}
+
+impl DerefMut for XGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let len = (self.spec.pages as usize) * self.pool.geo.page_size();
+        // SAFETY: exclusive latch held.
+        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+    }
+}
+
+impl Drop for XGuard<'_> {
+    fn drop(&mut self) {
+        let entry = self.pool.entry(self.spec.start);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            debug_assert_eq!(tag_of(e), TAG_LOCKED);
+            if entry
+                .compare_exchange_weak(
+                    e,
+                    pack(0, flags_of(e), pages_of(e), frame_of(e)),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}

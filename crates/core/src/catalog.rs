@@ -1,0 +1,133 @@
+//! Relation catalog: names → B-Trees.
+//!
+//! The catalog is itself a B-Tree (relation id 0) mapping relation names to
+//! `(id, kind, root pid, node pages)`. Because the engine's root splits are
+//! performed in place, root PIDs are stable and catalog entries never need
+//! updating after creation. In the FUSE facade each relation appears as a
+//! directory (§III-E "Relation as a directory").
+
+use lobster_btree::BTree;
+use lobster_types::{read_u32, read_u64, Error, Pid, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a relation stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelationKind {
+    /// Plain key/value rows.
+    Kv,
+    /// Rows whose value is a serialized [`crate::BlobState`].
+    Blob,
+}
+
+impl RelationKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            RelationKind::Kv => 0,
+            RelationKind::Blob => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(RelationKind::Kv),
+            1 => Ok(RelationKind::Blob),
+            _ => Err(Error::Corruption(format!("bad relation kind {v}"))),
+        }
+    }
+}
+
+/// An open relation: id, kind, and its B-Tree.
+pub struct Relation {
+    pub id: u32,
+    pub name: String,
+    pub kind: RelationKind,
+    pub tree: BTree,
+}
+
+/// Serialized catalog entry value.
+pub fn encode_entry(id: u32, kind: RelationKind, root: Pid, node_pages: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(21);
+    v.extend_from_slice(&id.to_le_bytes());
+    v.push(kind.as_u8());
+    v.extend_from_slice(&root.raw().to_le_bytes());
+    v.extend_from_slice(&node_pages.to_le_bytes());
+    v
+}
+
+/// Parse a catalog entry value.
+pub fn decode_entry(buf: &[u8]) -> Result<(u32, RelationKind, Pid, u64)> {
+    if buf.len() != 21 {
+        return Err(Error::Corruption("catalog entry length".into()));
+    }
+    Ok((
+        read_u32(buf),
+        RelationKind::from_u8(buf[4])?,
+        Pid::new(read_u64(&buf[5..])),
+        read_u64(&buf[13..]),
+    ))
+}
+
+/// In-memory registry of open relations.
+#[derive(Default)]
+pub struct Registry {
+    by_name: HashMap<String, Arc<Relation>>,
+    by_id: HashMap<u32, Arc<Relation>>,
+}
+
+impl Registry {
+    pub fn insert(&mut self, rel: Arc<Relation>) {
+        self.by_name.insert(rel.name.clone(), rel.clone());
+        self.by_id.insert(rel.id, rel);
+    }
+
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        let rel = self.by_name.remove(name)?;
+        self.by_id.remove(&rel.id);
+        Some(rel)
+    }
+
+    pub fn by_name(&self, name: &str) -> Option<Arc<Relation>> {
+        self.by_name.get(name).cloned()
+    }
+
+    pub fn by_id(&self, id: u32) -> Option<Arc<Relation>> {
+        self.by_id.get(&id).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn all(&self) -> Vec<Arc<Relation>> {
+        let mut rels: Vec<Arc<Relation>> = self.by_id.values().cloned().collect();
+        rels.sort_by_key(|r| r.id);
+        rels
+    }
+
+    pub fn max_id(&self) -> u32 {
+        self.by_id.keys().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = encode_entry(7, RelationKind::Blob, Pid::new(42), 2);
+        let (id, kind, root, np) = decode_entry(&e).unwrap();
+        assert_eq!((id, kind, root, np), (7, RelationKind::Blob, Pid::new(42), 2));
+    }
+
+    #[test]
+    fn entry_rejects_bad_input() {
+        assert!(decode_entry(&[0; 5]).is_err());
+        let mut e = encode_entry(1, RelationKind::Kv, Pid::new(1), 1);
+        e[4] = 9; // invalid kind
+        assert!(decode_entry(&e).is_err());
+    }
+}

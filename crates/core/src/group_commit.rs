@@ -1,0 +1,179 @@
+//! Background group committer (§V-A: "group commit so the critical path
+//! usually does not involve I/O").
+//!
+//! With [`crate::Config::commit_wait`] `false`, [`crate::Txn::commit`]
+//! stages its WAL records and flush list here and returns immediately;
+//! this thread preserves the single-flush ordering — WAL fsync first, then
+//! one batched extent flush — and recycles freed extents afterwards.
+//! Multiple queued commits share one fsync. Durability is thus slightly
+//! deferred (asynchronous commit); crash recovery still sees a correct
+//! prefix of committed transactions.
+
+use lobster_buffer::{BlobPool, FlushItem};
+use lobster_extent::{ExtentAllocator, ExtentSpec};
+use lobster_metrics::Metrics;
+use lobster_types::Result;
+use lobster_wal::{LogRecord, Wal};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub(crate) struct CommitBatch {
+    pub records: Vec<LogRecord>,
+    pub toflush: Vec<FlushItem>,
+    pub freed: Vec<ExtentSpec>,
+}
+
+impl CommitBatch {
+    /// Bytes of buffer-pool frames this batch keeps pinned until flushed.
+    fn pinned_bytes(&self, page_size: u64) -> u64 {
+        self.toflush
+            .iter()
+            .map(|i| i.dirty_pages * page_size)
+            .sum()
+    }
+}
+
+struct PinBudget {
+    used: Mutex<u64>,
+    freed_cv: Condvar,
+    limit: u64,
+}
+
+pub(crate) struct GroupCommitter {
+    tx: Option<crossbeam::channel::Sender<CommitBatch>>,
+    enqueued: Arc<AtomicU64>,
+    processed: Arc<AtomicU64>,
+    budget: Arc<PinBudget>,
+    page_size: u64,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitter {
+    pub fn new(
+        wal: Arc<Wal>,
+        blob_pool: BlobPool,
+        alloc: Arc<ExtentAllocator>,
+        ckpt_gate: Arc<RwLock<()>>,
+        metrics: Metrics,
+        page_size: u64,
+        pinned_limit_bytes: u64,
+    ) -> Self {
+        // Backpressure by *bytes*: submitters block while the queue pins
+        // more than a quarter-pool of unflushed frames, so the committer
+        // lag can never exhaust the buffer pool.
+        let (tx, rx) = crossbeam::channel::unbounded::<CommitBatch>();
+        let budget = Arc::new(PinBudget {
+            used: Mutex::new(0),
+            freed_cv: Condvar::new(),
+            limit: pinned_limit_bytes.max(page_size),
+        });
+        let budget2 = budget.clone();
+        let enqueued = Arc::new(AtomicU64::new(0));
+        let processed = Arc::new(AtomicU64::new(0));
+        let processed2 = processed.clone();
+        let handle = std::thread::Builder::new()
+            .name("lobster-group-commit".into())
+            .spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    // Absorb everything already queued into one group.
+                    let mut group = vec![first];
+                    while let Ok(next) = rx.try_recv() {
+                        group.push(next);
+                    }
+                    let n = group.len() as u64;
+                    let result = (|| -> Result<()> {
+                        let _gate = ckpt_gate.read();
+                        // 1. All Blob States durable with one fsync.
+                        let mut lsn = None;
+                        for batch in &group {
+                            if !batch.records.is_empty() {
+                                lsn = Some(wal.append_batch(&batch.records)?);
+                            }
+                        }
+                        if let Some(lsn) = lsn {
+                            wal.commit_to(lsn)?;
+                        }
+                        // 2. One combined extent flush.
+                        let items: Vec<FlushItem> = group
+                            .iter()
+                            .flat_map(|b| b.toflush.iter().copied())
+                            .collect();
+                        if !items.is_empty() {
+                            blob_pool.flush_extents(&items)?;
+                        }
+                        // 3. Recycle deletions.
+                        for batch in &group {
+                            blob_pool.drop_extents(&batch.freed);
+                            for spec in &batch.freed {
+                                alloc.free_extent(*spec);
+                                metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(())
+                    })();
+                    // An I/O failure here is a durability loss the
+                    // asynchronous-commit mode accepts; surface it loudly.
+                    if let Err(e) = result {
+                        eprintln!("lobster group committer error: {e}");
+                    }
+                    let released: u64 = group
+                        .iter()
+                        .map(|b| b.pinned_bytes(page_size))
+                        .sum();
+                    {
+                        let mut used = budget2.used.lock();
+                        *used = used.saturating_sub(released);
+                        budget2.freed_cv.notify_all();
+                    }
+                    processed2.fetch_add(n, Ordering::Release);
+                }
+            })
+            .expect("spawn group committer");
+        GroupCommitter {
+            tx: Some(tx),
+            enqueued,
+            processed,
+            budget,
+            page_size,
+            handle: Some(handle),
+        }
+    }
+
+    pub fn submit(&self, batch: CommitBatch) {
+        let bytes = batch.pinned_bytes(self.page_size);
+        {
+            let mut used = self.budget.used.lock();
+            // Always admit at least one batch, however large.
+            while *used > 0 && *used + bytes > self.budget.limit {
+                self.budget.freed_cv.wait(&mut used);
+            }
+            *used += bytes;
+        }
+        self.enqueued.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("committer alive")
+            .send(batch)
+            .expect("committer thread alive");
+    }
+
+    /// Wait until everything submitted so far is durable.
+    pub fn drain(&self) {
+        let target = self.enqueued.load(Ordering::Acquire);
+        while self.processed.load(Ordering::Acquire) < target {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        self.drain();
+        self.tx.take(); // disconnect; the thread exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

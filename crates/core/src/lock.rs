@@ -1,0 +1,244 @@
+//! Record-level two-phase locking with wait-die conflict resolution
+//! (§III-H "Concurrency control for BLOBs").
+//!
+//! Locks are taken on `(relation, key)` Blob State records: a transaction
+//! that updates a BLOB holds an exclusive lock on its record; readers hold
+//! shared locks. Wait-die keeps it deadlock-free: an older transaction
+//! (smaller id) waits for a younger holder, a younger requester aborts
+//! immediately ([`lobster_types::Error::TxnConflict`]).
+
+use lobster_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Shared holders (txn ids); exclusive iff `exclusive` is set.
+    shared: Vec<u64>,
+    exclusive: Option<u64>,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.shared.is_empty() && self.exclusive.is_none()
+    }
+
+    fn min_holder(&self) -> Option<u64> {
+        self.exclusive
+            .into_iter()
+            .chain(self.shared.iter().copied())
+            .min()
+    }
+}
+
+const SHARDS: usize = 64;
+
+type LockShard = Mutex<HashMap<(u32, Vec<u8>), LockState>>;
+
+/// The lock table, sharded by key hash.
+pub struct LockManager {
+    shards: Vec<LockShard>,
+    /// Upper bound on waiting before an older transaction gives up (guards
+    /// against holders that never release, e.g. a stuck session).
+    wait_timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(5))
+    }
+}
+
+impl LockManager {
+    pub fn new(wait_timeout: Duration) -> Self {
+        LockManager {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            wait_timeout,
+        }
+    }
+
+    fn shard(&self, relation: u32, key: &[u8]) -> &LockShard {
+        let mut h = relation as u64 ^ 0x9E37_79B9;
+        for &b in key {
+            h = h.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Acquire a lock for `txn`; re-entrant (a held exclusive covers shared;
+    /// a solo shared holder upgrades to exclusive).
+    pub fn lock(&self, txn: u64, relation: u32, key: &[u8], mode: LockMode) -> Result<()> {
+        let deadline = Instant::now() + self.wait_timeout;
+        loop {
+            {
+                let mut shard = self.shard(relation, key).lock();
+                let state = shard.entry((relation, key.to_vec())).or_default();
+                match mode {
+                    LockMode::Shared => {
+                        match state.exclusive {
+                            None => {
+                                if !state.shared.contains(&txn) {
+                                    state.shared.push(txn);
+                                }
+                                return Ok(());
+                            }
+                            Some(holder) if holder == txn => return Ok(()),
+                            Some(holder) => {
+                                // Wait-die: younger requester dies.
+                                if txn > holder {
+                                    return Err(Error::TxnConflict);
+                                }
+                            }
+                        }
+                    }
+                    LockMode::Exclusive => {
+                        let solo_shared =
+                            state.shared.len() == 1 && state.shared[0] == txn;
+                        match state.exclusive {
+                            Some(holder) if holder == txn => return Ok(()),
+                            None if state.shared.is_empty() || solo_shared => {
+                                state.shared.retain(|&t| t != txn);
+                                state.exclusive = Some(txn);
+                                return Ok(());
+                            }
+                            _ => {
+                                let oldest = state.min_holder().expect("non-free state");
+                                if txn > oldest {
+                                    return Err(Error::TxnConflict);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Older transaction: wait briefly and retry.
+            if Instant::now() > deadline {
+                return Err(Error::TxnConflict);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Release every lock `txn` holds (end of two-phase locking).
+    pub fn release_all(&self, txn: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.retain(|_, state| {
+                state.shared.retain(|&t| t != txn);
+                if state.exclusive == Some(txn) {
+                    state.exclusive = None;
+                }
+                !state.is_free()
+            });
+        }
+    }
+
+    /// Number of keys currently locked (diagnostics).
+    pub fn locked_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> LockManager {
+        LockManager::new(Duration::from_millis(200))
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let m = mgr();
+        m.lock(1, 0, b"k", LockMode::Shared).unwrap();
+        m.lock(2, 0, b"k", LockMode::Shared).unwrap();
+        assert_eq!(m.locked_keys(), 1);
+        m.release_all(1);
+        m.release_all(2);
+        assert_eq!(m.locked_keys(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_younger() {
+        let m = mgr();
+        m.lock(1, 0, b"k", LockMode::Exclusive).unwrap();
+        // Younger (higher id) dies immediately.
+        assert!(matches!(
+            m.lock(2, 0, b"k", LockMode::Shared),
+            Err(Error::TxnConflict)
+        ));
+        assert!(matches!(
+            m.lock(2, 0, b"k", LockMode::Exclusive),
+            Err(Error::TxnConflict)
+        ));
+    }
+
+    #[test]
+    fn older_waits_for_release() {
+        let m = std::sync::Arc::new(LockManager::new(Duration::from_secs(5)));
+        m.lock(10, 0, b"k", LockMode::Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            // Older txn 5 waits until txn 10 releases.
+            m2.lock(5, 0, b"k", LockMode::Exclusive).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        m.release_all(10);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let m = mgr();
+        m.lock(1, 0, b"k", LockMode::Shared).unwrap();
+        m.lock(1, 0, b"k", LockMode::Shared).unwrap();
+        // Solo shared holder upgrades.
+        m.lock(1, 0, b"k", LockMode::Exclusive).unwrap();
+        m.lock(1, 0, b"k", LockMode::Shared).unwrap(); // X covers S
+        m.lock(1, 0, b"k", LockMode::Exclusive).unwrap(); // re-entrant X
+        // Another txn cannot get it.
+        assert!(m.lock(9, 0, b"k", LockMode::Shared).is_err());
+        m.release_all(1);
+        m.lock(9, 0, b"k", LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn upgrade_with_other_sharers_conflicts_for_younger() {
+        let m = mgr();
+        m.lock(1, 0, b"k", LockMode::Shared).unwrap();
+        m.lock(2, 0, b"k", LockMode::Shared).unwrap();
+        // Txn 2 (younger than holder 1) must die trying to upgrade.
+        assert!(matches!(
+            m.lock(2, 0, b"k", LockMode::Exclusive),
+            Err(Error::TxnConflict)
+        ));
+    }
+
+    #[test]
+    fn different_keys_do_not_conflict() {
+        let m = mgr();
+        m.lock(1, 0, b"a", LockMode::Exclusive).unwrap();
+        m.lock(2, 0, b"b", LockMode::Exclusive).unwrap();
+        m.lock(2, 1, b"a", LockMode::Exclusive).unwrap(); // other relation
+    }
+
+    #[test]
+    fn timeout_eventually_fires_for_older_waiter() {
+        let m = LockManager::new(Duration::from_millis(50));
+        m.lock(10, 0, b"k", LockMode::Exclusive).unwrap();
+        // Older txn 5 waits, but the holder never releases: timeout.
+        let start = Instant::now();
+        assert!(matches!(
+            m.lock(5, 0, b"k", LockMode::Exclusive),
+            Err(Error::TxnConflict)
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,457 @@
+//! Crash recovery (§III-C "BLOB Recoverability").
+//!
+//! Recovery is logical, over the post-checkpoint WAL:
+//!
+//! 1. **Analysis** — scan the log, collect committed transactions, and
+//!    *validate every committed BLOB's content against the SHA-256 stored
+//!    in its Blob State*. The commit protocol guarantees the Blob State is
+//!    durable before extent content is written, so a crash between WAL
+//!    fsync and the content flush leaves a committed Blob State pointing at
+//!    garbage extents — the SHA check detects this, and the transaction is
+//!    moved to the undo list (treated as failed), exactly as the paper
+//!    specifies.
+//! 2. **Redo** — replay the operations of surviving transactions in log
+//!    order (idempotent logical redo; the B-Tree durable state equals the
+//!    last checkpoint).
+//! 3. **Undo** — reverse the operations of uncommitted/failed transactions
+//!    in reverse log order (their B-Tree changes may have reached the
+//!    device through eviction).
+//! 4. Rebuild the extent allocator from the surviving reachable state,
+//!    flush, and truncate the log.
+
+use crate::blob_state::BlobState;
+use crate::catalog::RelationKind;
+use crate::db::{BlobLogging, Database};
+use lobster_sha256::Sha256;
+use lobster_types::{Error, Result};
+use lobster_wal::LogRecord;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+/// Outcome of a recovery pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose effects were replayed.
+    pub committed: u64,
+    /// Transactions rolled back (no commit record).
+    pub uncommitted: u64,
+    /// Committed transactions failed by BLOB SHA-256 validation.
+    pub sha_failures: u64,
+    /// Log records processed.
+    pub records: u64,
+}
+
+const CATALOG_REL_ID: u32 = 0;
+
+pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
+    // Phase 0: apply journaled page images. A crash between a checkpoint's
+    // image fsync and its truncation leaves in-place node writes possibly
+    // torn; the images restore every such page before anything reads the
+    // tree.
+    {
+        let records = db.wal.read_all()?;
+        for rec in &records {
+            if let LogRecord::PageImage { pid, data } = rec {
+                db.device
+                    .write_at(data, db.geo.offset_of(lobster_types::Pid::new(*pid)))?;
+            }
+        }
+    }
+
+    // Attach relations known at the last checkpoint (pre-redo catalog).
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    db.catalog_tree.for_each(|k, v| {
+        entries.push((k.to_vec(), v.to_vec()));
+        true
+    })?;
+    for (name, entry) in &entries {
+        let name = String::from_utf8_lossy(name).into_owned();
+        db.attach_relation(&name, entry)?;
+    }
+
+    let records = db.wal.read_all()?;
+    let mut report = RecoveryReport {
+        records: records.len() as u64,
+        ..Default::default()
+    };
+
+    // ----------------------------------------------------- analysis -----
+    let mut committed: HashSet<u64> = HashSet::new();
+    let mut all_txns: HashSet<u64> = HashSet::new();
+    for rec in &records {
+        if let Some(t) = rec.txn() {
+            all_txns.insert(t);
+        }
+        if let LogRecord::TxnCommit { txn } = rec {
+            committed.insert(*txn);
+        }
+    }
+
+    // Conservative allocator state: everything reachable from the
+    // checkpointed trees plus everything any log record references, so redo
+    // splits never allocate pages that hold real data.
+    {
+        let mut used = db.referenced_extents()?;
+        for rec in &records {
+            if let LogRecord::Insert { value, relation, .. }
+            | LogRecord::Update {
+                new_value: value,
+                relation,
+                ..
+            } = rec
+            {
+                if *relation == CATALOG_REL_ID {
+                    // A relation created after the checkpoint: its root was
+                    // force-flushed at DDL time, so the on-device tree is a
+                    // valid (typically empty) tree whose extents must be
+                    // reserved before redo replays inserts into it.
+                    if let Ok((_, _, root, node_pages)) =
+                        crate::catalog::decode_entry(value)
+                    {
+                        let tree = lobster_btree::BTree::open(
+                            db.node_pool.clone(),
+                            db.alloc.clone(),
+                            std::sync::Arc::new(lobster_btree::LexCmp),
+                            node_pages,
+                            root,
+                        );
+                        used.extend(tree.collect_extents()?);
+                    }
+                } else if let Ok(state) = BlobState::decode(value) {
+                    used.extend(state.extent_specs(&db.table));
+                }
+            }
+        }
+        used.sort_by_key(|e| e.start);
+        used.dedup();
+        db.alloc.reset_from_extents(&used);
+    }
+
+    // SHA-256 validation of committed BLOBs (asynchronous logging only; in
+    // physical-logging mode the WAL itself carries the content and redo
+    // restores it).
+    //
+    // The crash window can swallow the content flush of *several* committed
+    // transactions at once (the device acknowledges writes it never
+    // performs), so validation works on per-key version chains: the *tip*
+    // version of every key is validated; if it fails, its transaction joins
+    // the failed set, the previous version becomes the tip, and validation
+    // repeats until a fixpoint. Non-tip versions are never validated —
+    // their extents may have been legitimately recycled by later
+    // transactions, which must not fail retroactively.
+    // Relations dropped by a committed catalog delete: their blob extents
+    // may have been recycled, so their version chains must not be
+    // validated (and their rows are gone anyway).
+    let mut dropped_rels: HashSet<u32> = HashSet::new();
+    for rec in &records {
+        if let LogRecord::Delete {
+            txn,
+            relation: CATALOG_REL_ID,
+            old_value,
+            ..
+        } = rec
+        {
+            if committed.contains(txn) {
+                if let Ok((id, _, _, _)) = crate::catalog::decode_entry(old_value) {
+                    dropped_rels.insert(id);
+                }
+            }
+        }
+    }
+
+    let validate = matches!(db.cfg.blob_logging, BlobLogging::Async);
+    let mut failed: HashSet<u64> = HashSet::new();
+    if validate {
+        // key -> committed versions in log order; None marks a delete.
+        type VersionChain = Vec<(u64, Option<BlobState>)>;
+        let mut chains: HashMap<(u32, Vec<u8>), VersionChain> = HashMap::new();
+        for rec in &records {
+            let (txn, relation, key, value) = match rec {
+                LogRecord::Insert {
+                    txn,
+                    relation,
+                    key,
+                    value,
+                } => (*txn, *relation, key, Some(value)),
+                LogRecord::Update {
+                    txn,
+                    relation,
+                    key,
+                    new_value,
+                    ..
+                } => (*txn, *relation, key, Some(new_value)),
+                LogRecord::Delete {
+                    txn, relation, key, ..
+                } => (*txn, *relation, key, None),
+                _ => continue,
+            };
+            if relation == CATALOG_REL_ID
+                || dropped_rels.contains(&relation)
+                || !committed.contains(&txn)
+            {
+                continue;
+            }
+            let is_blob = db
+                .relation_by_id(relation)
+                .map(|r| r.kind == RelationKind::Blob)
+                // Relations created inside the log: assume blob if the
+                // value parses as a Blob State.
+                .unwrap_or(true);
+            if !is_blob {
+                continue;
+            }
+            let version = match value {
+                Some(v) => match BlobState::decode(v) {
+                    Ok(state) => Some(state),
+                    Err(_) => continue,
+                },
+                None => None,
+            };
+            chains
+                .entry((relation, key.clone()))
+                .or_default()
+                .push((txn, version));
+        }
+        // Fixpoint: validate tips, fail their txns, expose earlier tips.
+        let mut verdicts: HashMap<(u32, Vec<u8>, usize), bool> = HashMap::new();
+        loop {
+            let mut changed = false;
+            for ((rel, key), chain) in &chains {
+                let tip = chain
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, (txn, _))| !failed.contains(txn));
+                let Some((idx, (txn, Some(state)))) = tip else {
+                    continue; // key absent or tip is a delete
+                };
+                if failed.contains(txn) {
+                    continue;
+                }
+                let ok = match verdicts.get(&(*rel, key.clone(), idx)) {
+                    Some(&v) => v,
+                    None => {
+                        let v = validate_blob(db, state)?;
+                        verdicts.insert((*rel, key.clone(), idx), v);
+                        v
+                    }
+                };
+                if !ok {
+                    failed.insert(*txn);
+                    report.sha_failures += 1;
+                    db.metrics.txn_aborts.fetch_add(1, Ordering::Relaxed);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let surviving: HashSet<u64> = committed.difference(&failed).copied().collect();
+
+    // --------------------------------------------------------- redo -----
+    for rec in &records {
+        match rec {
+            LogRecord::Insert {
+                txn,
+                relation,
+                key,
+                value,
+            } if surviving.contains(txn) => {
+                if *relation == CATALOG_REL_ID {
+                    let name = String::from_utf8_lossy(key).into_owned();
+                    db.catalog_tree.insert(key, value, true)?;
+                    if db.relation(&name).is_none() {
+                        db.attach_relation(&name, value)?;
+                    }
+                } else if let Some(rel) = db.relation_by_id(*relation) {
+                    rel.tree.insert(key, value, true)?;
+                } else {
+                    return Err(Error::Corruption(format!(
+                        "redo references unknown relation {relation}"
+                    )));
+                }
+            }
+            LogRecord::Update {
+                txn,
+                relation,
+                key,
+                new_value,
+                ..
+            } if surviving.contains(txn) => {
+                if let Some(rel) = db.relation_by_id(*relation) {
+                    rel.tree.insert(key, new_value, true)?;
+                }
+            }
+            LogRecord::Delete {
+                txn,
+                relation,
+                key,
+                ..
+            } if surviving.contains(txn) => {
+                if *relation == CATALOG_REL_ID {
+                    // A committed relation drop: detach it so the final
+                    // allocator rebuild frees its extents.
+                    db.catalog_tree.remove(key)?;
+                    db.detach_relation(&String::from_utf8_lossy(key));
+                } else if let Some(rel) = db.relation_by_id(*relation) {
+                    rel.tree.remove(key)?;
+                }
+            }
+            LogRecord::BlobDelta {
+                txn,
+                relation,
+                key,
+                byte_offset,
+                after,
+                ..
+            } if surviving.contains(txn) => {
+                redo_content(db, *relation, key, *byte_offset, after)?;
+            }
+            LogRecord::BlobChunk {
+                txn,
+                relation,
+                key,
+                byte_offset,
+                data,
+            } if surviving.contains(txn) => {
+                redo_content(db, *relation, key, *byte_offset, data)?;
+            }
+            _ => {}
+        }
+    }
+
+    // --------------------------------------------------------- undo -----
+    for rec in records.iter().rev() {
+        let Some(txn) = rec.txn() else { continue };
+        if surviving.contains(&txn) {
+            continue;
+        }
+        match rec {
+            LogRecord::Insert { relation, key, .. } => {
+                if *relation == CATALOG_REL_ID {
+                    db.catalog_tree.remove(key)?;
+                } else if let Some(rel) = db.relation_by_id(*relation) {
+                    rel.tree.remove(key)?;
+                }
+            }
+            LogRecord::Update {
+                relation,
+                key,
+                old_value,
+                ..
+            }
+            | LogRecord::Delete {
+                relation,
+                key,
+                old_value,
+                ..
+            } => {
+                if *relation == CATALOG_REL_ID {
+                    // An uncommitted (torn) relation drop: the entry comes
+                    // back, and with it the relation.
+                    db.catalog_tree.insert(key, old_value, true)?;
+                    let name = String::from_utf8_lossy(key).into_owned();
+                    if db.relation(&name).is_none() {
+                        db.attach_relation(&name, old_value)?;
+                    }
+                } else if let Some(rel) = db.relation_by_id(*relation) {
+                    rel.tree.insert(key, old_value, true)?;
+                }
+            }
+            LogRecord::BlobDelta {
+                relation,
+                key,
+                byte_offset,
+                before,
+                ..
+            } => {
+                redo_content(db, *relation, key, *byte_offset, before)?;
+            }
+            _ => {}
+        }
+    }
+
+    report.committed = surviving.len() as u64;
+    report.uncommitted = (all_txns.len() - surviving.len()) as u64;
+
+    // ----------------------------------------------- rebuild & clean ----
+    // Image-journaled checkpoint: a crash during these writes replays the
+    // same recovery again from intact state.
+    db.checkpoint_locked()?;
+    // Drop every cached extent: recovery loaded extents of failed and
+    // uncommitted transactions whose pages return to the allocator below;
+    // leaving them resident would pin stale extent geometry onto pages
+    // that later allocations carve up differently.
+    db.blob_pool.drop_caches();
+    db.node_pool.drop_caches();
+    {
+        let mut used = db.referenced_extents()?;
+        used.sort_by_key(|e| e.start);
+        used.dedup();
+        db.alloc.reset_from_extents(&used);
+    }
+    Ok(report)
+}
+
+/// Apply `data` at blob byte `byte_offset` of the blob at `key` (delta /
+/// physlog redo).
+fn redo_content(
+    db: &Database,
+    relation: u32,
+    key: &[u8],
+    byte_offset: u64,
+    data: &[u8],
+) -> Result<()> {
+    let Some(rel) = db.relation_by_id(relation) else {
+        return Ok(());
+    };
+    let Some(encoded) = rel.tree.lookup(key)? else {
+        return Ok(());
+    };
+    let state = BlobState::decode(&encoded)?;
+    let page = db.geo.page_size() as u64;
+    let mut ext_base = 0u64;
+    for spec in state.extent_specs(&db.table) {
+        let ext_bytes = spec.pages * page;
+        let ext_end = ext_base + ext_bytes;
+        let lo = byte_offset.max(ext_base);
+        let hi = (byte_offset + data.len() as u64).min(ext_end);
+        if lo < hi {
+            let slice = &data[(lo - byte_offset) as usize..(hi - byte_offset) as usize];
+            db.blob_pool
+                .write_range(spec, (lo - ext_base) as usize, slice, true)?;
+            // Recovery flushes everything at the end; unpin so the final
+            // flush-all can clean these extents.
+            db.blob_pool.unpin_extent(spec);
+        }
+        ext_base = ext_end;
+        if ext_base >= byte_offset + data.len() as u64 {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Check a committed Blob State's content hash by streaming the extents
+/// from the device.
+pub(crate) fn validate_blob(db: &Database, state: &BlobState) -> Result<bool> {
+    if state.extents.is_empty() && state.tail.is_none() {
+        // Inline blob (§III-B): the content is the prefix itself; an
+        // inline state is durable iff its WAL record is, so this always
+        // holds — checked anyway for scrub and for defence in depth.
+        let end = state.size.min(crate::blob_state::PREFIX_LEN as u64) as usize;
+        return Ok(Sha256::digest(&state.prefix[..end]) == state.sha256
+            && state.size <= crate::blob_state::PREFIX_LEN as u64);
+    }
+    let specs = state.extent_specs(&db.table);
+    let mut hasher = Sha256::new();
+    db.blob_pool
+        .for_each_extent::<()>(&specs, state.size, |chunk| {
+            hasher.update(chunk);
+            None
+        })?;
+    Ok(hasher.finalize() == state.sha256)
+}

@@ -1,0 +1,1020 @@
+//! Transactions and the BLOB operation set (§III-C/D).
+//!
+//! The write path implements the paper's single-flush commit protocol:
+//!
+//! 1. During the transaction, BLOB content is written *only* into buffer
+//!    frames (dirty + `prevent_evict`); log records are staged locally.
+//! 2. At commit, the staged records — Blob States, not content — are
+//!    appended to the WAL and fsynced (group commit). **Only after** the
+//!    Blob State is durable are the extents flushed, with one batched
+//!    asynchronous write per extent covering only its dirty pages.
+//! 3. The flush clears `prevent_evict` and leaves the extents *clean*, so
+//!    eviction never writes BLOB content a second time.
+//!
+//! Deletes publish extents to the per-tier free lists at commit; growth
+//! resumes the SHA-256 from the stored midstate; in-place updates choose
+//! delta-logging or extent cloning by modeled cost (§III-D).
+
+use crate::blob_state::{BlobState, PREFIX_LEN};
+use crate::catalog::{Relation, RelationKind};
+use crate::db::{BlobLogging, Database, UpdatePolicy};
+use crate::lock::LockMode;
+use lobster_buffer::FlushItem;
+use lobster_extent::{plan_growth, plan_sequence, ExtentSpec};
+use lobster_sha256::Sha256;
+use lobster_types::{Error, Result};
+use lobster_wal::LogRecord;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// Undo information for logical rollback.
+enum UndoOp {
+    /// Undo an insert: remove the key.
+    Insert { rel: u32, key: Vec<u8> },
+    /// Undo an update: restore the old value.
+    Update {
+        rel: u32,
+        key: Vec<u8>,
+        old: Vec<u8>,
+    },
+    /// Undo a delete: reinsert the old value.
+    Delete {
+        rel: u32,
+        key: Vec<u8>,
+        old: Vec<u8>,
+    },
+    /// Undo an in-place BLOB byte-range change.
+    BlobBytes {
+        spec: ExtentSpec,
+        byte_off_in_extent: usize,
+        before: Vec<u8>,
+    },
+}
+
+/// An active transaction. Dropped without [`Txn::commit`] ⇒ rollback.
+pub struct Txn {
+    db: Arc<Database>,
+    id: u64,
+    worker: usize,
+    records: Vec<LogRecord>,
+    undo: Vec<UndoOp>,
+    toflush: Vec<FlushItem>,
+    allocated: Vec<ExtentSpec>,
+    freed: Vec<ExtentSpec>,
+    state: TxnState,
+}
+
+impl Txn {
+    pub(crate) fn new(db: Arc<Database>, id: u64, worker: usize) -> Self {
+        Txn {
+            db,
+            id,
+            worker,
+            records: Vec::new(),
+            undo: Vec::new(),
+            toflush: Vec::new(),
+            allocated: Vec::new(),
+            freed: Vec::new(),
+            state: TxnState::Active,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    fn check_active(&self) -> Result<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(Error::TxnAborted)
+        }
+    }
+
+    fn lock(&self, rel: &Relation, key: &[u8], mode: LockMode) -> Result<()> {
+        self.db.locks.lock(self.id, rel.id, key, mode)
+    }
+
+    // ------------------------------------------------------ kv rows -----
+
+    /// Insert or overwrite a plain key/value row.
+    pub fn put_kv(&mut self, rel: &Relation, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Kv);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let old = rel.tree.upsert(key, value)?;
+        match old {
+            Some(old) => {
+                self.records.push(LogRecord::Update {
+                    txn: self.id,
+                    relation: rel.id,
+                    key: key.to_vec(),
+                    old_value: old.clone(),
+                    new_value: value.to_vec(),
+                });
+                self.undo.push(UndoOp::Update {
+                    rel: rel.id,
+                    key: key.to_vec(),
+                    old,
+                });
+            }
+            None => {
+                self.records.push(LogRecord::Insert {
+                    txn: self.id,
+                    relation: rel.id,
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                });
+                self.undo.push(UndoOp::Insert {
+                    rel: rel.id,
+                    key: key.to_vec(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a plain row.
+    pub fn get_kv(&mut self, rel: &Relation, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_active()?;
+        self.lock(rel, key, LockMode::Shared)?;
+        rel.tree.lookup(key)
+    }
+
+    /// Delete a plain row; returns whether it existed.
+    pub fn delete_kv(&mut self, rel: &Relation, key: &[u8]) -> Result<bool> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Kv);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        match rel.tree.remove(key)? {
+            Some(old) => {
+                self.records.push(LogRecord::Delete {
+                    txn: self.id,
+                    relation: rel.id,
+                    key: key.to_vec(),
+                    old_value: old.clone(),
+                });
+                self.undo.push(UndoOp::Delete {
+                    rel: rel.id,
+                    key: key.to_vec(),
+                    old,
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    // ---------------------------------------------------- blob write ----
+
+    /// Store a new BLOB under `key` (§III-C, Figure 2(b)).
+    pub fn put_blob(&mut self, rel: &Relation, key: &[u8], data: &[u8]) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        if rel.tree.contains(key)? {
+            return Err(Error::KeyExists);
+        }
+        // §III-B: BLOBs no larger than the embedded prefix live entirely
+        // inline in the Blob State — no extents, no content flush.
+        if data.len() <= PREFIX_LEN {
+            let mut hasher = Sha256::new();
+            hasher.update(data);
+            let state = BlobState {
+                size: data.len() as u64,
+                sha_midstate: hasher.midstate().state_bytes(),
+                sha256: hasher.finalize(),
+                prefix: BlobState::make_prefix(data),
+                tail: None,
+                extents: Vec::new(),
+            };
+            let encoded = state.encode();
+            rel.tree.insert(key, &encoded, false)?;
+            self.undo.push(UndoOp::Insert {
+                rel: rel.id,
+                key: key.to_vec(),
+            });
+            self.records.push(LogRecord::Insert {
+                txn: self.id,
+                relation: rel.id,
+                key: key.to_vec(),
+                value: encoded,
+            });
+            self.stage_physlog(rel, key, 0, data);
+            return Ok(());
+        }
+
+        let geo = self.db.geo;
+        let pages = geo.pages_for(data.len() as u64);
+        let plan = plan_sequence(&self.db.table, pages, self.db.cfg.use_tail_extents)?;
+
+        // Reserve the smallest extent sequence, write content into buffer
+        // frames (pinned + dirty), and hash in the same pass.
+        let mut hasher = Sha256::new();
+        let mut extents = Vec::with_capacity(plan.sizes.len());
+        let mut off = 0usize;
+        for (i, _) in plan.sizes.iter().enumerate() {
+            let spec = self.db.alloc.allocate_tier(plan.first_position + i)?;
+            self.allocated.push(spec);
+            let ext_bytes = (spec.pages as usize) * geo.page_size();
+            let chunk = &data[off..data.len().min(off + ext_bytes)];
+            self.db.blob_pool.fill_extent(spec, chunk)?;
+            hasher.update(chunk);
+            self.toflush.push(FlushItem {
+                spec,
+                dirty_from: 0,
+                dirty_pages: geo.pages_for(chunk.len() as u64).max(1),
+            });
+            extents.push(spec.start);
+            off += chunk.len();
+        }
+        let tail = match plan.tail_pages {
+            Some(tp) => {
+                let spec = self.db.alloc.allocate_tail(tp)?;
+                self.allocated.push(spec);
+                let chunk = &data[off..];
+                self.db.blob_pool.fill_extent(spec, chunk)?;
+                hasher.update(chunk);
+                self.toflush.push(FlushItem {
+                    spec,
+                    dirty_from: 0,
+                    dirty_pages: geo.pages_for(chunk.len() as u64).max(1),
+                });
+                off += chunk.len();
+                Some((spec.start, tp))
+            }
+            None => None,
+        };
+        debug_assert_eq!(off, data.len());
+
+        let sha_midstate = hasher.midstate().state_bytes();
+        let state = BlobState {
+            size: data.len() as u64,
+            sha256: hasher.finalize(),
+            sha_midstate,
+            prefix: BlobState::make_prefix(data),
+            tail,
+            extents,
+        };
+        let encoded = state.encode();
+        rel.tree.insert(key, &encoded, false)?;
+        self.undo.push(UndoOp::Insert {
+            rel: rel.id,
+            key: key.to_vec(),
+        });
+        self.records.push(LogRecord::Insert {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            value: encoded,
+        });
+        self.stage_physlog(rel, key, 0, data);
+        Ok(())
+    }
+
+    /// In physical-logging mode (`Our.physlog`), additionally append the
+    /// full content to the WAL in segments — the conventional "write every
+    /// object twice" behaviour (once to the log, once to the database).
+    fn stage_physlog(&mut self, rel: &Relation, key: &[u8], base_off: u64, data: &[u8]) {
+        let BlobLogging::Physical { segment } = self.db.cfg.blob_logging else {
+            return;
+        };
+        for (i, chunk) in data.chunks(segment.max(1)).enumerate() {
+            self.records.push(LogRecord::BlobChunk {
+                txn: self.id,
+                relation: rel.id,
+                key: key.to_vec(),
+                byte_offset: base_off + (i * segment) as u64,
+                data: chunk.to_vec(),
+            });
+        }
+    }
+
+    // ----------------------------------------------------- blob read ----
+
+    /// Read the whole BLOB as one contiguous slice (zero-copy via the
+    /// aliasing area when available).
+    pub fn get_blob<R>(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.check_active()?;
+        self.lock(rel, key, LockMode::Shared)?;
+        let state = self.require_state(rel, key)?;
+        if state.size <= PREFIX_LEN as u64 {
+            // Inline (or prefix-covered) content: no extent access at all.
+            return Ok(f(&state.prefix[..state.size as usize]));
+        }
+        let specs = state.extent_specs(&self.db.table);
+        self.db
+            .blob_pool
+            .read_blob(self.worker, &specs, state.size, f)
+    }
+
+    /// Read `buf.len()` bytes starting at `offset`; returns bytes read
+    /// (clamped at the BLOB size). This is the FUSE `pread` path
+    /// (Listing 1): the copy into `buf` is the application's own buffer
+    /// copy. Only the extents intersecting the range are touched — a 4 KB
+    /// `pread` into a 1 GB BLOB loads one extent, not the BLOB.
+    pub fn get_blob_range(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize> {
+        self.check_active()?;
+        self.lock(rel, key, LockMode::Shared)?;
+        let state = self.require_state(rel, key)?;
+        self.read_state_range(&state, offset, buf)
+    }
+
+    /// Range read against a known Blob State: select the extent run
+    /// covering `[offset, offset + buf.len())` and present only that run
+    /// contiguously.
+    fn read_state_range(&self, state: &BlobState, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if offset >= state.size || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = buf.len().min((state.size - offset) as usize);
+        // Header reads (file-type sniffing, magic bytes — §III-B's reason
+        // for embedding the prefix) are served straight from the Blob
+        // State: zero content I/O, zero latches.
+        if offset as usize + n <= PREFIX_LEN {
+            buf[..n].copy_from_slice(&state.prefix[offset as usize..offset as usize + n]);
+            return Ok(n);
+        }
+        let specs = state.extent_specs(&self.db.table);
+        let page = self.db.geo.page_size() as u64;
+        let end_byte = offset + n as u64;
+
+        let mut first = 0usize;
+        let mut first_base = 0u64;
+        let mut last = specs.len();
+        let mut base = 0u64;
+        let mut seen_first = false;
+        for (i, spec) in specs.iter().enumerate() {
+            if base >= end_byte {
+                last = i;
+                break;
+            }
+            let next = base + spec.pages * page;
+            if !seen_first && next > offset {
+                first = i;
+                first_base = base;
+                seen_first = true;
+            }
+            base = next;
+        }
+        debug_assert!(seen_first, "offset < size implies a covering extent");
+
+        let local = (offset - first_base) as usize;
+        self.db.blob_pool.read_blob(
+            self.worker,
+            &specs[first..last],
+            (local + n) as u64,
+            |view| buf[..n].copy_from_slice(&view[local..local + n]),
+        )?;
+        Ok(n)
+    }
+
+    /// Fetch the Blob State (metadata operation; the `fstat` analogue).
+    pub fn blob_state(&mut self, rel: &Relation, key: &[u8]) -> Result<Option<BlobState>> {
+        self.check_active()?;
+        self.lock(rel, key, LockMode::Shared)?;
+        self.db.metrics.metadata_ops.fetch_add(1, Ordering::Relaxed);
+        rel.tree
+            .lookup_map(key, BlobState::decode)?
+            .transpose()
+    }
+
+    fn require_state(&self, rel: &Relation, key: &[u8]) -> Result<BlobState> {
+        rel.tree
+            .lookup_map(key, BlobState::decode)?
+            .transpose()?
+            .ok_or(Error::KeyNotFound)
+    }
+
+    // --------------------------------------------------- blob delete ----
+
+    /// Delete a BLOB; its extents join the free lists at commit (§III-D).
+    pub fn delete_blob(&mut self, rel: &Relation, key: &[u8]) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let old = rel.tree.remove(key)?.ok_or(Error::KeyNotFound)?;
+        let state = BlobState::decode(&old)?;
+        self.freed.extend(state.extent_specs(&self.db.table));
+        self.undo.push(UndoOp::Delete {
+            rel: rel.id,
+            key: key.to_vec(),
+            old: old.clone(),
+        });
+        self.records.push(LogRecord::Delete {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            old_value: old,
+        });
+        Ok(())
+    }
+
+    // ---------------------------------------------------- blob grow -----
+
+    /// Append `data` to an existing BLOB (§III-D "Growing a BLOB",
+    /// Figure 3). The SHA-256 is *resumed* from the stored midstate; the
+    /// existing content is never re-read (except the final partial 64-byte
+    /// block and, for tail-extent BLOBs, the cloned tail).
+    pub fn append_blob(&mut self, rel: &Relation, key: &[u8], data: &[u8]) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let old_encoded = rel
+            .tree
+            .lookup(key)?
+            .ok_or(Error::KeyNotFound)?;
+        let mut state = BlobState::decode(&old_encoded)?;
+        let geo = self.db.geo;
+        let table = &self.db.table;
+        let old_size = state.size;
+        let new_size = old_size + data.len() as u64;
+
+        // Resume the hash before touching extents: we need the old final
+        // partial block. Extent boundaries are page-aligned, so the ≤63
+        // bytes never straddle extents — one small uncached read, never a
+        // whole-extent load (§III-D: growth does not re-read content).
+        let inline_old = state.extents.is_empty() && state.tail.is_none();
+        let mut hasher = Sha256::resume(state.midstate());
+        let boundary = old_size & !63;
+        if old_size > boundary {
+            if inline_old {
+                // Inline blob: old content sits in the prefix (≤ 32 B, so
+                // boundary is 0).
+                hasher.update(&state.prefix[boundary as usize..old_size as usize]);
+            } else {
+                let mut partial = vec![0u8; (old_size - boundary) as usize];
+                let (spec, byte_off) = locate_extent(&state, table, geo.page_size(), boundary);
+                self.db
+                    .blob_pool
+                    .read_range_uncached(spec, byte_off, &mut partial)?;
+                hasher.update(&partial);
+            }
+        }
+        hasher.update(data);
+
+        // Still fits inline: only the Blob State changes.
+        if new_size <= PREFIX_LEN as u64 {
+            state.prefix[old_size as usize..new_size as usize].copy_from_slice(data);
+            state.size = new_size;
+            state.sha_midstate = hasher.midstate().state_bytes();
+            state.sha256 = hasher.finalize();
+            let encoded = state.encode();
+            rel.tree.insert(key, &encoded, true)?;
+            self.undo.push(UndoOp::Update {
+                rel: rel.id,
+                key: key.to_vec(),
+                old: old_encoded.clone(),
+            });
+            self.records.push(LogRecord::Update {
+                txn: self.id,
+                relation: rel.id,
+                key: key.to_vec(),
+                old_value: old_encoded,
+                new_value: encoded,
+            });
+            self.stage_physlog(rel, key, old_size, data);
+            return Ok(());
+        }
+
+        // Growing past the inline bound: materialize the old prefix bytes
+        // so the extent-filling path writes the full content.
+        let combined: Vec<u8>;
+        let (fill_data, fill_old) = if inline_old && old_size > 0 {
+            let mut v = state.prefix[..old_size as usize].to_vec();
+            v.extend_from_slice(data);
+            combined = v;
+            (combined.as_slice(), 0u64)
+        } else {
+            (data, old_size)
+        };
+
+        // A tail extent cannot grow: clone it into the tier extent of its
+        // position first (§III-D).
+        if let Some((tpid, tpages)) = state.tail {
+            let pos = state.extents.len();
+            let clone_spec = self.db.alloc.allocate_tier(pos)?;
+            self.allocated.push(clone_spec);
+            let tail_spec = ExtentSpec::new(tpid, tpages);
+            let covered = geo.bytes_for(table.cumulative_pages(pos));
+            let tail_bytes = (old_size - covered) as usize;
+            let content = self
+                .db
+                .blob_pool
+                .read_blob(self.worker, &[tail_spec], tail_bytes as u64, |b| b.to_vec())?;
+            self.db.blob_pool.fill_extent(clone_spec, &content)?;
+            self.toflush.push(FlushItem {
+                spec: clone_spec,
+                dirty_from: 0,
+                dirty_pages: geo.pages_for(tail_bytes as u64).max(1),
+            });
+            self.freed.push(tail_spec);
+            state.extents.push(clone_spec.start);
+            state.tail = None;
+        }
+
+        // Fill the free capacity of the existing last extent.
+        let mut data_off = 0usize;
+        let existing = state.extents.len();
+        let cap_bytes = geo.bytes_for(table.cumulative_pages(existing));
+        if fill_old < cap_bytes && !fill_data.is_empty() && existing > 0 {
+            let pos = existing - 1;
+            let spec = ExtentSpec::new(state.extents[pos], table.size_of(pos));
+            let covered = geo.bytes_for(table.cumulative_pages(pos));
+            let off_in_ext = (fill_old - covered) as usize;
+            let take = ((cap_bytes - fill_old) as usize).min(fill_data.len());
+            // Only the pages holding prior content need loading; the rest
+            // of the extent is free capacity about to be overwritten.
+            let valid_pages = off_in_ext.div_ceil(geo.page_size()) as u64;
+            self.db
+                .blob_pool
+                .write_range_partial(spec, off_in_ext, &fill_data[..take], valid_pages)?;
+            let first_dirty = off_in_ext / geo.page_size();
+            let last_dirty = (off_in_ext + take).div_ceil(geo.page_size());
+            self.toflush.push(FlushItem {
+                spec,
+                dirty_from: first_dirty as u64,
+                dirty_pages: (last_dirty - first_dirty) as u64,
+            });
+            data_off = take;
+        }
+
+        // Allocate and fill the new extents.
+        let plan = plan_growth(
+            table,
+            existing,
+            table.cumulative_pages(existing),
+            geo.pages_for(new_size),
+            self.db.cfg.use_tail_extents,
+        )?;
+        for (i, _) in plan.sizes.iter().enumerate() {
+            let spec = self.db.alloc.allocate_tier(plan.first_position + i)?;
+            self.allocated.push(spec);
+            let ext_bytes = (spec.pages as usize) * geo.page_size();
+            let chunk = &fill_data[data_off..fill_data.len().min(data_off + ext_bytes)];
+            self.db.blob_pool.fill_extent(spec, chunk)?;
+            self.toflush.push(FlushItem {
+                spec,
+                dirty_from: 0,
+                dirty_pages: geo.pages_for(chunk.len() as u64).max(1),
+            });
+            state.extents.push(spec.start);
+            data_off += chunk.len();
+        }
+        if let Some(tp) = plan.tail_pages {
+            let spec = self.db.alloc.allocate_tail(tp)?;
+            self.allocated.push(spec);
+            let chunk = &fill_data[data_off..];
+            self.db.blob_pool.fill_extent(spec, chunk)?;
+            self.toflush.push(FlushItem {
+                spec,
+                dirty_from: 0,
+                dirty_pages: geo.pages_for(chunk.len() as u64).max(1),
+            });
+            state.tail = Some((spec.start, tp));
+            data_off += chunk.len();
+        }
+        debug_assert_eq!(data_off, fill_data.len());
+
+        // Refresh the metadata.
+        if old_size < PREFIX_LEN as u64 {
+            let need = (PREFIX_LEN as u64 - old_size) as usize;
+            let n = need.min(data.len());
+            state.prefix[old_size as usize..old_size as usize + n]
+                .copy_from_slice(&data[..n]);
+        }
+        state.size = new_size;
+        state.sha_midstate = hasher.midstate().state_bytes();
+        state.sha256 = hasher.finalize();
+
+        let encoded = state.encode();
+        rel.tree.insert(key, &encoded, true)?;
+        self.undo.push(UndoOp::Update {
+            rel: rel.id,
+            key: key.to_vec(),
+            old: old_encoded.clone(),
+        });
+        self.records.push(LogRecord::Update {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            old_value: old_encoded,
+            new_value: encoded,
+        });
+        self.stage_physlog(rel, key, old_size, data);
+        Ok(())
+    }
+
+    /// Shrink an existing BLOB to `new_size` bytes (the inverse of
+    /// [`Txn::append_blob`]). The surviving content stays in place: the
+    /// minimal prefix of the tier-extent sequence that still covers
+    /// `new_size` is kept and every extent beyond it joins the free lists at
+    /// commit. Only the metadata is rewritten — except the SHA-256, which
+    /// cannot be "un-resumed" and is recomputed over the surviving bytes.
+    pub fn truncate_blob(&mut self, rel: &Relation, key: &[u8], new_size: u64) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let old_encoded = rel.tree.lookup(key)?.ok_or(Error::KeyNotFound)?;
+        let mut state = BlobState::decode(&old_encoded)?;
+        if new_size > state.size {
+            return Err(Error::InvalidArgument(
+                "truncate_blob cannot grow; use append_blob".into(),
+            ));
+        }
+        if new_size == state.size {
+            return Ok(());
+        }
+
+        let geo = self.db.geo;
+        let table = &self.db.table;
+
+        // Hash the surviving prefix first, while the old extent sequence is
+        // still intact.
+        let content = if new_size == 0 {
+            Vec::new()
+        } else {
+            self.read_slice(&state, 0, new_size as usize)?
+        };
+        let mut hasher = Sha256::new();
+        hasher.update(&content);
+
+        // Keep the minimal prefix of tier extents covering `new_size`.
+        let covered_by_tiers = geo.bytes_for(table.cumulative_pages(state.extents.len()));
+        if new_size <= covered_by_tiers {
+            // The tail (if any) is now entirely beyond the size: free it.
+            if let Some((tpid, tpages)) = state.tail.take() {
+                self.freed.push(ExtentSpec::new(tpid, tpages));
+            }
+            let mut keep = 0usize;
+            while geo.bytes_for(table.cumulative_pages(keep)) < new_size {
+                keep += 1;
+            }
+            for (pos, &pid) in state.extents.iter().enumerate().skip(keep) {
+                self.freed.push(ExtentSpec::new(pid, table.size_of(pos)));
+            }
+            state.extents.truncate(keep);
+        }
+        // else: the new size still reaches into the tail extent — every
+        // extent survives; the tail keeps its (now oversized) page count.
+
+        state.size = new_size;
+        state.sha_midstate = hasher.midstate().state_bytes();
+        state.sha256 = hasher.finalize();
+        state.prefix = BlobState::make_prefix(&content);
+
+        let encoded = state.encode();
+        rel.tree.insert(key, &encoded, true)?;
+        self.undo.push(UndoOp::Update {
+            rel: rel.id,
+            key: key.to_vec(),
+            old: old_encoded.clone(),
+        });
+        self.records.push(LogRecord::Update {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            old_value: old_encoded,
+            new_value: encoded,
+        });
+        Ok(())
+    }
+
+    /// Read `len` bytes at blob offset `off` (within existing content);
+    /// loads only the covering extents.
+    ///
+    /// (See also `locate_extent` for single-extent addressing.)
+    fn read_slice(&self, state: &BlobState, off: u64, len: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        let n = self.read_state_range(state, off, &mut out)?;
+        debug_assert_eq!(n, len, "read_slice must stay within the blob");
+        Ok(out)
+    }
+
+    // -------------------------------------------------- blob update -----
+
+    /// Overwrite `data` at `offset` within an existing BLOB (no size
+    /// change). Each touched extent independently uses delta logging or
+    /// extent cloning per the configured [`UpdatePolicy`] (§III-D).
+    pub fn update_blob(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let old_encoded = rel.tree.lookup(key)?.ok_or(Error::KeyNotFound)?;
+        let mut state = BlobState::decode(&old_encoded)?;
+        if offset + data.len() as u64 > state.size {
+            return Err(Error::InvalidArgument(
+                "update range exceeds blob size (use append_blob to grow)".into(),
+            ));
+        }
+        let geo = self.db.geo;
+        let page = geo.page_size();
+
+        // Inline blob: the content IS the Blob State's prefix — patch it,
+        // rehash, rewrite the record. One WAL record, zero content I/O.
+        if state.extents.is_empty() && state.tail.is_none() {
+            let mut content = state.prefix[..state.size as usize].to_vec();
+            content[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+            let mut hasher = Sha256::new();
+            hasher.update(&content);
+            state.sha_midstate = hasher.midstate().state_bytes();
+            state.sha256 = hasher.finalize();
+            state.prefix = BlobState::make_prefix(&content);
+            let encoded = state.encode();
+            rel.tree.insert(key, &encoded, true)?;
+            self.undo.push(UndoOp::Update {
+                rel: rel.id,
+                key: key.to_vec(),
+                old: old_encoded.clone(),
+            });
+            self.records.push(LogRecord::Update {
+                txn: self.id,
+                relation: rel.id,
+                key: key.to_vec(),
+                old_value: old_encoded,
+                new_value: encoded,
+            });
+            self.stage_physlog(rel, key, offset, data);
+            return Ok(());
+        }
+
+        // Walk the extents overlapping [offset, offset+len).
+        let specs = state.extent_specs(&self.db.table);
+        let mut ext_base = 0u64; // byte offset of the extent within the blob
+        for (i, spec) in specs.iter().enumerate() {
+            let ext_bytes = spec.pages * page as u64;
+            let ext_end = ext_base + ext_bytes;
+            let lo = offset.max(ext_base);
+            let hi = (offset + data.len() as u64).min(ext_end);
+            if lo < hi {
+                let local_off = (lo - ext_base) as usize;
+                let slice = &data[(lo - offset) as usize..(hi - offset) as usize];
+                let overlap = slice.len();
+
+                // Modeled costs: delta writes the new bytes twice (WAL +
+                // extent); cloning writes the old extent content once more.
+                let use_delta = match self.db.cfg.update_policy {
+                    UpdatePolicy::AlwaysDelta => true,
+                    UpdatePolicy::AlwaysClone => false,
+                    UpdatePolicy::Auto => 2 * overlap as u64 <= ext_bytes,
+                };
+                if use_delta {
+                    let before = self.read_slice(&state, lo, overlap)?;
+                    self.records.push(LogRecord::BlobDelta {
+                        txn: self.id,
+                        relation: rel.id,
+                        key: key.to_vec(),
+                        byte_offset: lo,
+                        before: before.clone(),
+                        after: slice.to_vec(),
+                    });
+                    self.undo.push(UndoOp::BlobBytes {
+                        spec: *spec,
+                        byte_off_in_extent: local_off,
+                        before,
+                    });
+                    self.db.blob_pool.write_range(*spec, local_off, slice, true)?;
+                    let first = local_off / page;
+                    let last = (local_off + overlap).div_ceil(page);
+                    self.toflush.push(FlushItem {
+                        spec: *spec,
+                        dirty_from: first as u64,
+                        dirty_pages: (last - first) as u64,
+                    });
+                } else {
+                    // Clone: copy the extent, patch it, swap the pointer.
+                    let is_tail = state.tail.is_some() && i == specs.len() - 1;
+                    let clone_spec = if is_tail {
+                        self.db.alloc.allocate_tail(spec.pages)?
+                    } else {
+                        self.db.alloc.allocate_tier(i)?
+                    };
+                    self.allocated.push(clone_spec);
+                    let live = (state.size - ext_base).min(ext_bytes) as usize;
+                    let mut content = self
+                        .db
+                        .blob_pool
+                        .read_blob(self.worker, &[*spec], live as u64, |b| b.to_vec())?;
+                    content[local_off..local_off + overlap].copy_from_slice(slice);
+                    self.db.blob_pool.fill_extent(clone_spec, &content)?;
+                    self.toflush.push(FlushItem {
+                        spec: clone_spec,
+                        dirty_from: 0,
+                        dirty_pages: geo.pages_for(live as u64).max(1),
+                    });
+                    self.freed.push(*spec);
+                    if is_tail {
+                        state.tail = Some((clone_spec.start, clone_spec.pages));
+                    } else {
+                        state.extents[i] = clone_spec.start;
+                    }
+                }
+            }
+            ext_base = ext_end;
+            if ext_base >= offset + data.len() as u64 {
+                break;
+            }
+        }
+
+        // Content changed: recompute the hash over the full object (growth
+        // is the only op with a cheap incremental path, §III-D).
+        let specs = state.extent_specs(&self.db.table);
+        let mut hasher = Sha256::new();
+        self.db
+            .blob_pool
+            .for_each_extent::<()>(&specs, state.size, |chunk| {
+                hasher.update(chunk);
+                None
+            })?;
+        state.sha_midstate = hasher.midstate().state_bytes();
+        state.sha256 = hasher.finalize();
+        if offset < PREFIX_LEN as u64 {
+            let n = ((PREFIX_LEN as u64 - offset) as usize).min(data.len());
+            state.prefix[offset as usize..offset as usize + n].copy_from_slice(&data[..n]);
+        }
+
+        let encoded = state.encode();
+        rel.tree.insert(key, &encoded, true)?;
+        self.undo.push(UndoOp::Update {
+            rel: rel.id,
+            key: key.to_vec(),
+            old: old_encoded.clone(),
+        });
+        self.records.push(LogRecord::Update {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            old_value: old_encoded,
+            new_value: encoded,
+        });
+        Ok(())
+    }
+
+    // --------------------------------------------------------- scans ----
+
+    /// Visit Blob States in key order starting at `from` (used by the
+    /// metadata experiment, Figure 7).
+    pub fn scan_states(
+        &mut self,
+        rel: &Relation,
+        from: &[u8],
+        mut f: impl FnMut(&[u8], &BlobState) -> bool,
+    ) -> Result<()> {
+        self.check_active()?;
+        self.db.metrics.metadata_ops.fetch_add(1, Ordering::Relaxed);
+        rel.tree.scan_from(from, |k, v| match BlobState::decode(v) {
+            Ok(state) => f(k, &state),
+            Err(_) => false,
+        })
+    }
+
+    // -------------------------------------------------- commit/abort ----
+
+    /// Commit: WAL fsync first (Blob State durable), then the single
+    /// content flush, then extent recycling.
+    ///
+    /// With [`crate::Config::commit_wait`] `false`, the durability work is
+    /// handed to the background group committer and this returns
+    /// immediately (§V-A's group-commit configuration).
+    pub fn commit(mut self) -> Result<()> {
+        self.check_active()?;
+        let db = self.db.clone();
+        db.metrics
+            .extent_allocs
+            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed);
+        if !self.records.is_empty() {
+            self.records.push(LogRecord::TxnCommit { txn: self.id });
+        }
+        if db.cfg.commit_wait {
+            let _gate = db.ckpt_gate.read();
+            if !self.records.is_empty() {
+                let lsn = db.wal.append_batch(&self.records)?;
+                db.wal.commit_to(lsn)?;
+            }
+            // Blob State is durable; now flush content exactly once.
+            if !self.toflush.is_empty() {
+                db.blob_pool.flush_extents(&self.toflush)?;
+            }
+            // Recycle deleted extents (§III-D): move from the temporary
+            // list to the free lists.
+            db.blob_pool.drop_extents(&self.freed);
+            for spec in self.freed.drain(..) {
+                db.alloc.free_extent(spec);
+                db.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty() {
+            db.committer.submit(crate::group_commit::CommitBatch {
+                records: std::mem::take(&mut self.records),
+                toflush: std::mem::take(&mut self.toflush),
+                freed: std::mem::take(&mut self.freed),
+            });
+        }
+        db.locks.release_all(self.id);
+        db.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
+        self.state = TxnState::Committed;
+        db.maybe_checkpoint()?;
+        Ok(())
+    }
+
+    /// Roll back every change of this transaction.
+    pub fn abort(mut self) {
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        if self.state != TxnState::Active {
+            return;
+        }
+        self.state = TxnState::Aborted;
+        let db = self.db.clone();
+        // Reverse logical undo.
+        for op in self.undo.drain(..).rev() {
+            let result = match op {
+                UndoOp::Insert { rel, key } => db
+                    .relation_by_id(rel)
+                    .map(|r| r.tree.remove(&key).map(drop))
+                    .unwrap_or(Ok(())),
+                UndoOp::Update { rel, key, old } | UndoOp::Delete { rel, key, old } => db
+                    .relation_by_id(rel)
+                    .map(|r| r.tree.insert(&key, &old, true).map(drop))
+                    .unwrap_or(Ok(())),
+                UndoOp::BlobBytes {
+                    spec,
+                    byte_off_in_extent,
+                    before,
+                } => db
+                    .blob_pool
+                    .write_range(spec, byte_off_in_extent, &before, true),
+            };
+            debug_assert!(result.is_ok(), "undo must not fail");
+        }
+        // Fresh allocations are discarded without ever reaching the device.
+        db.blob_pool.drop_extents(&self.allocated);
+        for spec in self.allocated.drain(..) {
+            db.alloc.free_extent(spec);
+        }
+        // Freed extents were only staged; nothing to do.
+        self.freed.clear();
+        if !self.records.is_empty() {
+            // A durable abort record is unnecessary for correctness (no
+            // earlier record of this txn was flushed), but harmless and
+            // useful for log analytics.
+            let _ = db.wal.append_batch(&[LogRecord::TxnAbort { txn: self.id }]);
+        }
+        db.locks.release_all(self.id);
+        db.metrics.txn_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}
+
+/// The extent containing blob byte `off`, and the byte offset within it.
+fn locate_extent(
+    state: &BlobState,
+    table: &lobster_extent::TierTable,
+    page_size: usize,
+    off: u64,
+) -> (ExtentSpec, usize) {
+    let page = page_size as u64;
+    let mut base = 0u64;
+    for spec in state.extent_specs(table) {
+        let next = base + spec.pages * page;
+        if off < next {
+            return (spec, (off - base) as usize);
+        }
+        base = next;
+    }
+    unreachable!("offset {off} beyond the extent sequence");
+}

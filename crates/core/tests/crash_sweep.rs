@@ -1,0 +1,189 @@
+//! Systematic crash-point sweep: arm the fault injector to cut power after
+//! every possible number of device writes (including torn final writes),
+//! reopen from the surviving bytes, and verify the recovery invariants at
+//! every crash point.
+//!
+//! Invariants checked after every crash:
+//! 1. The database opens (recovery never wedges).
+//! 2. Data committed *before the checkpoint* is always intact.
+//! 3. Any blob visible after recovery has exactly the content that was
+//!    committed for it (the SHA-256 validation guarantee) — never a torn
+//!    mixture.
+//! 4. The database remains fully writable afterwards.
+
+use lobster_core::{Config, Database, RelationKind};
+use lobster_storage::{CrashDevice, Device, MemDevice};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        pool_frames: 2048,
+        ..Config::default()
+    }
+}
+
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    let mut state = seed | 1;
+    for b in &mut out {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = state as u8;
+    }
+    out
+}
+
+fn copy_device(src: &MemDevice, capacity: usize) -> Arc<MemDevice> {
+    let dst = MemDevice::new(capacity);
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < src.capacity() {
+        let n = buf.len().min((src.capacity() - off) as usize);
+        src.read_at(&mut buf[..n], off).unwrap();
+        dst.write_at(&buf[..n], off).unwrap();
+        off += n as u64;
+    }
+    Arc::new(dst)
+}
+
+/// One scenario execution with a crash armed after `crash_after` data-device
+/// writes (the trigger write is torn in half). Returns whether the scenario
+/// completed before the crash fired.
+fn run_scenario(crash_after: u64) -> bool {
+    const CAP: usize = 96 << 20;
+    let data_dev = Arc::new(CrashDevice::new(MemDevice::new(CAP)));
+    let wal_dev = Arc::new(MemDevice::new(32 << 20));
+
+    let stable = pattern(150_000, 1);
+    let late_a = pattern(60_000, 2);
+    let late_b = pattern(90_000, 3);
+
+    // Phase 1: stable data, checkpointed.
+    let db = Database::create(data_dev.clone(), wal_dev.clone(), cfg()).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"stable", &stable).unwrap();
+        t.commit().unwrap();
+    }
+    db.checkpoint().unwrap();
+
+    // Phase 2: arm the crash, then two more commits and an append.
+    data_dev.arm_after_writes(crash_after, 128);
+    let completed = (|| -> lobster_types::Result<()> {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"late_a", &late_a)?;
+        t.commit()?;
+        let mut t = db.begin();
+        t.put_blob(&rel, b"late_b", &late_b)?;
+        t.commit()?;
+        let mut t = db.begin();
+        t.append_blob(&rel, b"late_a", &late_b)?;
+        t.commit()?;
+        Ok(())
+    })()
+    .is_ok();
+    // Simulate the process dying: no shutdown, no rollback.
+    std::mem::forget(db);
+
+    // Phase 3: recover from what physically survived.
+    let survivor = copy_device(data_dev.inner(), CAP);
+    let (db2, _report) = Database::open(survivor, wal_dev, cfg()).unwrap();
+    let rel2 = db2.relation("b").expect("relation survives the checkpoint");
+
+    // Invariant 2: checkpointed data always intact.
+    let mut t = db2.begin();
+    let got = t.get_blob(&rel2, b"stable", |b| b.to_vec()).unwrap();
+    assert_eq!(got, stable, "crash_after={crash_after}: stable blob damaged");
+
+    // Invariant 3: visible blobs have exactly a committed content version.
+    let mut late_a_full = late_a.clone();
+    late_a_full.extend_from_slice(&late_b);
+    if let Some(state) = t.blob_state(&rel2, b"late_a").unwrap() {
+        let got = t.get_blob(&rel2, b"late_a", |b| b.to_vec()).unwrap();
+        assert!(
+            got == late_a || got == late_a_full,
+            "crash_after={crash_after}: late_a is a torn mixture (len {} vs {} / {})",
+            got.len(),
+            late_a.len(),
+            late_a_full.len()
+        );
+        assert_eq!(state.size as usize, got.len());
+    }
+    if t.blob_state(&rel2, b"late_b").unwrap().is_some() {
+        let got = t.get_blob(&rel2, b"late_b", |b| b.to_vec()).unwrap();
+        assert_eq!(got, late_b, "crash_after={crash_after}: late_b torn");
+    }
+    t.commit().unwrap();
+
+    // Invariant 4: still writable.
+    let post = pattern(30_000, 99);
+    let mut t = db2.begin();
+    t.put_blob(&rel2, b"post_recovery", &post).unwrap();
+    t.commit().unwrap();
+    let mut t = db2.begin();
+    assert_eq!(t.get_blob(&rel2, b"post_recovery", |b| b.to_vec()).unwrap(), post);
+    t.commit().unwrap();
+
+    completed
+}
+
+#[test]
+fn crash_at_every_early_write() {
+    // Sweep the first 24 post-checkpoint writes one by one: this covers
+    // crashes during the first commit's WAL flush, between WAL fsync and
+    // the extent flush (the SHA-validation window), and mid-extent-flush.
+    for crash_after in 0..24 {
+        run_scenario(crash_after);
+    }
+}
+
+#[test]
+fn crash_across_later_writes() {
+    // Coarser sweep further into the scenario (second commit + append).
+    let mut completed_once = false;
+    for crash_after in (24..120).step_by(7) {
+        completed_once |= run_scenario(crash_after);
+    }
+    // Sanity: with a late enough crash point the whole scenario commits.
+    assert!(
+        completed_once || run_scenario(100_000),
+        "scenario must complete when the crash never fires"
+    );
+}
+
+#[test]
+fn torn_wal_write_rolls_back_cleanly() {
+    // Crash on the WAL device instead: the commit record is half-written,
+    // so recovery must treat the transaction as uncommitted.
+    const CAP: usize = 64 << 20;
+    let data_dev = Arc::new(MemDevice::new(CAP));
+    let wal_dev = Arc::new(CrashDevice::new(MemDevice::new(16 << 20)));
+
+    let db = Database::create(data_dev.clone(), wal_dev.clone(), cfg()).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let good = pattern(40_000, 5);
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"good", &good).unwrap();
+        t.commit().unwrap();
+    }
+    // Tear the very next WAL write in half.
+    wal_dev.arm_after_writes(0, 128);
+    let mut t = db.begin();
+    t.put_blob(&rel, b"torn", &pattern(50_000, 6)).unwrap();
+    let _ = t.commit(); // may "succeed" from the app's view — device lied
+    std::mem::forget(db);
+
+    let surviving_wal = copy_device(wal_dev.inner(), 16 << 20);
+    let (db2, _) = Database::open(data_dev, surviving_wal, cfg()).unwrap();
+    let rel2 = db2.relation("b").unwrap();
+    let mut t = db2.begin();
+    assert_eq!(t.get_blob(&rel2, b"good", |b| b.to_vec()).unwrap(), good);
+    assert!(
+        t.blob_state(&rel2, b"torn").unwrap().is_none(),
+        "a torn commit record must roll the transaction back"
+    );
+    t.commit().unwrap();
+}

@@ -1,0 +1,321 @@
+use crate::{ExtentSpec, TierTable};
+use lobster_types::{Error, Pid, Result};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Contiguous-range allocator with segregated (exact-size) free lists,
+/// a bump region, and best-fit splitting for arbitrary sizes.
+///
+/// Because tier sizes are static, freed tier extents are recycled by exact
+/// size in O(1) — the property §V-G's experiment (Figure 11) relies on for
+/// stable performance at high storage utilization. Arbitrary sizes (tail
+/// extents, buffer-frame runs) fall back to best-fit over the free map.
+pub struct RangeAllocator {
+    inner: Mutex<Inner>,
+    capacity: u64,
+}
+
+struct Inner {
+    /// Next never-allocated unit.
+    bump: u64,
+    /// Exact-size free lists: size → start addresses.
+    free: BTreeMap<u64, Vec<u64>>,
+    /// Units currently free (inside `free`).
+    free_units: u64,
+}
+
+impl RangeAllocator {
+    /// Manage the address space `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        RangeAllocator {
+            inner: Mutex::new(Inner {
+                bump: 0,
+                free: BTreeMap::new(),
+                free_units: 0,
+            }),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Units handed out and not yet freed.
+    pub fn in_use(&self) -> u64 {
+        let g = self.inner.lock();
+        g.bump - g.free_units
+    }
+
+    /// Number of free fragments on the free lists (a fragmentation gauge:
+    /// allocation searches scale with it).
+    pub fn fragment_count(&self) -> usize {
+        let g = self.inner.lock();
+        g.free.values().map(|v| v.len()).sum()
+    }
+
+    /// Fraction of the address space handed out (including fragmentation
+    /// holes inside the bump region that sit on free lists).
+    pub fn utilization(&self) -> f64 {
+        self.in_use() as f64 / self.capacity as f64
+    }
+
+    /// Allocate `size` contiguous units: exact-size free list first (O(1)),
+    /// then the bump region, then best-fit splitting of a larger free range.
+    pub fn allocate(&self, size: u64) -> Result<u64> {
+        assert!(size > 0);
+        let mut g = self.inner.lock();
+        // 1. Exact-size reuse.
+        if let Some(list) = g.free.get_mut(&size) {
+            if let Some(start) = list.pop() {
+                if list.is_empty() {
+                    g.free.remove(&size);
+                }
+                g.free_units -= size;
+                return Ok(start);
+            }
+        }
+        // 2. Fresh range.
+        if g.bump + size <= self.capacity {
+            let start = g.bump;
+            g.bump += size;
+            return Ok(start);
+        }
+        // 3. Best fit: smallest free range that is large enough, splitting
+        //    the remainder back.
+        let found = g
+            .free
+            .range(size..)
+            .next()
+            .map(|(&range_size, _)| range_size);
+        if let Some(range_size) = found {
+            let list = g.free.get_mut(&range_size).expect("present");
+            let start = list.pop().expect("non-empty list");
+            if list.is_empty() {
+                g.free.remove(&range_size);
+            }
+            let leftover = range_size - size;
+            if leftover > 0 {
+                g.free.entry(leftover).or_default().push(start + size);
+            }
+            g.free_units -= size;
+            return Ok(start);
+        }
+        Err(Error::OutOfSpace)
+    }
+
+    /// Return a previously allocated range.
+    pub fn free(&self, start: u64, size: u64) {
+        assert!(size > 0 && start + size <= self.capacity);
+        let mut g = self.inner.lock();
+        debug_assert!(start + size <= g.bump, "freeing never-allocated range");
+        g.free.entry(size).or_default().push(start);
+        g.free_units += size;
+    }
+
+    /// Reset the allocator so exactly `used` ranges are allocated: the bump
+    /// pointer moves past the highest used unit and every hole below it
+    /// becomes a free range. Used by recovery, which rediscovers the live
+    /// ranges by walking all relation trees and Blob States.
+    pub fn reset_from_used(&self, used: &mut [(u64, u64)]) {
+        used.sort_unstable();
+        let mut g = self.inner.lock();
+        g.free.clear();
+        g.free_units = 0;
+        let mut cursor = 0u64;
+        for &(start, len) in used.iter() {
+            debug_assert!(start >= cursor, "overlapping used ranges at {start}");
+            if start > cursor {
+                let hole = start - cursor;
+                g.free.entry(hole).or_default().push(cursor);
+                g.free_units += hole;
+            }
+            cursor = start + len;
+        }
+        g.bump = cursor;
+    }
+}
+
+/// Page-space allocator for tiered extents and tail extents.
+///
+/// Addresses are `Pid`s offset by `base` (the first page available for
+/// extent data, after the engine's metadata region).
+pub struct ExtentAllocator {
+    table: Arc<TierTable>,
+    ranges: RangeAllocator,
+    base: u64,
+}
+
+impl ExtentAllocator {
+    pub fn new(table: Arc<TierTable>, base: Pid, page_capacity: u64) -> Self {
+        assert!(page_capacity > base.raw());
+        ExtentAllocator {
+            table,
+            ranges: RangeAllocator::new(page_capacity - base.raw()),
+            base: base.raw(),
+        }
+    }
+
+    pub fn table(&self) -> &Arc<TierTable> {
+        &self.table
+    }
+
+    /// Allocate the extent at sequence position `pos` (its size comes from
+    /// the tier table).
+    pub fn allocate_tier(&self, pos: usize) -> Result<ExtentSpec> {
+        let pages = self.table.size_of(pos);
+        let start = self.ranges.allocate(pages)?;
+        Ok(ExtentSpec::new(Pid::new(self.base + start), pages))
+    }
+
+    /// Allocate an arbitrarily-sized tail extent.
+    pub fn allocate_tail(&self, pages: u64) -> Result<ExtentSpec> {
+        let start = self.ranges.allocate(pages)?;
+        Ok(ExtentSpec::new(Pid::new(self.base + start), pages))
+    }
+
+    /// Release an extent (tier or tail) back to the free lists. Callers do
+    /// this at transaction commit, after moving extents from the
+    /// transaction's temporary list (§III-D "BLOB deletion").
+    pub fn free_extent(&self, extent: ExtentSpec) {
+        self.ranges.free(extent.start.raw() - self.base, extent.pages);
+    }
+
+    /// Rebuild allocation state from the set of live extents (recovery).
+    pub fn reset_from_extents(&self, extents: &[ExtentSpec]) {
+        let mut used: Vec<(u64, u64)> = extents
+            .iter()
+            .map(|e| (e.start.raw() - self.base, e.pages))
+            .collect();
+        self.ranges.reset_from_used(&mut used);
+    }
+
+    /// Pages handed out and not yet freed.
+    pub fn pages_in_use(&self) -> u64 {
+        self.ranges.in_use()
+    }
+
+    /// Fraction of the managed page space in use.
+    pub fn utilization(&self) -> f64 {
+        self.ranges.utilization()
+    }
+
+    /// Pages the allocator manages in total.
+    pub fn page_capacity(&self) -> u64 {
+        self.ranges.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TierPolicy;
+
+    #[test]
+    fn bump_then_reuse() {
+        let a = RangeAllocator::new(100);
+        let x = a.allocate(10).unwrap();
+        let y = a.allocate(10).unwrap();
+        assert_ne!(x, y);
+        a.free(x, 10);
+        let z = a.allocate(10).unwrap();
+        assert_eq!(z, x, "exact-size free list must be preferred");
+        assert_eq!(a.in_use(), 20);
+    }
+
+    #[test]
+    fn best_fit_split_when_bump_exhausted() {
+        let a = RangeAllocator::new(32);
+        let big = a.allocate(24).unwrap();
+        let _small = a.allocate(8).unwrap();
+        a.free(big, 24);
+        // Bump region is exhausted; a 10-unit request must split the free 24.
+        let s = a.allocate(10).unwrap();
+        assert_eq!(s, big);
+        // Remaining 14-unit hole is still allocatable.
+        let t = a.allocate(14).unwrap();
+        assert_eq!(t, big + 10);
+        assert!(a.allocate(1).is_err());
+    }
+
+    #[test]
+    fn out_of_space() {
+        let a = RangeAllocator::new(10);
+        assert!(a.allocate(11).is_err());
+        a.allocate(10).unwrap();
+        assert!(a.allocate(1).is_err());
+    }
+
+    #[test]
+    fn utilization_tracks_in_use() {
+        let a = RangeAllocator::new(100);
+        assert_eq!(a.utilization(), 0.0);
+        let x = a.allocate(50).unwrap();
+        assert!((a.utilization() - 0.5).abs() < 1e-9);
+        a.free(x, 50);
+        assert_eq!(a.utilization(), 0.0);
+    }
+
+    #[test]
+    fn extent_allocator_tiers_and_tails() {
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(8), 1000);
+        let e0 = alloc.allocate_tier(0).unwrap();
+        assert_eq!(e0.pages, 1);
+        assert!(e0.start.raw() >= 8);
+        let e1 = alloc.allocate_tier(1).unwrap();
+        assert_eq!(e1.pages, 2);
+        let tail = alloc.allocate_tail(5).unwrap();
+        assert_eq!(tail.pages, 5);
+        assert_eq!(alloc.pages_in_use(), 8);
+
+        alloc.free_extent(e1);
+        let e1b = alloc.allocate_tier(1).unwrap();
+        assert_eq!(e1b.start, e1.start, "tier extent recycled exactly");
+    }
+
+    #[test]
+    fn stable_reuse_at_high_utilization() {
+        // Mimic Figure 11: alternating alloc/free must keep succeeding at
+        // high utilization because free lists recycle exact sizes.
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(0), 4096);
+        let mut live: Vec<ExtentSpec> = Vec::new();
+        // Fill to ~90 %.
+        while alloc.utilization() < 0.9 {
+            match alloc.allocate_tier(4) {
+                Ok(e) => live.push(e),
+                Err(_) => break,
+            }
+        }
+        let before = alloc.utilization();
+        // Churn: free one, allocate one, 1000 times.
+        for i in 0..1000 {
+            let e = live.swap_remove(i % live.len());
+            alloc.free_extent(e);
+            live.push(alloc.allocate_tier(4).expect("reuse must succeed"));
+        }
+        assert!((alloc.utilization() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        let a = Arc::new(RangeAllocator::new(100_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| a.allocate(7).unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 7, "ranges {} and {} overlap", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Extent management: tier tables, extent sequences, tail extents, and
+//! free-list allocation (§III-A of the paper).
+//!
+//! A BLOB is stored as an *extent sequence* — a flat list of extents whose
+//! sizes grow according to a static *extent tier* table, so that a small,
+//! bounded list (≤ 127 entries) can represent arbitrarily large objects
+//! while keeping internal fragmentation low. Because tier sizes are static,
+//! deleted extents are recycled through simple per-tier free lists.
+//!
+//! This crate provides:
+//! * [`TierTable`] — the paper's tier-size formula plus the Power-of-Two and
+//!   Fibonacci baselines it compares against,
+//! * [`plan_sequence`] / [`SequencePlan`] — choosing the minimal extent
+//!   sequence (optionally with a *tail extent*) for a byte size,
+//! * [`RangeAllocator`] — contiguous-range allocation with segregated free
+//!   lists (also reused by the buffer manager for frame ranges),
+//! * [`ExtentAllocator`] — page-space allocation of tiered extents and
+//!   arbitrary-size tail extents.
+
+mod alloc;
+mod plan;
+mod tier;
+
+pub use alloc::{ExtentAllocator, RangeAllocator};
+pub use plan::{plan_growth, plan_sequence, ExtentSpec, SequencePlan};
+pub use tier::{TierPolicy, TierTable};

@@ -1,0 +1,338 @@
+//! From-scratch SHA-256 (FIPS 180-4) with an exportable/importable
+//! *midstate*.
+//!
+//! The paper's Blob State stores the "SHA-256 intermediate digest" — the
+//! 32-byte compression-function state *before* the final partial block and
+//! padding — so that appending to a BLOB can resume the hash computation
+//! without re-reading the existing content (§III-D). Off-the-shelf SHA-256
+//! crates do not expose the midstate, so LOBSTER carries its own
+//! implementation.
+//!
+//! # Example
+//! ```
+//! use lobster_sha256::Sha256;
+//!
+//! let mut h = Sha256::new();
+//! h.update(b"hello ");
+//! h.update(b"world");
+//! let full = h.finalize();
+//!
+//! // Resume from a midstate: hash the first 64-byte-aligned prefix, export,
+//! // then continue with the rest.
+//! let data = vec![7u8; 200];
+//! let mut a = Sha256::new();
+//! a.update(&data[..128]);
+//! let mid = a.midstate();
+//! let mut b = Sha256::resume(mid);
+//! b.update(&data[128..]);
+//! let mut whole = Sha256::new();
+//! whole.update(&data);
+//! assert_eq!(b.finalize(), whole.finalize());
+//! let _ = full;
+//! ```
+
+mod midstate;
+#[cfg(target_arch = "x86_64")]
+mod shani;
+
+pub use midstate::Midstate;
+
+/// Output size of SHA-256 in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// Size of one compression-function block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+pub(crate) const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total bytes fed into the hasher so far (including buffered bytes).
+    total: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            total: 0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// Resume hashing from a previously exported [`Midstate`].
+    ///
+    /// The midstate must have been taken at a 64-byte boundary; the caller
+    /// then feeds exactly the bytes that followed that boundary.
+    pub fn resume(mid: Midstate) -> Self {
+        debug_assert_eq!(mid.processed % BLOCK_LEN as u64, 0);
+        Sha256 {
+            state: mid.state,
+            total: mid.processed,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress_many(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        let bulk = data.len() - data.len() % BLOCK_LEN;
+        if bulk > 0 {
+            compress_many(&mut self.state, &data[..bulk]);
+        }
+        let rem = &data[bulk..];
+        if !rem.is_empty() {
+            self.buf[..rem.len()].copy_from_slice(rem);
+            self.buf_len = rem.len();
+        }
+    }
+
+    /// Export the compression-function state at the most recent 64-byte
+    /// boundary, i.e. before the currently buffered partial block.
+    ///
+    /// To later recompute the full digest, resume from this midstate and
+    /// re-feed the `total_len % 64` trailing bytes plus any appended data.
+    pub fn midstate(&self) -> Midstate {
+        Midstate {
+            state: self.state,
+            processed: self.total - self.buf_len as u64,
+        }
+    }
+
+    /// Number of bytes fed into the hasher so far.
+    pub fn total_len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total * 8;
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.update(&[0x80]);
+        self.total -= 1; // update() counts padding; undo for correctness of total
+        while self.buf_len != 56 {
+            self.update(&[0]);
+            self.total -= 1;
+        }
+        let mut len_block = [0u8; 8];
+        len_block.copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&len_block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+}
+
+/// Compress every 64-byte block of `blocks` into `state`, using the SHA-NI
+/// hardware path when the CPU has it.
+fn compress_many(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % BLOCK_LEN, 0);
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static AVAILABLE: AtomicU8 = AtomicU8::new(2); // 2 = unknown
+        let flag = match AVAILABLE.load(Ordering::Relaxed) {
+            2 => {
+                let v = shani::available();
+                AVAILABLE.store(v as u8, Ordering::Relaxed);
+                v
+            }
+            v => v == 1,
+        };
+        if flag {
+            // SAFETY: feature presence just checked; length is a multiple
+            // of 64 by the debug_assert above and all call sites.
+            unsafe { shani::compress_blocks(state, blocks) };
+            return;
+        }
+    }
+    for block in blocks.chunks_exact(BLOCK_LEN) {
+        compress_scalar(state, block.try_into().expect("exact chunk"));
+    }
+}
+
+/// Portable FIPS 180-4 compression function.
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn split_updates_match_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn midstate_resume_matches() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
+        for cut in [64usize, 128, 1024, 4032] {
+            let mut a = Sha256::new();
+            a.update(&data[..cut]);
+            let mid = a.midstate();
+            assert_eq!(mid.processed, cut as u64);
+            let mut b = Sha256::resume(mid);
+            b.update(&data[cut..]);
+            assert_eq!(b.finalize(), Sha256::digest(&data), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn midstate_with_partial_block_buffered() {
+        // Midstate taken while 10 bytes are buffered: resuming must re-feed
+        // those 10 bytes.
+        let data: Vec<u8> = (0..138u32).map(|i| i as u8).collect();
+        let mut a = Sha256::new();
+        a.update(&data);
+        let mid = a.midstate();
+        assert_eq!(mid.processed, 128);
+        let mut b = Sha256::resume(mid);
+        b.update(&data[128..]);
+        b.update(b"tail");
+        let mut whole = Sha256::new();
+        whole.update(&data);
+        whole.update(b"tail");
+        assert_eq!(b.finalize(), whole.finalize());
+    }
+
+    #[test]
+    fn total_len_tracks_input() {
+        let mut h = Sha256::new();
+        h.update(&[0; 100]);
+        assert_eq!(h.total_len(), 100);
+        h.update(&[0; 28]);
+        assert_eq!(h.total_len(), 128);
+    }
+}

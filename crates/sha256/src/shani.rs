@@ -1,0 +1,132 @@
+//! SHA-NI accelerated compression (x86-64 `sha` extension).
+//!
+//! The engine hashes every BLOB on write (the Blob State carries the
+//! SHA-256 used for recovery validation and index equality checks), so
+//! hash throughput sits directly on the write path. This is the canonical
+//! Intel SHA-NI round sequence; correctness is pinned by the FIPS vectors
+//! and the split/midstate property tests in this crate.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::*;
+
+/// K constants packed two-per-64-bit-lane for `_mm_set_epi64x`.
+const fn pack_k() -> [(i64, i64); 16] {
+    let k = crate::K;
+    let mut out = [(0i64, 0i64); 16];
+    let mut g = 0;
+    while g < 16 {
+        let lo = (k[4 * g] as u64 | ((k[4 * g + 1] as u64) << 32)) as i64;
+        let hi = (k[4 * g + 2] as u64 | ((k[4 * g + 3] as u64) << 32)) as i64;
+        out[g] = (hi, lo);
+        g += 1;
+    }
+    out
+}
+
+static KPACK: [(i64, i64); 16] = pack_k();
+
+/// Whether the running CPU supports the SHA extensions we need.
+pub fn available() -> bool {
+    std::is_x86_feature_detected!("sha")
+        && std::is_x86_feature_detected!("sse2")
+        && std::is_x86_feature_detected!("ssse3")
+        && std::is_x86_feature_detected!("sse4.1")
+}
+
+/// Compress all 64-byte blocks in `blocks` into `state`.
+///
+/// # Safety
+/// Caller must ensure [`available`] returned `true` and
+/// `blocks.len() % 64 == 0`.
+#[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+// The final schedule-update of the unrolled rounds feeds lanes no later
+// round consumes; keeping the canonical sequence intact beats pruning it.
+#[allow(unused_assignments)]
+pub unsafe fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    let mask = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x0405060700010203);
+
+    // Load state as (ABEF, CDGH), the layout sha256rnds2 wants.
+    let mut tmp = _mm_loadu_si128(state.as_ptr() as *const __m128i); // DCBA
+    let mut state1 = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i); // HGFE
+    tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+    state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+    let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+
+    for block in blocks.chunks_exact(64) {
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Load and byte-swap the four message words.
+        let mut m = [
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr() as *const __m128i),
+                mask,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
+                mask,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i),
+                mask,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i),
+                mask,
+            ),
+        ];
+
+        // Fully unrolled 16 groups of 4 rounds: the schedule updates are
+        // resolved statically so the hot loop is branch-free.
+        macro_rules! group {
+            ($g:literal, $msg2:literal, $msg1:literal) => {{
+                const G: usize = $g;
+                let (hi, lo) = KPACK[G];
+                let mut msg = _mm_add_epi32(m[G % 4], _mm_set_epi64x(hi, lo));
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                if $msg2 {
+                    // Schedule W for the group after next: m[(G+1)%4].
+                    let tmp4 = _mm_alignr_epi8(m[G % 4], m[(G + 3) % 4], 4);
+                    m[(G + 1) % 4] = _mm_add_epi32(m[(G + 1) % 4], tmp4);
+                    m[(G + 1) % 4] = _mm_sha256msg2_epu32(m[(G + 1) % 4], m[G % 4]);
+                }
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+                if $msg1 {
+                    // First half of the schedule for m[(G+3)%4].
+                    m[(G + 3) % 4] = _mm_sha256msg1_epu32(m[(G + 3) % 4], m[G % 4]);
+                }
+            }};
+        }
+        group!(0, false, false);
+        group!(1, false, true);
+        group!(2, false, true);
+        group!(3, true, true);
+        group!(4, true, true);
+        group!(5, true, true);
+        group!(6, true, true);
+        group!(7, true, true);
+        group!(8, true, true);
+        group!(9, true, true);
+        group!(10, true, true);
+        group!(11, true, true);
+        group!(12, true, true);
+        group!(13, true, false);
+        group!(14, true, false);
+        group!(15, false, false);
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    // Transform (ABEF, CDGH) back to (DCBA, HGFE) memory order.
+    tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8); // ABEF -> HGFE
+    _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, state0);
+    _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, state1);
+}

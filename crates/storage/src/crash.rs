@@ -1,0 +1,169 @@
+use crate::Device;
+use lobster_types::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Fault-injecting device wrapper for recovery tests.
+///
+/// Recovery correctness in the paper hinges on write *ordering*: the Blob
+/// State must be durable (WAL fsync) before extent content reaches the
+/// device, and a crash between the two must be detected via the SHA-256
+/// check during the analysis phase. `CrashDevice` makes that window
+/// testable:
+///
+/// * [`CrashDevice::arm_after_writes`] — after N more writes, the device
+///   "loses power": the N-th write may be torn (only a prefix is applied) and
+///   every later write plus every `sync` is silently dropped.
+/// * [`CrashDevice::crash_now`] — cut power immediately.
+///
+/// Reads always reflect what physically reached the inner device, so a test
+/// can reopen the database from the surviving state.
+pub struct CrashDevice<D> {
+    inner: D,
+    crashed: AtomicBool,
+    /// Writes remaining until the crash triggers; u64::MAX means disarmed.
+    writes_until_crash: AtomicU64,
+    /// Fraction (numerator / 256) of the triggering write to apply, modeling
+    /// a torn write.
+    tear_numerator: AtomicU64,
+    /// When set, writes after the crash return an I/O error (a dead
+    /// controller) instead of being silently dropped (a lying volatile
+    /// cache). Error mode lets tests model "the process dies with the
+    /// device": callers observe the failure and stop.
+    fail_after_crash: AtomicBool,
+    log: Mutex<Vec<(u64, usize)>>,
+}
+
+impl<D: Device> CrashDevice<D> {
+    pub fn new(inner: D) -> Self {
+        CrashDevice {
+            inner,
+            crashed: AtomicBool::new(false),
+            writes_until_crash: AtomicU64::new(u64::MAX),
+            tear_numerator: AtomicU64::new(0),
+            fail_after_crash: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Crash after `n` more successful writes; the (n+1)-th write is torn to
+    /// `tear_numerator/256` of its length and everything afterwards is lost.
+    pub fn arm_after_writes(&self, n: u64, tear_numerator: u32) {
+        assert!(tear_numerator <= 256);
+        self.tear_numerator
+            .store(tear_numerator as u64, Ordering::SeqCst);
+        self.writes_until_crash.store(n, Ordering::SeqCst);
+    }
+
+    pub fn crash_now(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Post-crash writes return `Err` instead of silently succeeding.
+    pub fn set_fail_after_crash(&self, on: bool) {
+        self.fail_after_crash.store(on, Ordering::SeqCst);
+    }
+
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// `(offset, len)` of every write that physically reached the device, in
+    /// order.
+    pub fn write_log(&self) -> Vec<(u64, usize)> {
+        self.log.lock().clone()
+    }
+
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Device> Device for CrashDevice<D> {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        self.inner.read_at(buf, offset)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            if self.fail_after_crash.load(Ordering::SeqCst) {
+                return Err(lobster_types::Error::Io(std::io::Error::other(
+                    "device lost power",
+                )));
+            }
+            // Lost power: acknowledge but drop, like a volatile cache that
+            // never reaches the medium.
+            return Ok(());
+        }
+        let remaining = self.writes_until_crash.load(Ordering::SeqCst);
+        if remaining != u64::MAX {
+            if remaining == 0 {
+                // This is the torn write.
+                self.crashed.store(true, Ordering::SeqCst);
+                let keep = buf.len() * self.tear_numerator.load(Ordering::SeqCst) as usize / 256;
+                if keep > 0 {
+                    self.inner.write_at(&buf[..keep], offset)?;
+                    self.log.lock().push((offset, keep));
+                }
+                return Ok(());
+            }
+            self.writes_until_crash.store(remaining - 1, Ordering::SeqCst);
+        }
+        self.inner.write_at(buf, offset)?;
+        self.log.lock().push((offset, buf.len()));
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            if self.fail_after_crash.load(Ordering::SeqCst) {
+                return Err(lobster_types::Error::Io(std::io::Error::other(
+                    "device lost power",
+                )));
+            }
+            return Ok(());
+        }
+        self.inner.sync()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn drops_writes_after_crash() {
+        let dev = CrashDevice::new(MemDevice::new(4096));
+        dev.write_at(&[1u8; 100], 0).unwrap();
+        dev.crash_now();
+        dev.write_at(&[2u8; 100], 200).unwrap();
+        let mut buf = [0u8; 100];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [1u8; 100]);
+        dev.read_at(&mut buf, 200).unwrap();
+        assert_eq!(buf, [0u8; 100], "post-crash write must be lost");
+    }
+
+    #[test]
+    fn armed_crash_tears_the_trigger_write() {
+        let dev = CrashDevice::new(MemDevice::new(4096));
+        dev.arm_after_writes(1, 128); // second write is half-applied
+        dev.write_at(&[1u8; 64], 0).unwrap();
+        dev.write_at(&[2u8; 64], 64).unwrap();
+        dev.write_at(&[3u8; 64], 128).unwrap(); // dropped entirely
+        assert!(dev.has_crashed());
+
+        let mut buf = [0u8; 64];
+        dev.read_at(&mut buf, 64).unwrap();
+        assert_eq!(&buf[..32], &[2u8; 32]);
+        assert_eq!(&buf[32..], &[0u8; 32], "tail of torn write must be lost");
+        dev.read_at(&mut buf, 128).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        assert_eq!(dev.write_log(), vec![(0, 64), (64, 32)]);
+    }
+}

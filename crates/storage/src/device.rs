@@ -1,0 +1,75 @@
+use lobster_types::{Geometry, Pid, Result};
+use std::time::Instant;
+
+/// A byte-addressed block device.
+///
+/// All implementations must support concurrent calls; callers guarantee that
+/// concurrent writes never overlap (the buffer manager's latching provides
+/// this, as in any storage engine).
+pub trait Device: Send + Sync {
+    /// Read `buf.len()` bytes starting at `offset`.
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()>;
+
+    /// Write `buf` starting at `offset`.
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()>;
+
+    /// Durability barrier: all previously acknowledged writes survive a
+    /// crash after `sync` returns.
+    fn sync(&self) -> Result<()>;
+
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Queue a read like an io_uring submission: the data is transferred
+    /// immediately, and the returned deadline (if any) says when the
+    /// request would complete on the modeled hardware. Deadlines of
+    /// concurrently queued requests overlap; the batch waits for the max.
+    fn submit_read(&self, buf: &mut [u8], offset: u64) -> Result<Option<Instant>> {
+        self.read_at(buf, offset).map(|_| None)
+    }
+
+    /// Queue a write; see [`Device::submit_read`].
+    fn submit_write(&self, buf: &[u8], offset: u64) -> Result<Option<Instant>> {
+        self.write_at(buf, offset).map(|_| None)
+    }
+}
+
+/// Page-granular convenience operations on any [`Device`].
+pub trait DeviceExt: Device {
+    /// Read `count` consecutive pages starting at `pid` into `buf`.
+    fn read_pages(&self, geo: &Geometry, pid: Pid, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len() % geo.page_size(), 0);
+        self.read_at(buf, geo.offset_of(pid))
+    }
+
+    /// Write consecutive pages starting at `pid` from `buf`.
+    fn write_pages(&self, geo: &Geometry, pid: Pid, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len() % geo.page_size(), 0);
+        self.write_at(buf, geo.offset_of(pid))
+    }
+
+    /// Number of pages the device can hold.
+    fn page_capacity(&self, geo: &Geometry) -> u64 {
+        self.capacity() / geo.page_size() as u64
+    }
+}
+
+impl<D: Device + ?Sized> DeviceExt for D {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn page_helpers_roundtrip() {
+        let geo = Geometry::new(4096);
+        let dev = MemDevice::new(16 * 4096);
+        let data = vec![0xA5u8; 2 * 4096];
+        dev.write_pages(&geo, Pid::new(3), &data).unwrap();
+        let mut out = vec![0u8; 2 * 4096];
+        dev.read_pages(&geo, Pid::new(3), &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(dev.page_capacity(&geo), 16);
+    }
+}

@@ -1,0 +1,37 @@
+//! Storage devices and batched asynchronous I/O.
+//!
+//! The paper assumes the DBMS runs on an NVMe SSD and issues *batched
+//! asynchronous* I/O (one submission per extent sequence). This crate
+//! provides:
+//!
+//! * [`Device`] — the abstract block device all engines and baseline models
+//!   share, with byte-addressed reads/writes and durability barriers.
+//! * [`MemDevice`] — an in-memory device for tests and in-memory experiments.
+//! * [`FileDevice`] — a real file-backed device using positional I/O.
+//! * [`ThrottledDevice`] — a deterministic latency/bandwidth model wrapped
+//!   around any device, standing in for the paper's Samsung 980 Pro so that
+//!   I/O-bound comparisons reproduce on any host (DESIGN.md substitution 1).
+//! * [`CrashDevice`] — fault injection for recovery tests: drops or truncates
+//!   writes after an armed trigger point.
+//! * [`OutOfPlaceDevice`] — the paper's §VI future-work proposal: a
+//!   translation layer that writes every logical block out of place to a
+//!   sequential frontier, with greedy garbage collection (an anti-aging
+//!   FTL in userspace).
+//! * [`AsyncIo`] — a submission/completion engine (thread-pool stand-in for
+//!   io_uring) used to flush WAL and extents concurrently at commit.
+
+mod async_io;
+mod crash;
+mod device;
+mod file;
+mod mem;
+mod out_of_place;
+mod throttle;
+
+pub use async_io::{AsyncIo, BatchHandle, IoKind, IoReq};
+pub use crash::CrashDevice;
+pub use device::{Device, DeviceExt};
+pub use file::FileDevice;
+pub use mem::MemDevice;
+pub use out_of_place::{GcStats, OutOfPlaceDevice};
+pub use throttle::{ThrottleProfile, ThrottledDevice};

@@ -1,0 +1,168 @@
+use crate::Device;
+use lobster_metrics::Metrics;
+use lobster_types::{Error, Result};
+use parking_lot::RwLock;
+use std::sync::atomic::Ordering;
+
+/// Chunk size for the internal lock striping. Reads and writes that touch
+/// different chunks proceed fully in parallel.
+const CHUNK: usize = 256 * 1024;
+
+/// An in-memory block device.
+///
+/// Used by unit tests, in-memory experiments, and as the backing store for
+/// [`crate::ThrottledDevice`] when a deterministic SSD model is wanted
+/// without touching the host disk. Storage is *sparse*: chunks materialize
+/// on first write, so a mostly-empty large device costs almost nothing.
+pub struct MemDevice {
+    chunks: Vec<RwLock<Option<Box<[u8]>>>>,
+    capacity: u64,
+    metrics: Option<Metrics>,
+}
+
+impl MemDevice {
+    pub fn new(capacity: usize) -> Self {
+        Self::with_metrics(capacity, None)
+    }
+
+    pub fn with_metrics(capacity: usize, metrics: Option<Metrics>) -> Self {
+        let n_chunks = capacity.div_ceil(CHUNK);
+        let chunks = (0..n_chunks).map(|_| RwLock::new(None)).collect();
+        MemDevice {
+            chunks,
+            capacity: capacity as u64,
+            metrics,
+        }
+    }
+
+    fn chunk_len(&self, idx: usize) -> usize {
+        CHUNK.min(self.capacity as usize - idx * CHUNK)
+    }
+
+    fn check_range(&self, len: usize, offset: u64) -> Result<()> {
+        if offset + len as u64 > self.capacity {
+            return Err(Error::InvalidArgument(format!(
+                "device access [{offset}, {}) exceeds capacity {}",
+                offset + len as u64,
+                self.capacity
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Device for MemDevice {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        self.check_range(buf.len(), offset)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset as usize + done;
+            let chunk_idx = pos / CHUNK;
+            let in_chunk = pos % CHUNK;
+            let take = (CHUNK - in_chunk).min(buf.len() - done);
+            match &*self.chunks[chunk_idx].read() {
+                Some(chunk) => {
+                    buf[done..done + take].copy_from_slice(&chunk[in_chunk..in_chunk + take])
+                }
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+        if let Some(m) = &self.metrics {
+            m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        self.check_range(buf.len(), offset)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset as usize + done;
+            let chunk_idx = pos / CHUNK;
+            let in_chunk = pos % CHUNK;
+            let take = (CHUNK - in_chunk).min(buf.len() - done);
+            let mut guard = self.chunks[chunk_idx].write();
+            let chunk = guard
+                .get_or_insert_with(|| vec![0u8; self.chunk_len(chunk_idx)].into_boxed_slice());
+            chunk[in_chunk..in_chunk + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+        }
+        if let Some(m) = &self.metrics {
+            m.bytes_written
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        if let Some(m) = &self.metrics {
+            m.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip_across_chunks() {
+        let dev = MemDevice::new(CHUNK * 2 + 100);
+        let data: Vec<u8> = (0..CHUNK + 50).map(|i| (i % 251) as u8).collect();
+        let offset = (CHUNK - 25) as u64;
+        dev.write_at(&data, offset).unwrap();
+        let mut out = vec![0u8; data.len()];
+        dev.read_at(&mut out, offset).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let dev = MemDevice::new(1024);
+        let mut buf = [0u8; 16];
+        assert!(dev.read_at(&mut buf, 1020).is_err());
+        assert!(dev.write_at(&buf, 1008).is_ok());
+    }
+
+    #[test]
+    fn counts_metrics() {
+        let m = lobster_metrics::new_metrics();
+        let dev = MemDevice::with_metrics(4096, Some(m.clone()));
+        dev.write_at(&[1u8; 100], 0).unwrap();
+        let mut b = [0u8; 50];
+        dev.read_at(&mut b, 0).unwrap();
+        dev.sync().unwrap();
+        let s = m.snapshot();
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 50);
+        assert_eq!(s.fsyncs, 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let dev = std::sync::Arc::new(MemDevice::new(CHUNK * 4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let dev = dev.clone();
+                std::thread::spawn(move || {
+                    let data = vec![t as u8 + 1; CHUNK];
+                    dev.write_at(&data, t * CHUNK as u64).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            let mut buf = vec![0u8; 8];
+            dev.read_at(&mut buf, t * CHUNK as u64).unwrap();
+            assert_eq!(buf, vec![t as u8 + 1; 8]);
+        }
+    }
+}

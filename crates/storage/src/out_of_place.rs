@@ -1,0 +1,363 @@
+//! Out-of-place write policy (§VI "Aging and fragmentation", the paper's
+//! future-work proposal).
+//!
+//! The paper argues aging is solvable in principle by decoupling logical
+//! PIDs from on-storage physical addresses: "the DBMS can allocate every
+//! extent as new and map those PIDs with the available physical addresses".
+//! [`OutOfPlaceDevice`] implements exactly that as a device-level
+//! translation layer (an FTL in userspace):
+//!
+//! * logical writes always go to *fresh* physical blocks, appended to the
+//!   current write frontier — so every write is sequential regardless of
+//!   logical fragmentation;
+//! * a block-granular mapping table translates reads;
+//! * superseded physical blocks become garbage; [`OutOfPlaceDevice::gc`]
+//!   compacts the least-utilized segments (greedy victim selection), and
+//!   runs automatically when free segments run low.
+//!
+//! The logical address space is as large as the inner device; physical
+//! capacity is inner capacity, so over-provisioning comes from the gap
+//! between logical *occupancy* and physical capacity, as on real SSDs.
+
+use crate::Device;
+use lobster_types::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BLOCK: usize = 4096;
+/// Blocks per GC segment (2 MiB).
+const SEGMENT_BLOCKS: u64 = 512;
+const UNMAPPED: u64 = u64::MAX;
+
+struct Tables {
+    /// logical block -> physical block.
+    l2p: Vec<u64>,
+    /// physical block -> logical block (for GC relocation).
+    p2l: Vec<u64>,
+    /// Live-block count per physical segment.
+    live: Vec<u32>,
+    /// Segments with no live data, ready to become frontiers.
+    free_segments: Vec<u64>,
+    /// Current write frontier: (segment, next block within it).
+    frontier: u64,
+    frontier_used: u64,
+}
+
+/// A device wrapper applying the out-of-place write policy.
+pub struct OutOfPlaceDevice<D> {
+    inner: D,
+    tables: Mutex<Tables>,
+    segments: u64,
+    gc_runs: AtomicU64,
+    gc_relocated: AtomicU64,
+}
+
+/// Garbage-collection statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    pub runs: u64,
+    pub relocated_blocks: u64,
+}
+
+impl<D: Device> OutOfPlaceDevice<D> {
+    pub fn new(inner: D) -> Self {
+        let blocks = inner.capacity() / BLOCK as u64;
+        let segments = blocks / SEGMENT_BLOCKS;
+        assert!(segments >= 4, "device too small for out-of-place policy");
+        let tables = Tables {
+            l2p: vec![UNMAPPED; blocks as usize],
+            p2l: vec![UNMAPPED; blocks as usize],
+            live: vec![0; segments as usize],
+            free_segments: (1..segments).rev().collect(),
+            frontier: 0,
+            frontier_used: 0,
+        };
+        OutOfPlaceDevice {
+            inner,
+            tables: Mutex::new(tables),
+            segments,
+            gc_runs: AtomicU64::new(0),
+            gc_relocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Cumulative garbage-collection work.
+    pub fn gc_stats(&self) -> GcStats {
+        GcStats {
+            runs: self.gc_runs.load(Ordering::Relaxed),
+            relocated_blocks: self.gc_relocated.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Number of segments currently free (diagnostics / GC policy).
+    pub fn free_segments(&self) -> usize {
+        self.tables.lock().free_segments.len()
+    }
+
+    /// Fraction of physical blocks holding live data.
+    pub fn physical_utilization(&self) -> f64 {
+        let t = self.tables.lock();
+        let live: u64 = t.live.iter().map(|&l| l as u64).sum();
+        live as f64 / (self.segments * SEGMENT_BLOCKS) as f64
+    }
+
+    /// Claim a fresh physical block at the frontier, opening a new segment
+    /// when the current one fills.
+    ///
+    /// GC runs as soon as the *last* free segment becomes the frontier —
+    /// the classic log-structured reserve: a GC victim has at most
+    /// `SEGMENT_BLOCKS - 1` live blocks, so relocating it always fits in
+    /// the fresh frontier, and draining it frees a whole segment. GC's own
+    /// relocation writes claim with `allow_gc = false`, which both bounds
+    /// the recursion and makes "cannot even relocate" a clean
+    /// [`Error::OutOfSpace`].
+    fn claim_block(&self, t: &mut Tables, allow_gc: bool) -> Result<u64> {
+        if t.frontier_used == SEGMENT_BLOCKS {
+            let next = t.free_segments.pop().ok_or(Error::OutOfSpace)?;
+            t.frontier = next;
+            t.frontier_used = 0;
+            if t.free_segments.is_empty() && allow_gc {
+                self.gc_locked(t, 1)?;
+            }
+        }
+        let phys = t.frontier * SEGMENT_BLOCKS + t.frontier_used;
+        t.frontier_used += 1;
+        Ok(phys)
+    }
+
+    fn map(&self, t: &mut Tables, logical: u64, phys: u64) {
+        // Retire the previous location.
+        let old = t.l2p[logical as usize];
+        if old != UNMAPPED {
+            t.p2l[old as usize] = UNMAPPED;
+            let seg = (old / SEGMENT_BLOCKS) as usize;
+            t.live[seg] -= 1;
+            if t.live[seg] == 0 && old / SEGMENT_BLOCKS != t.frontier {
+                t.free_segments.push(old / SEGMENT_BLOCKS);
+            }
+        }
+        t.l2p[logical as usize] = phys;
+        t.p2l[phys as usize] = logical;
+        t.live[(phys / SEGMENT_BLOCKS) as usize] += 1;
+    }
+
+    /// Greedy GC: relocate the live blocks of the least-utilized
+    /// non-frontier segments until at least `want` segments are free.
+    fn gc_locked(&self, t: &mut Tables, want: usize) -> Result<()> {
+        self.gc_runs.fetch_add(1, Ordering::Relaxed);
+        while t.free_segments.len() < want {
+            // Pick the victim with the fewest live blocks.
+            let victim = (0..self.segments)
+                .filter(|&s| s != t.frontier && !t.free_segments.contains(&s))
+                .min_by_key(|&s| t.live[s as usize])
+                .ok_or(Error::OutOfSpace)?;
+            if t.live[victim as usize] as u64 >= SEGMENT_BLOCKS {
+                // Everything is fully live: physically full.
+                return Err(Error::OutOfSpace);
+            }
+            // Relocate live blocks to the frontier.
+            let mut buf = vec![0u8; BLOCK];
+            for b in 0..SEGMENT_BLOCKS {
+                let phys = victim * SEGMENT_BLOCKS + b;
+                let logical = t.p2l[phys as usize];
+                if logical == UNMAPPED {
+                    continue;
+                }
+                self.inner.read_at(&mut buf, phys * BLOCK as u64)?;
+                let new_phys = self.claim_block(t, false)?;
+                self.inner.write_at(&buf, new_phys * BLOCK as u64)?;
+                self.map(t, logical, new_phys);
+                self.gc_relocated.fetch_add(1, Ordering::Relaxed);
+            }
+            debug_assert_eq!(t.live[victim as usize], 0);
+            if !t.free_segments.contains(&victim) {
+                t.free_segments.push(victim);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run garbage collection until `want_free` segments are available.
+    pub fn gc(&self, want_free: usize) -> Result<()> {
+        let mut t = self.tables.lock();
+        self.gc_locked(&mut t, want_free)
+    }
+}
+
+impl<D: Device> Device for OutOfPlaceDevice<D> {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        if !offset.is_multiple_of(BLOCK as u64) || !buf.len().is_multiple_of(BLOCK) {
+            return Err(Error::InvalidArgument(
+                "out-of-place device requires block-aligned access".into(),
+            ));
+        }
+        let start = offset / BLOCK as u64;
+        for (i, chunk) in buf.chunks_mut(BLOCK).enumerate() {
+            let phys = {
+                let t = self.tables.lock();
+                t.l2p[(start + i as u64) as usize]
+            };
+            if phys == UNMAPPED {
+                chunk.fill(0); // never-written logical block reads as zeros
+            } else {
+                self.inner.read_at(chunk, phys * BLOCK as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        if !offset.is_multiple_of(BLOCK as u64) || !buf.len().is_multiple_of(BLOCK) {
+            return Err(Error::InvalidArgument(
+                "out-of-place device requires block-aligned access".into(),
+            ));
+        }
+        let start = offset / BLOCK as u64;
+        let mut t = self.tables.lock();
+        for (i, chunk) in buf.chunks(BLOCK).enumerate() {
+            let phys = self.claim_block(&mut t, true)?;
+            self.inner.write_at(chunk, phys * BLOCK as u64)?;
+            self.map(&mut t, start + i as u64, phys);
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn dev(segments: u64) -> OutOfPlaceDevice<MemDevice> {
+        OutOfPlaceDevice::new(MemDevice::new(
+            (segments * SEGMENT_BLOCKS) as usize * BLOCK,
+        ))
+    }
+
+    #[test]
+    fn roundtrip_and_overwrite() {
+        let d = dev(8);
+        let a = vec![1u8; BLOCK * 4];
+        d.write_at(&a, 0).unwrap();
+        let b = vec![2u8; BLOCK * 4];
+        d.write_at(&b, 0).unwrap(); // out-of-place overwrite
+        let mut out = vec![0u8; BLOCK * 4];
+        d.read_at(&mut out, 0).unwrap();
+        assert_eq!(out, b);
+        // A different logical range is independent.
+        d.write_at(&a, BLOCK as u64 * 100).unwrap();
+        d.read_at(&mut out, BLOCK as u64 * 100).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = dev(8);
+        let mut out = vec![9u8; BLOCK];
+        d.read_at(&mut out, BLOCK as u64 * 7).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rejects_unaligned_access() {
+        let d = dev(8);
+        assert!(d.write_at(&[0u8; 100], 0).is_err());
+        assert!(d.read_at(&mut [0u8; BLOCK], 13).is_err());
+    }
+
+    #[test]
+    fn gc_reclaims_overwritten_space() {
+        let d = dev(6);
+        // Write 3 segments' worth of data, then overwrite it all twice:
+        // without GC the device would "fill" despite only 3 live segments.
+        let data = vec![7u8; (SEGMENT_BLOCKS as usize) * BLOCK];
+        for round in 0..4u8 {
+            for seg in 0..3u64 {
+                let payload = vec![round; data.len()];
+                d.write_at(&payload, seg * SEGMENT_BLOCKS * BLOCK as u64)
+                    .unwrap();
+            }
+        }
+        // All content must be the last round's.
+        let mut out = vec![0u8; data.len()];
+        for seg in 0..3u64 {
+            d.read_at(&mut out, seg * SEGMENT_BLOCKS * BLOCK as u64)
+                .unwrap();
+            assert!(out.iter().all(|&b| b == 3), "segment {seg}");
+        }
+        assert!(d.physical_utilization() <= 0.55);
+    }
+
+    #[test]
+    fn explicit_gc_frees_segments() {
+        let d = dev(6);
+        let seg_bytes = (SEGMENT_BLOCKS as usize) * BLOCK;
+        let data = vec![1u8; seg_bytes];
+        // Dirty two segments then supersede half of each.
+        d.write_at(&data, 0).unwrap();
+        d.write_at(&data, seg_bytes as u64).unwrap();
+        d.write_at(&data[..seg_bytes / 2], 0).unwrap();
+        d.write_at(&data[..seg_bytes / 2], seg_bytes as u64).unwrap();
+        let before = d.free_segments();
+        d.gc(before + 1).unwrap();
+        assert!(d.free_segments() > before);
+        // Content intact after relocation.
+        let mut out = vec![0u8; seg_bytes];
+        d.read_at(&mut out, 0).unwrap();
+        assert!(out.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn physically_full_is_detected() {
+        let d = dev(4);
+        // 4 segments, keep all blocks live: the 4th segment can never open
+        // a fresh frontier once everything is live.
+        let cap_blocks = 4 * SEGMENT_BLOCKS;
+        let data = vec![5u8; BLOCK];
+        let mut failed = false;
+        for b in 0..cap_blocks + 10 {
+            if d.write_at(&data, b * BLOCK as u64).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a fully live device must eventually refuse writes");
+    }
+
+    #[test]
+    fn writes_are_sequential_regardless_of_logical_pattern() {
+        // The point of the policy: logically scattered writes land on a
+        // sequential physical frontier.
+        let d = dev(8);
+        let data = vec![3u8; BLOCK];
+        // Write logically far-apart blocks.
+        for i in 0..64u64 {
+            d.write_at(&data, i * 997 % 2000 * BLOCK as u64).unwrap();
+        }
+        let t = d.tables.lock();
+        // All mapped physical blocks are within the first segment,
+        // consecutively.
+        let mut phys: Vec<u64> = t
+            .l2p
+            .iter()
+            .copied()
+            .filter(|&p| p != UNMAPPED)
+            .collect();
+        phys.sort_unstable();
+        assert_eq!(phys.len(), 64);
+        assert_eq!(phys[0], 0);
+        assert_eq!(*phys.last().unwrap(), 63);
+    }
+}

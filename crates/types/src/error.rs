@@ -1,0 +1,113 @@
+use std::fmt;
+use std::io;
+
+/// Unified error type for all LOBSTER crates.
+#[derive(Debug)]
+pub enum Error {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// On-storage data failed validation (bad checksum, truncated record,
+    /// malformed page). Recovery treats affected transactions as failed.
+    Corruption(String),
+    /// A key already exists in a unique relation or index.
+    KeyExists,
+    /// The requested key does not exist.
+    KeyNotFound,
+    /// The transaction lost a lock conflict and must abort (wait-die).
+    TxnConflict,
+    /// The transaction was already aborted.
+    TxnAborted,
+    /// The device has no free extent of the required size.
+    OutOfSpace,
+    /// The buffer pool could not free enough frames.
+    BufferFull,
+    /// A BLOB exceeds the maximum representable size for the configured tier
+    /// table (more than [`crate::MAX_EXTENTS_PER_BLOB`] extents needed).
+    BlobTooLarge,
+    /// Caller error: bad argument, out-of-range offset, etc.
+    InvalidArgument(String),
+    /// The operation is not supported by this backend (e.g. writing through
+    /// the read-only file facade).
+    Unsupported(&'static str),
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corruption(msg) => write!(f, "data corruption: {msg}"),
+            Error::KeyExists => write!(f, "key already exists"),
+            Error::KeyNotFound => write!(f, "key not found"),
+            Error::TxnConflict => write!(f, "transaction conflict; aborted by wait-die"),
+            Error::TxnAborted => write!(f, "transaction already aborted"),
+            Error::OutOfSpace => write!(f, "storage device is full"),
+            Error::BufferFull => write!(f, "buffer pool exhausted"),
+            Error::BlobTooLarge => write!(f, "blob exceeds maximum representable size"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Errors that leave the transaction usable (caller mistakes) versus
+    /// errors that poison it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::TxnConflict | Error::BufferFull)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants: Vec<Error> = vec![
+            Error::Io(io::Error::other("boom")),
+            Error::Corruption("bad".into()),
+            Error::KeyExists,
+            Error::KeyNotFound,
+            Error::TxnConflict,
+            Error::TxnAborted,
+            Error::OutOfSpace,
+            Error::BufferFull,
+            Error::BlobTooLarge,
+            Error::InvalidArgument("x".into()),
+            Error::Unsupported("y"),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::TxnConflict.is_retryable());
+        assert!(Error::BufferFull.is_retryable());
+        assert!(!Error::KeyNotFound.is_retryable());
+    }
+
+    #[test]
+    fn io_conversion_keeps_source() {
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

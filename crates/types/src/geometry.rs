@@ -1,0 +1,89 @@
+use crate::Pid;
+
+/// Page geometry: conversions between bytes and pages for a fixed page size.
+///
+/// The page size must be a power of two (so conversions compile to shifts) and
+/// at least 512 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    page_size: usize,
+    shift: u32,
+}
+
+impl Geometry {
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 512,
+            "page size must be a power of two >= 512, got {page_size}"
+        );
+        Geometry {
+            page_size,
+            shift: page_size.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages needed to hold `bytes` bytes (rounded up).
+    #[inline]
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_size as u64)
+    }
+
+    /// Total bytes covered by `pages` pages.
+    #[inline]
+    pub fn bytes_for(&self, pages: u64) -> u64 {
+        pages << self.shift
+    }
+
+    /// Byte offset of a page on the device.
+    #[inline]
+    pub fn offset_of(&self, pid: Pid) -> u64 {
+        pid.raw() << self.shift
+    }
+
+    /// The page containing the given byte offset.
+    #[inline]
+    pub fn page_of(&self, byte: u64) -> Pid {
+        Pid::new(byte >> self.shift)
+    }
+
+    /// Offset within its page of the given byte offset.
+    #[inline]
+    pub fn offset_in_page(&self, byte: u64) -> usize {
+        (byte & (self.page_size as u64 - 1)) as usize
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::new(crate::DEFAULT_PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let g = Geometry::new(4096);
+        assert_eq!(g.pages_for(0), 0);
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(4096), 1);
+        assert_eq!(g.pages_for(4097), 2);
+        assert_eq!(g.bytes_for(3), 12288);
+        assert_eq!(g.offset_of(Pid::new(2)), 8192);
+        assert_eq!(g.page_of(8191), Pid::new(1));
+        assert_eq!(g.offset_in_page(8191), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Geometry::new(5000);
+    }
+}

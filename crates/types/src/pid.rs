@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// A page identifier: the index of a fixed-size page on the storage device.
+///
+/// The buffer manager translates a `Pid` to an in-memory buffer frame; an
+/// *extent* is a contiguous run of `Pid`s. `Pid` is a transparent newtype so
+/// page indices cannot be confused with byte offsets or frame indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Pid(pub u64);
+
+/// Sentinel for "no page". Page 0 is reserved for the database header, so the
+/// all-ones pattern is safe to use as an invalid marker.
+pub const INVALID_PID: Pid = Pid(u64::MAX);
+
+impl Pid {
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Pid(raw)
+    }
+
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    /// The page `n` positions after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Pid {
+        Pid(self.0 + n)
+    }
+
+    /// Byte offset of this page on a device with the given page size.
+    #[inline]
+    pub const fn byte_offset(self, page_size: usize) -> u64 {
+        self.0 * page_size as u64
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P<invalid>")
+        }
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Pid {
+    fn from(raw: u64) -> Self {
+        Pid(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_bytes() {
+        let p = Pid::new(10);
+        assert_eq!(p.offset(5), Pid::new(15));
+        assert_eq!(p.byte_offset(4096), 10 * 4096);
+        assert!(p.is_valid());
+        assert!(!INVALID_PID.is_valid());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{}", Pid::new(42)), "P42");
+        assert_eq!(format!("{:?}", INVALID_PID), "P<invalid>");
+    }
+}

@@ -1,0 +1,295 @@
+//! The DBMS-backed filesystem: Listing 1 of the paper, in Rust.
+
+use crate::{map_db_err, FileSystem};
+use lobster_core::{Database, Relation, Txn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errno-style error code (positive values, as FUSE returns them).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Errno(pub i32);
+
+pub const ENOENT: Errno = Errno(2);
+pub const EBADF: Errno = Errno(9);
+pub const EINVAL: Errno = Errno(22);
+pub const EISDIR: Errno = Errno(21);
+pub const ENOTDIR: Errno = Errno(20);
+pub const EROFS: Errno = Errno(30);
+
+impl fmt::Debug for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.0 {
+            2 => "ENOENT",
+            5 => "EIO",
+            9 => "EBADF",
+            20 => "ENOTDIR",
+            21 => "EISDIR",
+            22 => "EINVAL",
+            30 => "EROFS",
+            n => return write!(f, "Errno({n})"),
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A file descriptor handed out by [`FileSystem::open`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fd(pub u64);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    File,
+    Directory,
+}
+
+/// Result of `getattr` (the `fstat` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    pub kind: FileKind,
+    pub size: u64,
+}
+
+struct OpenFile {
+    txn: Txn,
+    relation: Arc<Relation>,
+    key: Vec<u8>,
+}
+
+/// The DBMS-backed filesystem: relations are directories, BLOB keys are
+/// read-only files.
+pub struct DbFs {
+    db: Arc<Database>,
+    open_files: Mutex<HashMap<u64, OpenFile>>,
+    next_fd: AtomicU64,
+    /// Worker id used for the per-open transactions (selects the aliasing
+    /// area).
+    worker: usize,
+}
+
+impl DbFs {
+    pub fn new(db: Arc<Database>) -> Self {
+        Self::with_worker(db, 0)
+    }
+
+    pub fn with_worker(db: Arc<Database>, worker: usize) -> Self {
+        DbFs {
+            db,
+            open_files: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3), // 0-2 reserved, as tradition demands
+            worker,
+        }
+    }
+
+    /// Split "/relation/filename" into its components (Listing 1's
+    /// `ExtractRelationAndFileName`).
+    fn split_path(path: &str) -> Result<(&str, Option<&str>), Errno> {
+        let trimmed = path.trim_matches('/');
+        if trimmed.is_empty() {
+            return Ok(("", None));
+        }
+        match trimmed.split_once('/') {
+            None => Ok((trimmed, None)),
+            Some((rel, file)) if !file.contains('/') && !file.is_empty() => {
+                Ok((rel, Some(file)))
+            }
+            _ => Err(ENOENT), // no nested directories
+        }
+    }
+
+    fn relation(&self, name: &str) -> Result<Arc<Relation>, Errno> {
+        self.db.relation(name).ok_or(ENOENT)
+    }
+}
+
+impl FileSystem for DbFs {
+    /// `open` starts a transaction so every later `read` on this fd sees a
+    /// consistent BLOB (Listing 1, lines 1–4).
+    fn open(&self, path: &str) -> Result<Fd, Errno> {
+        let (rel_name, file) = Self::split_path(path)?;
+        let file = file.ok_or(EISDIR)?;
+        let relation = self.relation(rel_name)?;
+        let mut txn = self.db.begin_with_worker(self.worker);
+        // Existence check up front, like open(2).
+        let state = map_db_err(txn.blob_state(&relation, file.as_bytes()))?;
+        if state.is_none() {
+            return Err(ENOENT);
+        }
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.open_files.lock().insert(
+            fd.0,
+            OpenFile {
+                txn,
+                relation,
+                key: file.as_bytes().to_vec(),
+            },
+        );
+        Ok(fd)
+    }
+
+    /// `pread` (Listing 1, lines 10–22): look up the Blob State, read the
+    /// BLOB, copy the requested range into the caller's buffer.
+    fn read(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize, Errno> {
+        let mut files = self.open_files.lock();
+        let of = files.get_mut(&fd.0).ok_or(EBADF)?;
+        let rel = of.relation.clone();
+        let key = of.key.clone();
+        map_db_err(of.txn.get_blob_range(&rel, &key, offset, buf))
+    }
+
+    /// `close` → FUSE `flush`: commit the per-open transaction (Listing 1,
+    /// lines 5–8).
+    fn close(&self, fd: Fd) -> Result<(), Errno> {
+        let of = self.open_files.lock().remove(&fd.0).ok_or(EBADF)?;
+        map_db_err(of.txn.commit())
+    }
+
+    /// `getattr`: a point query for the Blob State satisfies `stat`.
+    fn getattr(&self, path: &str) -> Result<FileStat, Errno> {
+        let (rel_name, file) = Self::split_path(path)?;
+        if rel_name.is_empty() {
+            return Ok(FileStat {
+                kind: FileKind::Directory,
+                size: 0,
+            });
+        }
+        let relation = self.relation(rel_name)?;
+        match file {
+            None => Ok(FileStat {
+                kind: FileKind::Directory,
+                size: 0,
+            }),
+            Some(file) => {
+                let mut txn = self.db.begin_with_worker(self.worker);
+                let state = map_db_err(txn.blob_state(&relation, file.as_bytes()))?
+                    .ok_or(ENOENT)?;
+                map_db_err(txn.commit())?;
+                Ok(FileStat {
+                    kind: FileKind::File,
+                    size: state.size,
+                })
+            }
+        }
+    }
+
+    /// `readdir`: `/` lists relations; `/relation` scans its keys.
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        let (rel_name, file) = Self::split_path(path)?;
+        if file.is_some() {
+            return Err(ENOTDIR);
+        }
+        if rel_name.is_empty() {
+            return Ok(self.db.relation_names());
+        }
+        let relation = self.relation(rel_name)?;
+        let mut names = Vec::new();
+        let mut txn = self.db.begin_with_worker(self.worker);
+        map_db_err(txn.scan_states(&relation, &[], |k, _| {
+            names.push(String::from_utf8_lossy(k).into_owned());
+            true
+        }))?;
+        map_db_err(txn.commit())?;
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read_to_vec;
+    use lobster_core::{Config, RelationKind};
+    use lobster_storage::MemDevice;
+
+    fn setup() -> (Arc<Database>, DbFs) {
+        let dev = Arc::new(MemDevice::new(64 << 20));
+        let wal = Arc::new(MemDevice::new(16 << 20));
+        let db = Database::create(dev, wal, Config::default()).unwrap();
+        let images = db.create_relation("image", RelationKind::Blob).unwrap();
+        let docs = db.create_relation("document", RelationKind::Blob).unwrap();
+        let mut t = db.begin();
+        t.put_blob(&images, b"cat.png", b"MEOW-PNG-DATA").unwrap();
+        t.put_blob(&images, b"dog.png", &vec![7u8; 50_000]).unwrap();
+        t.put_blob(&docs, b"paper.pdf", b"PDF!").unwrap();
+        t.commit().unwrap();
+        let fs = DbFs::new(db.clone());
+        (db, fs)
+    }
+
+    #[test]
+    fn open_read_close_like_an_external_program() {
+        let (_db, fs) = setup();
+        let data = read_to_vec(&fs, "/image/cat.png").unwrap();
+        assert_eq!(data, b"MEOW-PNG-DATA");
+        let data = read_to_vec(&fs, "/image/dog.png").unwrap();
+        assert_eq!(data, vec![7u8; 50_000]);
+    }
+
+    #[test]
+    fn pread_at_offsets() {
+        let (_db, fs) = setup();
+        let fd = fs.open("/image/cat.png").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(fd, 5, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"PNG-");
+        // Reading past EOF returns 0 bytes.
+        assert_eq!(fs.read(fd, 100, &mut buf).unwrap(), 0);
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn getattr_and_readdir() {
+        let (_db, fs) = setup();
+        let stat = fs.getattr("/image/dog.png").unwrap();
+        assert_eq!(stat.kind, FileKind::File);
+        assert_eq!(stat.size, 50_000);
+        assert_eq!(fs.getattr("/image").unwrap().kind, FileKind::Directory);
+        assert_eq!(fs.getattr("/").unwrap().kind, FileKind::Directory);
+
+        let mut roots = fs.readdir("/").unwrap();
+        roots.sort();
+        assert_eq!(roots, vec!["document", "image"]);
+        assert_eq!(fs.readdir("/image").unwrap(), vec!["cat.png", "dog.png"]);
+    }
+
+    #[test]
+    fn errno_semantics() {
+        let (_db, fs) = setup();
+        assert_eq!(fs.open("/image/missing.png").unwrap_err(), ENOENT);
+        assert_eq!(fs.open("/nope/f.png").unwrap_err(), ENOENT);
+        assert_eq!(fs.open("/image").unwrap_err(), EISDIR);
+        assert_eq!(fs.getattr("/image/missing.png").unwrap_err(), ENOENT);
+        assert_eq!(fs.readdir("/image/cat.png").unwrap_err(), ENOTDIR);
+        assert_eq!(fs.read(Fd(999), 0, &mut [0u8; 1]).unwrap_err(), EBADF);
+        assert_eq!(fs.close(Fd(999)).unwrap_err(), EBADF);
+        // Read-only: writes are refused.
+        let fd = fs.open("/image/cat.png").unwrap();
+        assert_eq!(fs.write(fd, 0, b"x").unwrap_err(), EROFS);
+        assert_eq!(fs.create("/image/new.png").unwrap_err(), EROFS);
+        assert_eq!(fs.unlink("/image/cat.png").unwrap_err(), EROFS);
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn reads_within_one_open_are_consistent() {
+        let (db, fs) = setup();
+        let fd = fs.open("/image/cat.png").unwrap();
+        // The open transaction holds a shared lock; a concurrent (younger)
+        // writer must fail rather than mutate underneath the reader.
+        let images = db.relation("image").unwrap();
+        let mut w = db.begin();
+        assert!(w.delete_blob(&images, b"cat.png").is_err());
+        drop(w);
+        let mut buf = [0u8; 13];
+        assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 13);
+        assert_eq!(&buf, b"MEOW-PNG-DATA");
+        fs.close(fd).unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! A real-filesystem implementation of the same [`FileSystem`] trait.
+//!
+//! `HostFs` routes every operation to the host kernel through `std::fs`,
+//! paying genuine syscall costs. Benchmarks drive our DBMS facade and this
+//! backend through the *same* trait, so the comparison isolates exactly
+//! what the paper measures: B-Tree metadata operations versus kernel
+//! `open`/`stat`/`read` paths.
+
+use crate::fs::{Errno, Fd, FileKind, FileStat, EBADF, ENOENT};
+use crate::FileSystem;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Read-write filesystem rooted at a host directory.
+pub struct HostFs {
+    root: PathBuf,
+    open_files: Mutex<HashMap<u64, File>>,
+    next_fd: AtomicU64,
+}
+
+impl HostFs {
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(HostFs {
+            root,
+            open_files: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3),
+        })
+    }
+
+    pub fn root(&self) -> &PathBuf {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        for comp in path.split('/').filter(|c| !c.is_empty() && *c != "..") {
+            p.push(comp);
+        }
+        p
+    }
+
+    fn errno(e: io::Error) -> Errno {
+        Errno(e.raw_os_error().unwrap_or(5))
+    }
+}
+
+impl FileSystem for HostFs {
+    fn open(&self, path: &str) -> Result<Fd, Errno> {
+        let f = File::open(self.resolve(path)).map_err(Self::errno)?;
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.open_files.lock().insert(fd.0, f);
+        Ok(fd)
+    }
+
+    fn read(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize, Errno> {
+        let files = self.open_files.lock();
+        let f = files.get(&fd.0).ok_or(EBADF)?;
+        f.read_at(buf, offset).map_err(Self::errno)
+    }
+
+    fn close(&self, fd: Fd) -> Result<(), Errno> {
+        self.open_files.lock().remove(&fd.0).map(|_| ()).ok_or(EBADF)
+    }
+
+    fn getattr(&self, path: &str) -> Result<FileStat, Errno> {
+        let meta = std::fs::metadata(self.resolve(path)).map_err(Self::errno)?;
+        Ok(FileStat {
+            kind: if meta.is_dir() {
+                FileKind::Directory
+            } else {
+                FileKind::File
+            },
+            size: meta.len(),
+        })
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        let entries = std::fs::read_dir(self.resolve(path)).map_err(Self::errno)?;
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize, Errno> {
+        let files = self.open_files.lock();
+        let f = files.get(&fd.0).ok_or(EBADF)?;
+        f.write_at(data, offset).map_err(Self::errno)
+    }
+
+    fn create(&self, path: &str) -> Result<Fd, Errno> {
+        let full = self.resolve(path);
+        if let Some(parent) = full.parent() {
+            std::fs::create_dir_all(parent).map_err(Self::errno)?;
+        }
+        let f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(full)
+            .map_err(Self::errno)?;
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.open_files.lock().insert(fd.0, f);
+        Ok(fd)
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        std::fs::remove_file(self.resolve(path)).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                ENOENT
+            } else {
+                Self::errno(e)
+            }
+        })
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<(), Errno> {
+        let files = self.open_files.lock();
+        let f = files.get(&fd.0).ok_or(EBADF)?;
+        f.sync_data().map_err(Self::errno)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_to_vec, write_all};
+
+    fn fs() -> HostFs {
+        let mut root = std::env::temp_dir();
+        root.push(format!("lobster-hostfs-{}-{:?}", std::process::id(), std::thread::current().id()));
+        std::fs::remove_dir_all(&root).ok();
+        HostFs::new(root).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let fs = fs();
+        write_all(&fs, "/image/cat.png", b"real bytes").unwrap();
+        assert_eq!(read_to_vec(&fs, "/image/cat.png").unwrap(), b"real bytes");
+        let stat = fs.getattr("/image/cat.png").unwrap();
+        assert_eq!(stat.size, 10);
+        assert_eq!(fs.readdir("/image").unwrap(), vec!["cat.png"]);
+        fs.unlink("/image/cat.png").unwrap();
+        assert!(fs.open("/image/cat.png").is_err());
+        std::fs::remove_dir_all(fs.root()).ok();
+    }
+
+    #[test]
+    fn missing_file_is_enoent() {
+        let fs = fs();
+        assert_eq!(fs.open("/nope").unwrap_err(), ENOENT);
+        assert_eq!(fs.unlink("/nope").unwrap_err(), ENOENT);
+        std::fs::remove_dir_all(fs.root()).ok();
+    }
+}

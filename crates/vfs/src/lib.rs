@@ -1,0 +1,109 @@
+//! Userspace-filesystem facade over LOBSTER (§III-E of the paper).
+//!
+//! The paper exposes DBMS BLOBs as *read-only files* through FUSE so that
+//! unmodified external programs (OCR tools, web servers, …) can open and
+//! read them. A container cannot mount FUSE, so this crate implements the
+//! same *operation set* the paper's Listing 1 shows — `open` begins a
+//! transaction, `read` is a Blob State lookup + content read, `flush`
+//! (close) commits, `getattr`/`readdir` are point/scan queries — behind an
+//! in-process [`FileSystem`] trait with errno-style results (DESIGN.md
+//! substitution 7). The `fuser` crate slots in directly where mounting is
+//! possible: every method maps 1:1 onto a FUSE callback.
+//!
+//! Layout: each *relation* is a directory; each BLOB key is a file name
+//! (§III-E "Relation as a directory"):
+//!
+//! ```text
+//! /<mount>/image/cat.png       -> blob "cat.png" in relation "image"
+//! /<mount>/document/report.pdf -> blob "report.pdf" in relation "document"
+//! ```
+
+mod fs;
+mod host;
+mod wfs;
+
+pub use fs::{DbFs, Errno, Fd, FileKind, FileStat, EBADF, EINVAL, EISDIR, ENOENT, ENOTDIR, EROFS};
+pub use host::HostFs;
+pub use wfs::WritableDbFs;
+
+use lobster_types::Result as LobResult;
+
+/// The FUSE-style operation set. Every method corresponds to a FUSE
+/// callback (and thus to the POSIX call noted in its doc comment).
+pub trait FileSystem: Send + Sync {
+    /// `open(2)`: returns a file descriptor. Begins a transaction in the
+    /// DBMS-backed implementation so subsequent reads are consistent.
+    fn open(&self, path: &str) -> Result<Fd, Errno>;
+
+    /// `pread(2)`: read up to `buf.len()` bytes at `offset`.
+    fn read(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize, Errno>;
+
+    /// `close(2)` → FUSE `flush`: commits the transaction.
+    fn close(&self, fd: Fd) -> Result<(), Errno>;
+
+    /// `stat(2)` → FUSE `getattr`.
+    fn getattr(&self, path: &str) -> Result<FileStat, Errno>;
+
+    /// `readdir(3)`: list a directory.
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno>;
+
+    /// Write support is optional; DBMS-backed files are read-only
+    /// (`EROFS`), matching the paper.
+    fn write(&self, _fd: Fd, _offset: u64, _data: &[u8]) -> Result<usize, Errno> {
+        Err(EROFS)
+    }
+
+    /// `creat(2)` — optional, as above.
+    fn create(&self, _path: &str) -> Result<Fd, Errno> {
+        Err(EROFS)
+    }
+
+    /// `unlink(2)` — optional, as above.
+    fn unlink(&self, _path: &str) -> Result<(), Errno> {
+        Err(EROFS)
+    }
+
+    /// `fsync(2)` — optional.
+    fn fsync(&self, _fd: Fd) -> Result<(), Errno> {
+        Ok(())
+    }
+}
+
+/// Convenience: read a whole file through any [`FileSystem`] (the pattern
+/// an unmodified external application uses).
+pub fn read_to_vec(fs: &dyn FileSystem, path: &str) -> Result<Vec<u8>, Errno> {
+    let stat = fs.getattr(path)?;
+    let fd = fs.open(path)?;
+    let mut out = vec![0u8; stat.size as usize];
+    let mut off = 0usize;
+    while off < out.len() {
+        let n = fs.read(fd, off as u64, &mut out[off..])?;
+        if n == 0 {
+            break;
+        }
+        off += n;
+    }
+    out.truncate(off);
+    fs.close(fd)?;
+    Ok(out)
+}
+
+/// Convenience: create + write + close through any writable [`FileSystem`].
+pub fn write_all(fs: &dyn FileSystem, path: &str, data: &[u8]) -> Result<(), Errno> {
+    let fd = fs.create(path)?;
+    let mut off = 0usize;
+    while off < data.len() {
+        let n = fs.write(fd, off as u64, &data[off..])?;
+        off += n.max(1);
+    }
+    fs.close(fd)
+}
+
+/// Adapter so implementations can translate engine errors to errno results.
+pub(crate) fn map_db_err<T>(r: LobResult<T>) -> Result<T, Errno> {
+    r.map_err(|e| match e {
+        lobster_types::Error::KeyNotFound => ENOENT,
+        lobster_types::Error::InvalidArgument(_) => EINVAL,
+        _ => Errno(5), // EIO
+    })
+}

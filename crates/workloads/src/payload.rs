@@ -1,0 +1,115 @@
+//! Payload size distributions matching §V-B's five configurations.
+
+use rand::Rng;
+
+/// How large each object is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PayloadDist {
+    /// Every object has the same size (120 B, 100 KB, 10 MB, 1 GB-class).
+    Fixed(usize),
+    /// Uniform in `[min, max]` (the paper's mixed 4 KB–10 MB workload).
+    Uniform { min: usize, max: usize },
+    /// Log-normal in bytes (the Wikipedia-like size model), clamped to
+    /// `[min, max]`.
+    LogNormal {
+        mu: f64,
+        sigma: f64,
+        min: usize,
+        max: usize,
+    },
+}
+
+impl PayloadDist {
+    /// The paper's five §V-B configurations, by name.
+    pub fn by_name(name: &str) -> Option<PayloadDist> {
+        match name {
+            "120b" => Some(PayloadDist::Fixed(120)),
+            "100kb" => Some(PayloadDist::Fixed(100 * 1024)),
+            "10mb" => Some(PayloadDist::Fixed(10 * 1024 * 1024)),
+            "mixed" => Some(PayloadDist::Uniform {
+                min: 4 * 1024,
+                max: 10 * 1024 * 1024,
+            }),
+            "1gb" => Some(PayloadDist::Fixed(1024 * 1024 * 1024)),
+            _ => None,
+        }
+    }
+
+    /// Draw an object size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        match *self {
+            PayloadDist::Fixed(n) => n,
+            PayloadDist::Uniform { min, max } => rng.gen_range(min..=max),
+            PayloadDist::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = (mu + sigma * z).exp();
+                (v as usize).clamp(min, max)
+            }
+        }
+    }
+
+    /// Expected size (approximate for clamped log-normal).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            PayloadDist::Fixed(n) => n as f64,
+            PayloadDist::Uniform { min, max } => (min + max) as f64 / 2.0,
+            PayloadDist::LogNormal { mu, sigma, .. } => (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn named_configs_match_paper() {
+        assert_eq!(PayloadDist::by_name("120b"), Some(PayloadDist::Fixed(120)));
+        assert_eq!(
+            PayloadDist::by_name("10mb"),
+            Some(PayloadDist::Fixed(10 << 20))
+        );
+        assert!(PayloadDist::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = PayloadDist::Uniform { min: 10, max: 20 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+        }
+    }
+
+    #[test]
+    fn lognormal_clamps_and_centers() {
+        let d = PayloadDist::LogNormal {
+            mu: 6.356,
+            sigma: 1.613,
+            min: 64,
+            max: 1 << 20,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<usize> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (64..=(1 << 20)).contains(&s)));
+        // Median near e^mu ≈ 576.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((300..1200).contains(&median), "median {median}");
+        // ~43 % of articles above 767 bytes (the paper's MySQL-limit stat).
+        let above = samples.iter().filter(|&&s| s > 767).count() as f64 / samples.len() as f64;
+        assert!((0.3..0.55).contains(&above), "fraction above 767B: {above}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Synthetic Wikipedia-like corpus (§V-D and §V-H).
+//!
+//! The paper builds a 23 GB database from English-Wikipedia article sizes
+//! and view counts, and indexes article text for Table III. The dump is not
+//! available here, so we synthesize a corpus with the distributional
+//! properties the paper relies on (DESIGN.md substitution 5):
+//!
+//! * **Sizes** — log-normal, fitted so that ≈ 43 % of articles exceed 767
+//!   bytes (MySQL's index-prefix limit) and the 8191-byte PostgreSQL limit
+//!   sits near the 95th percentile, exactly the statistics §V-H cites.
+//! * **Views** — zipfian over articles (a small set of hot articles
+//!   dominates reads, as in the real analytics data).
+//! * **Bodies** — begin with one of a few long boilerplate templates
+//!   (infobox-style), so many articles share prefixes longer than 1 KB and
+//!   a 1K-prefix index suffers real collisions, as the paper observes.
+
+use crate::payload::PayloadDist;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthesized article.
+#[derive(Clone, Debug)]
+pub struct WikiArticle {
+    pub title: String,
+    pub size: usize,
+}
+
+/// The corpus: titles, sizes, and a view-weighted sampler.
+pub struct WikiCorpus {
+    articles: Vec<WikiArticle>,
+    views: Zipf,
+    seed: u64,
+    /// Fraction of articles starting with a shared boilerplate template.
+    template_fraction: f64,
+}
+
+/// Long boilerplate openings shared between articles (the source of prefix
+/// collisions in §V-H).
+const TEMPLATES: [&[u8]; 3] = [
+    b"{{Infobox settlement | name = | official_name = | native_name = | settlement_type = \
+      | image_skyline = | image_caption = | image_flag = | flag_size = | image_seal = \
+      | seal_size = | image_map = | mapsize = | map_caption = | pushpin_map = \
+      | pushpin_label_position = | pushpin_mapsize = | subdivision_type = Country \
+      | subdivision_name = | subdivision_type1 = | subdivision_name1 = | established_title = \
+      | established_date = | area_total_km2 = | population_total = | population_as_of = \
+      | population_density_km2 = | timezone = | utc_offset = | coordinates = | elevation_m = \
+      | postal_code_type = | postal_code = | area_code = | website = | footnotes = }} ",
+    b"{{Infobox person | name = | image = | caption = | birth_name = | birth_date = \
+      | birth_place = | death_date = | death_place = | nationality = | other_names = \
+      | alma_mater = | occupation = | years_active = | known_for = | notable_works = \
+      | spouse = | children = | parents = | relatives = | awards = | signature = \
+      | website = | footnotes = }} '''Subject''' is a notable person known for ",
+    b"{{Infobox album | name = | type = studio | artist = | cover = | alt = | released = \
+      | recorded = | venue = | studio = | genre = | length = | label = | producer = \
+      | prev_title = | prev_year = | next_title = | next_year = }} '''Album''' is the ",
+];
+
+impl WikiCorpus {
+    /// Synthesize `n` articles with the paper-calibrated size distribution.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_sizes(
+            n,
+            seed,
+            // mu/sigma solve: P(size > 767) ≈ 0.43, P(size ≤ 8191) ≈ 0.95.
+            PayloadDist::LogNormal {
+                mu: 6.356,
+                sigma: 1.613,
+                min: 64,
+                max: 4 << 20,
+            },
+            0.6,
+        )
+    }
+
+    pub fn with_sizes(
+        n: usize,
+        seed: u64,
+        dist: PayloadDist,
+        template_fraction: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let articles = (0..n)
+            .map(|i| WikiArticle {
+                title: format!("Article_{i:08}"),
+                size: dist.sample(&mut rng),
+            })
+            .collect();
+        WikiCorpus {
+            articles,
+            views: Zipf::new(n as u64, 0.8),
+            seed,
+            template_fraction,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.articles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.articles.is_empty()
+    }
+
+    pub fn articles(&self) -> &[WikiArticle] {
+        &self.articles
+    }
+
+    /// Total corpus bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.articles.iter().map(|a| a.size as u64).sum()
+    }
+
+    /// Generate the body of article `i` (deterministic).
+    pub fn body(&self, i: usize) -> Vec<u8> {
+        let a = &self.articles[i];
+        let mut body = vec![0u8; a.size];
+        // Deterministic per-article RNG decides template use.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x5851_F42D));
+        let mut start = 0usize;
+        if rng.gen_bool(self.template_fraction) {
+            let template = TEMPLATES[i % TEMPLATES.len()];
+            // Repeat the template to build prefixes well past 1 KB, but
+            // always leave a unique tail so no two articles are identical.
+            let boiler_end = a.size.saturating_sub(16).min(2048);
+            while start < boiler_end {
+                let take = template.len().min(boiler_end - start);
+                body[start..start + take].copy_from_slice(&template[..take]);
+                start += take;
+            }
+        }
+        crate::fill_pattern(&mut body[start..], self.seed ^ ((i as u64) << 1));
+        body
+    }
+
+    /// Draw an article index weighted by views (hot articles dominate).
+    pub fn sample_by_views<R: Rng>(&self, rng: &mut R) -> usize {
+        self.views.sample_scrambled(rng) as usize
+    }
+
+    /// Percentile of articles whose size exceeds `bytes` (diagnostics, used
+    /// to verify the paper's cited statistics).
+    pub fn fraction_larger_than(&self, bytes: usize) -> f64 {
+        self.articles.iter().filter(|a| a.size > bytes).count() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_distribution_matches_paper_statistics() {
+        let c = WikiCorpus::new(20_000, 1);
+        // "43 percentile of the article is larger than 767 bytes".
+        let over_mysql = c.fraction_larger_than(767);
+        assert!(
+            (0.30..0.55).contains(&over_mysql),
+            "fraction over 767B: {over_mysql}"
+        );
+        // PostgreSQL's 8191 B limit near the 95th percentile.
+        let over_pg = c.fraction_larger_than(8191);
+        assert!((0.02..0.15).contains(&over_pg), "fraction over 8191B: {over_pg}");
+    }
+
+    #[test]
+    fn bodies_are_unique() {
+        let c = WikiCorpus::new(2000, 9);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..c.len() {
+            assert!(seen.insert(c.body(i)), "duplicate body at {i}");
+        }
+    }
+
+    #[test]
+    fn bodies_are_deterministic_and_sized() {
+        let c = WikiCorpus::new(100, 2);
+        for i in [0usize, 13, 99] {
+            let b1 = c.body(i);
+            let b2 = c.body(i);
+            assert_eq!(b1, b2);
+            assert_eq!(b1.len(), c.articles()[i].size);
+        }
+    }
+
+    #[test]
+    fn many_articles_share_long_prefixes() {
+        let c = WikiCorpus::new(2000, 3);
+        // Count pairs of large articles with identical 767-byte prefixes.
+        let bigs: Vec<Vec<u8>> = (0..c.len())
+            .filter(|&i| c.articles()[i].size > 1024)
+            .take(300)
+            .map(|i| c.body(i)[..767].to_vec())
+            .collect();
+        let mut sorted = bigs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert!(
+            sorted.len() < bigs.len(),
+            "template boilerplate must produce prefix collisions ({} unique of {})",
+            sorted.len(),
+            bigs.len()
+        );
+    }
+
+    #[test]
+    fn view_sampling_is_skewed() {
+        let c = WikiCorpus::new(1000, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[c.sample_by_views(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 500, "hot article must dominate: max={max}");
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 500, "tail covered");
+    }
+
+    #[test]
+    fn total_bytes_consistent() {
+        let c = WikiCorpus::new(500, 6);
+        assert_eq!(
+            c.total_bytes(),
+            c.articles().iter().map(|a| a.size as u64).sum::<u64>()
+        );
+        assert!(!c.is_empty());
+    }
+}

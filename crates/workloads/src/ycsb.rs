@@ -1,0 +1,173 @@
+//! YCSB-style workload generation (§V-B).
+//!
+//! The paper's logging experiments run single-threaded YCSB with a 50 %
+//! read ratio over five payload configurations; §V-E runs a read-only
+//! in-memory variant with 1–16 workers. This module produces the key and
+//! operation streams for both.
+
+use crate::payload::PayloadDist;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One YCSB operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Read the object with the given key.
+    Read { key: u64 },
+    /// Replace the object with a fresh payload of `size` bytes.
+    Update { key: u64, size: usize },
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Number of records loaded in the initial phase.
+    pub records: u64,
+    /// Fraction of reads in the benchmark phase (the paper uses 0.5, or
+    /// 1.0 for the read-only experiments).
+    pub read_ratio: f64,
+    /// Payload size distribution.
+    pub payload: PayloadDist,
+    /// Zipfian skew (YCSB default 0.99).
+    pub zipf_theta: f64,
+    /// RNG seed (deterministic workloads).
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// The paper's §V-B configuration for a named payload class.
+    pub fn paper(payload_name: &str, records: u64) -> Option<Self> {
+        Some(YcsbConfig {
+            records,
+            read_ratio: 0.5,
+            payload: PayloadDist::by_name(payload_name)?,
+            zipf_theta: 0.99,
+            seed: 42,
+        })
+    }
+}
+
+/// Deterministic operation stream.
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl YcsbGenerator {
+    pub fn new(cfg: YcsbConfig) -> Self {
+        let zipf = Zipf::new(cfg.records, cfg.zipf_theta);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        YcsbGenerator { cfg, zipf, rng }
+    }
+
+    /// Fork a generator with a per-worker seed (multi-threaded runs).
+    pub fn for_worker(cfg: &YcsbConfig, worker: usize) -> Self {
+        let mut cfg = cfg.clone();
+        cfg.seed = cfg.seed.wrapping_add(0x9E37 * (worker as u64 + 1));
+        Self::new(cfg)
+    }
+
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    /// `(key, size)` pairs for the initial load phase.
+    pub fn load_phase(&mut self) -> Vec<(u64, usize)> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x10AD);
+        (0..self.cfg.records)
+            .map(|k| (k, self.cfg.payload.sample(&mut rng)))
+            .collect()
+    }
+
+    /// Draw the next benchmark-phase operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.zipf.sample_scrambled(&mut self.rng);
+        if self.rng.gen_bool(self.cfg.read_ratio) {
+            Op::Read { key }
+        } else {
+            let size = self.cfg.payload.sample(&mut self.rng);
+            Op::Update { key, size }
+        }
+    }
+
+    /// Render a key as the byte key used in storage backends.
+    pub fn key_bytes(key: u64) -> Vec<u8> {
+        format!("user{key:012}").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> YcsbConfig {
+        YcsbConfig {
+            records: 1000,
+            read_ratio: 0.5,
+            payload: PayloadDist::Fixed(120),
+            zipf_theta: 0.99,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = YcsbGenerator::new(cfg());
+        let mut b = YcsbGenerator::new(cfg());
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn read_ratio_respected() {
+        let mut g = YcsbGenerator::new(cfg());
+        let reads = (0..10_000)
+            .filter(|_| matches!(g.next_op(), Op::Read { .. }))
+            .count();
+        assert!((4500..5500).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn read_only_config() {
+        let mut g = YcsbGenerator::new(YcsbConfig {
+            read_ratio: 1.0,
+            ..cfg()
+        });
+        assert!((0..1000).all(|_| matches!(g.next_op(), Op::Read { .. })));
+    }
+
+    #[test]
+    fn load_phase_covers_all_keys() {
+        let mut g = YcsbGenerator::new(cfg());
+        let load = g.load_phase();
+        assert_eq!(load.len(), 1000);
+        assert!(load.iter().enumerate().all(|(i, (k, _))| *k == i as u64));
+        assert!(load.iter().all(|(_, s)| *s == 120));
+    }
+
+    #[test]
+    fn worker_forks_differ() {
+        let base = cfg();
+        let mut w0 = YcsbGenerator::for_worker(&base, 0);
+        let mut w1 = YcsbGenerator::for_worker(&base, 1);
+        let same = (0..100).filter(|_| w0.next_op() == w1.next_op()).count();
+        assert!(same < 100, "worker streams must differ");
+    }
+
+    #[test]
+    fn keys_in_range() {
+        let mut g = YcsbGenerator::new(cfg());
+        for _ in 0..1000 {
+            let (Op::Read { key } | Op::Update { key, .. }) = g.next_op();
+            assert!(key < 1000);
+        }
+    }
+
+    #[test]
+    fn key_rendering() {
+        assert_eq!(YcsbGenerator::key_bytes(42), b"user000000000042".to_vec());
+    }
+}

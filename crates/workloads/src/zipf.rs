@@ -1,0 +1,160 @@
+//! Zipfian distribution over `{0, …, n−1}` using the Gray et al. method
+//! (the same construction YCSB's `ZipfianGenerator` uses), plus a scrambled
+//! variant that decorrelates rank and key.
+
+use rand::Rng;
+
+/// Zipfian generator: item 0 is the most popular.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+    /// Multiplier coprime to `n`, so scrambling is a bijection.
+    scramble: u64,
+}
+
+impl Zipf {
+    /// `theta` in (0, 1); YCSB uses 0.99.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // Find a large multiplier coprime to n (golden-ratio constant,
+        // nudged until gcd == 1) so sample_scrambled permutes 0..n.
+        let mut scramble = 0x9E37_79B9_7F4A_7C15u64 % n.max(1);
+        if scramble == 0 {
+            scramble = 1;
+        }
+        while gcd(scramble, n) != 1 {
+            scramble += 1;
+        }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+            scramble,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, Euler–Maclaurin tail for large n: keeps
+        // construction O(1)-ish even for hundreds of millions of items.
+        const EXACT: u64 = 1_000_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let a = EXACT as f64;
+            let b = n as f64;
+            let tail = (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank: 0 is most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Draw a scrambled item: popularity still zipfian but hot items are
+    /// spread over the key space (YCSB's scrambled zipfian). The multiplier
+    /// is coprime to `n`, so the mapping is a permutation of `0..n`.
+    pub fn sample_scrambled<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.sample(rng);
+        (rank % self.n).wrapping_mul(self.scramble) % self.n
+    }
+
+    /// Probability mass of rank `i` (0-based), for tests and analytics.
+    pub fn pmf(&self, i: u64) -> f64 {
+        1.0 / ((i + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// The zeta(2) constant (exposed for diagnostics).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range_and_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            counts[r as usize] += 1;
+        }
+        // Rank 0 should dominate: well above uniform (100) and above rank 10.
+        assert!(counts[0] > 5_000, "rank0={}", counts[0]);
+        assert!(counts[0] > counts[10] * 2);
+        // Tail still sampled.
+        assert!(counts[500..].iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrambled_is_a_permutation() {
+        for n in [7u64, 100, 1000, 4096] {
+            let z = Zipf::new(n, 0.99);
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..n {
+                seen.insert((rank % n).wrapping_mul(z.scramble) % n);
+            }
+            assert_eq!(seen.len() as u64, n, "scramble must be bijective for n={n}");
+        }
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(z.sample_scrambled(&mut rng) < 1000);
+    }
+
+    #[test]
+    fn large_n_constructs_quickly() {
+        let z = Zipf::new(100_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 100_000_000);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the full BLOB life-cycle on a file-backed database.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lobster::core::{Config, Database, RelationKind};
+use lobster::storage::FileDevice;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A real file-backed database + WAL in a temp directory.
+    let dir = std::env::temp_dir().join(format!("lobster-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let data_path = dir.join("data.lobster");
+    let wal_path = dir.join("wal.lobster");
+
+    let device = Arc::new(FileDevice::create(&data_path, 256 << 20)?);
+    let wal = Arc::new(FileDevice::create(&wal_path, 64 << 20)?);
+    let db = Database::create(device, wal, Config::default())?;
+    println!("created database at {}", data_path.display());
+
+    // Relations appear as directories in the filesystem facade.
+    let images = db.create_relation("image", RelationKind::Blob)?;
+
+    // --- Store a BLOB: one transaction, one content write -----------------
+    let cat = vec![0xCAu8; 2 * 1024 * 1024]; // a 2 MiB "image"
+    let mut txn = db.begin();
+    txn.put_blob(&images, b"cat.png", &cat)?;
+    txn.commit()?;
+    println!("stored cat.png ({} bytes)", cat.len());
+
+    // --- Read it back (zero-copy contiguous view through aliasing) --------
+    let mut txn = db.begin();
+    let (len, first, last) = txn.get_blob(&images, b"cat.png", |data| {
+        (data.len(), data[0], data[data.len() - 1])
+    })?;
+    txn.commit()?;
+    println!("read back {len} bytes (first={first:#x}, last={last:#x})");
+
+    // --- The Blob State: size, SHA-256, extent layout ----------------------
+    let mut txn = db.begin();
+    let state = txn.blob_state(&images, b"cat.png")?.expect("exists");
+    txn.commit()?;
+    println!(
+        "blob state: size={}, {} extents, sha256 starts {:02x}{:02x}…",
+        state.size,
+        state.extents.len(),
+        state.sha256[0],
+        state.sha256[1]
+    );
+
+    // --- Grow it: the SHA-256 resumes from the stored midstate ------------
+    let mut txn = db.begin();
+    txn.append_blob(&images, b"cat.png", &[0xFEu8; 100_000])?;
+    txn.commit()?;
+    println!("appended 100 KB without re-reading the original content");
+
+    // --- Transactions are real: abort rolls everything back ---------------
+    let mut txn = db.begin();
+    txn.put_blob(&images, b"mistake.png", &[0u8; 1000])?;
+    txn.abort();
+    let mut txn = db.begin();
+    assert!(txn.blob_state(&images, b"mistake.png")?.is_none());
+    txn.commit()?;
+    println!("aborted transaction left no trace");
+
+    // --- Delete: extents go back to the per-tier free lists ----------------
+    let before = db.allocator().pages_in_use();
+    let mut txn = db.begin();
+    txn.delete_blob(&images, b"cat.png")?;
+    txn.commit()?;
+    println!(
+        "deleted cat.png: {} pages recycled",
+        before - db.allocator().pages_in_use()
+    );
+
+    // --- What did all this cost? ------------------------------------------
+    let m = db.metrics().snapshot();
+    println!("\nengine metrics:\n{m}");
+
+    db.shutdown()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! A Wikipedia-style article store (§V-D / §V-H in miniature): bulk-load a
+//! synthetic corpus, serve view-weighted reads, and contrast the Blob
+//! State index with a MySQL-style prefix index on the same articles.
+//!
+//! ```text
+//! cargo run --release --example wiki_search
+//! ```
+
+use lobster::btree::LexCmp;
+use lobster::core::{BlobStateCmp, Config, Database, RelationKind};
+use lobster::storage::MemDevice;
+use lobster::workloads::WikiCorpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ARTICLES: usize = 3_000;
+const MYSQL_PREFIX_LIMIT: usize = 767;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::create(
+        Arc::new(MemDevice::new(512 << 20)),
+        Arc::new(MemDevice::new(128 << 20)),
+        Config {
+            pool_frames: 32 * 1024, // 128 MiB
+            ..Config::default()
+        },
+    )?;
+    let articles = db.create_relation("article", RelationKind::Blob)?;
+
+    // ---- Bulk load the corpus ---------------------------------------------
+    let corpus = WikiCorpus::new(ARTICLES, 42);
+    println!(
+        "loading {} articles ({:.1} MiB, {:.0}% larger than MySQL's {}B prefix limit)…",
+        corpus.len(),
+        corpus.total_bytes() as f64 / (1 << 20) as f64,
+        corpus.fraction_larger_than(MYSQL_PREFIX_LIMIT) * 100.0,
+        MYSQL_PREFIX_LIMIT,
+    );
+    let t0 = Instant::now();
+    for i in 0..corpus.len() {
+        let mut txn = db.begin();
+        txn.put_blob(
+            &articles,
+            corpus.articles()[i].title.as_bytes(),
+            &corpus.body(i),
+        )?;
+        txn.commit()?;
+    }
+    println!("loaded in {:?}", t0.elapsed());
+
+    // ---- View-weighted read serving (§V-D) --------------------------------
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let reads = 5_000;
+    let mut bytes = 0u64;
+    for _ in 0..reads {
+        let i = corpus.sample_by_views(&mut rng);
+        let mut txn = db.begin();
+        bytes += txn.get_blob(&articles, corpus.articles()[i].title.as_bytes(), |b| {
+            b.len() as u64
+        })?;
+        txn.commit()?;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "served {reads} view-weighted reads: {:.0} reads/s, {:.1} MiB/s",
+        reads as f64 / secs,
+        bytes as f64 / (1 << 20) as f64 / secs
+    );
+
+    // ---- Content indexing: Blob State index vs 1K-prefix index (§V-H) -----
+    println!("\nbuilding content indexes…");
+    let t0 = Instant::now();
+    let state_index =
+        db.create_relation_with("article_by_content", RelationKind::Kv, BlobStateCmp::new(&db), 1)?;
+    let mut txn = db.begin();
+    for i in 0..corpus.len() {
+        let title = corpus.articles()[i].title.clone();
+        let state = txn.blob_state(&articles, title.as_bytes())?.expect("loaded");
+        state_index
+            .tree
+            .insert(&state.encode(), title.as_bytes(), false)?;
+    }
+    txn.commit()?;
+    let blob_index_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let prefix_index =
+        db.create_relation_with("article_by_prefix", RelationKind::Kv, Arc::new(LexCmp), 1)?;
+    let mut misses = 0u64;
+    for i in 0..corpus.len() {
+        let body = corpus.body(i);
+        let key = &body[..body.len().min(MYSQL_PREFIX_LIMIT)];
+        if prefix_index
+            .tree
+            .insert(key, corpus.articles()[i].title.as_bytes(), false)
+            .is_err()
+        {
+            misses += 1; // identical prefix already indexed: unservable
+        }
+    }
+    let prefix_index_time = t0.elapsed();
+
+    let si = state_index.tree.stats()?;
+    let pi = prefix_index.tree.stats()?;
+    println!(
+        "  {:<16} miss={:>5.1}%  build={:>8.1?}  size={:>6.1} MiB  leaves={}",
+        "Blob State",
+        0.0,
+        blob_index_time,
+        si.capacity_bytes as f64 / (1 << 20) as f64,
+        si.leaves
+    );
+    println!(
+        "  {:<16} miss={:>5.1}%  build={:>8.1?}  size={:>6.1} MiB  leaves={}",
+        "1K Prefix",
+        misses as f64 * 100.0 / corpus.len() as f64,
+        prefix_index_time,
+        pi.capacity_bytes as f64 / (1 << 20) as f64,
+        pi.leaves
+    );
+
+    // ---- Point query through the Blob State index --------------------------
+    let probe_title = &corpus.articles()[123].title;
+    let mut txn = db.begin();
+    let probe_state = txn.blob_state(&articles, probe_title.as_bytes())?.unwrap();
+    txn.commit()?;
+    let found = state_index.tree.lookup(&probe_state.encode())?;
+    println!(
+        "\ncontent lookup for '{probe_title}' -> {:?}",
+        found.map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
+    assert_eq!(found_as_string(&state_index, &probe_state)?, *probe_title);
+    Ok(())
+}
+
+fn found_as_string(
+    index: &lobster::core::Relation,
+    state: &lobster::core::BlobState,
+) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(String::from_utf8(
+        index.tree.lookup(&state.encode())?.expect("indexed"),
+    )?)
+}

@@ -1,0 +1,61 @@
+//! # LOBSTER — Large OBject STorage EngineR
+//!
+//! A from-scratch Rust storage engine reproducing *"Why Files If You Have
+//! a DBMS?"* (Nguyen & Leis, ICDE 2024): BLOBs live **inside** the
+//! database — with transactions, durability, and indexing — yet are
+//! written to storage only **once** and can be read by unmodified
+//! file-based applications through a userspace-filesystem facade.
+//!
+//! This crate is the facade over the workspace; see the subsystem crates
+//! for details:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `lobster-core` | the engine: Blob State, single-flush commit, transactions, recovery, indexing |
+//! | [`buffer`] | `lobster-buffer` | vmcache-style pool, virtual-memory aliasing, hash-table baseline |
+//! | [`extent`] | `lobster-extent` | tier tables, extent sequences, tail extents, free-list allocation |
+//! | [`btree`] | `lobster-btree` | paged B+Tree with prefix truncation and pluggable comparators |
+//! | [`wal`] | `lobster-wal` | group-commit write-ahead log with epoch truncation |
+//! | [`storage`] | `lobster-storage` | devices (file/memory/throttled/crash-injecting) and async I/O |
+//! | [`sha256`] | `lobster-sha256` | resumable SHA-256 with exportable midstate |
+//! | [`vfs`] | `lobster-vfs` | FUSE-style filesystem facade (relations as directories) |
+//! | [`baselines`] | `lobster-baselines` | ext4/XFS/BtrFS/F2FS models, TOAST, InnoDB, SQLite |
+//! | [`workloads`] | `lobster-workloads` | YCSB, Wikipedia-like corpus, git-clone traces |
+//! | [`metrics`] | `lobster-metrics` | deterministic cost-model counters |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lobster::core::{Config, Database, RelationKind};
+//! use lobster::storage::MemDevice;
+//! use std::sync::Arc;
+//!
+//! let db = Database::create(
+//!     Arc::new(MemDevice::new(64 << 20)),
+//!     Arc::new(MemDevice::new(16 << 20)),
+//!     Config::default(),
+//! ).unwrap();
+//! let images = db.create_relation("image", RelationKind::Blob).unwrap();
+//!
+//! let mut txn = db.begin();
+//! txn.put_blob(&images, b"xray-001.png", &vec![0u8; 256 * 1024]).unwrap();
+//! txn.commit().unwrap(); // WAL fsync, then ONE content write
+//!
+//! // Expose the relation as a read-only directory (FUSE-style):
+//! use lobster::vfs::{DbFs, FileSystem};
+//! let fs = DbFs::new(db.clone());
+//! assert_eq!(fs.getattr("/image/xray-001.png").unwrap().size, 256 * 1024);
+//! ```
+
+pub use lobster_baselines as baselines;
+pub use lobster_btree as btree;
+pub use lobster_buffer as buffer;
+pub use lobster_core as core;
+pub use lobster_extent as extent;
+pub use lobster_metrics as metrics;
+pub use lobster_sha256 as sha256;
+pub use lobster_storage as storage;
+pub use lobster_types as types;
+pub use lobster_vfs as vfs;
+pub use lobster_wal as wal;
+pub use lobster_workloads as workloads;

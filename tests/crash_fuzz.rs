@@ -1,0 +1,411 @@
+//! Randomized crash-recovery fuzzing: arbitrary operation sequences, a
+//! power cut after an arbitrary number of device writes (with a torn final
+//! write), then recovery — checking the paper's §III-C guarantees hold at
+//! *every* crash point, not just hand-picked ones.
+//!
+//! Invariants (the oracle tracks every committed version of every key):
+//! 1. recovery always succeeds;
+//! 2. a key visible after recovery holds exactly one of its committed
+//!    contents (never a torn mixture — the SHA-256 validation guarantee);
+//! 3. data committed before the last checkpoint is never lost;
+//! 4. the database remains writable and re-recoverable afterwards.
+
+use lobster::core::{Config, Database, RelationKind};
+use lobster::storage::{CrashDevice, Device, MemDevice};
+use lobster::workloads::make_payload;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Put { key: u8, size: u16 },
+    Append { key: u8, size: u16 },
+    Update { key: u8, at: u16, len: u16 },
+    Truncate { key: u8, keep: u16 },
+    Delete { key: u8 },
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u16..30_000).prop_map(|(key, size)| FuzzOp::Put { key: key % 12, size }),
+        2 => (any::<u8>(), 1u16..8_000).prop_map(|(key, size)| FuzzOp::Append { key: key % 12, size }),
+        2 => (any::<u8>(), any::<u16>(), 1u16..4_000)
+            .prop_map(|(key, at, len)| FuzzOp::Update { key: key % 12, at, len }),
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(key, keep)| FuzzOp::Truncate { key: key % 12, keep }),
+        2 => any::<u8>().prop_map(|key| FuzzOp::Delete { key: key % 12 }),
+        1 => Just(FuzzOp::Checkpoint),
+    ]
+}
+
+fn cfg() -> Config {
+    Config {
+        pool_frames: 2048,
+        ..Config::default()
+    }
+}
+
+fn copy_device(src: &MemDevice, capacity: usize) -> Arc<MemDevice> {
+    let dst = MemDevice::new(capacity);
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < src.capacity() {
+        let n = buf.len().min((src.capacity() - off) as usize);
+        src.read_at(&mut buf[..n], off).unwrap();
+        dst.write_at(&buf[..n], off).unwrap();
+        off += n as u64;
+    }
+    Arc::new(dst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recovery_invariants_hold_at_random_crash_points(
+        ops in proptest::collection::vec(op_strategy(), 4..30),
+        crash_after in 0u64..120,
+        tear in 0u32..=256,
+    ) {
+        const CAP: usize = 96 << 20;
+        let data_dev = Arc::new(CrashDevice::new(MemDevice::new(CAP)));
+        let wal_dev = Arc::new(MemDevice::new(32 << 20));
+        let db = Database::create(data_dev.clone(), wal_dev.clone(), cfg()).unwrap();
+        let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+        db.checkpoint().unwrap();
+        // Power loss kills the device AND the process: post-crash I/O
+        // fails, and the first failure ends the workload.
+        data_dev.set_fail_after_crash(true);
+
+        // Oracle: every content a committed transaction ever gave a key,
+        // newest last; plus the content guaranteed by the last checkpoint.
+        let mut committed: HashMap<u8, Vec<Vec<u8>>> = HashMap::new();
+        let mut checkpointed: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        let mut current: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut seed = 1u64;
+
+        data_dev.arm_after_writes(crash_after, tear);
+        for op in &ops {
+            // Crash semantics: when the device dies, the process dies with
+            // it — the op in flight at the crash point may have been torn,
+            // but no later operation runs. (A device that silently drops
+            // writes while the process keeps committing and truncating the
+            // WAL is byzantine; no design recovers from lying fsyncs.)
+            if data_dev.has_crashed() {
+                break;
+            }
+            match op {
+                FuzzOp::Put { key, size } => {
+                    if current.contains_key(key) {
+                        continue;
+                    }
+                    seed += 1;
+                    let data = make_payload(*size as usize, seed);
+                    // An op overlapping the crash may still have made its
+                    // WAL record durable: record it as a *possible*
+                    // recovered version before attempting the commit.
+                    committed.entry(*key).or_default().push(data.clone());
+                    let mut t = db.begin();
+                    let ok = t
+                        .put_blob(&rel, &[*key], &data)
+                        .and_then(|_| t.commit())
+                        .is_ok();
+                    if !ok {
+                        break;
+                    }
+                    current.insert(*key, data);
+                }
+                FuzzOp::Append { key, size } => {
+                    let Some(existing) = current.get_mut(key) else { continue };
+                    seed += 1;
+                    let extra = make_payload(*size as usize, seed);
+                    let mut appended = existing.clone();
+                    appended.extend_from_slice(&extra);
+                    committed.entry(*key).or_default().push(appended.clone());
+                    let mut t = db.begin();
+                    let ok = t
+                        .append_blob(&rel, &[*key], &extra)
+                        .and_then(|_| t.commit())
+                        .is_ok();
+                    if !ok {
+                        break;
+                    }
+                    *existing = appended;
+                }
+                FuzzOp::Update { key, at, len } => {
+                    let Some(existing) = current.get_mut(key) else { continue };
+                    if existing.is_empty() {
+                        continue;
+                    }
+                    seed += 1;
+                    let at = (*at as usize) % existing.len();
+                    let len = (*len as usize).min(existing.len() - at);
+                    let patch = make_payload(len, seed ^ 0xDE17A);
+                    let mut updated = existing.clone();
+                    updated[at..at + len].copy_from_slice(&patch);
+                    committed.entry(*key).or_default().push(updated.clone());
+                    let mut t = db.begin();
+                    let ok = t
+                        .update_blob(&rel, &[*key], at as u64, &patch)
+                        .and_then(|_| t.commit())
+                        .is_ok();
+                    if !ok {
+                        break;
+                    }
+                    *existing = updated;
+                }
+                FuzzOp::Truncate { key, keep } => {
+                    let Some(existing) = current.get_mut(key) else { continue };
+                    let keep = (*keep as usize).min(existing.len());
+                    let mut shrunk = existing.clone();
+                    shrunk.truncate(keep);
+                    committed.entry(*key).or_default().push(shrunk.clone());
+                    let mut t = db.begin();
+                    let ok = t
+                        .truncate_blob(&rel, &[*key], keep as u64)
+                        .and_then(|_| t.commit())
+                        .is_ok();
+                    if !ok {
+                        break;
+                    }
+                    *existing = shrunk;
+                }
+                FuzzOp::Delete { key } => {
+                    if !current.contains_key(key) {
+                        continue;
+                    }
+                    committed.entry(*key).or_default().push(Vec::new()); // tombstone marker
+                    let mut t = db.begin();
+                    let ok = t.delete_blob(&rel, &[*key]).and_then(|_| t.commit()).is_ok();
+                    if !ok {
+                        break;
+                    }
+                    current.remove(key);
+                }
+                FuzzOp::Checkpoint => {
+                    if db.checkpoint().is_err() {
+                        break; // power died mid-checkpoint
+                    }
+                    if !data_dev.has_crashed() {
+                        checkpointed = current
+                            .iter()
+                            .map(|(k, v)| (*k, Some(v.clone())))
+                            .collect();
+                        for k in 0u8..12 {
+                            checkpointed.entry(k).or_insert(None);
+                        }
+                    }
+                }
+            }
+            if data_dev.has_crashed() {
+                break; // the process dies with the device
+            }
+        }
+        std::mem::forget(db); // the crash: no rollback, no shutdown
+
+        // Recover from what physically survived.
+        let survivor = copy_device(data_dev.inner(), CAP);
+        let (db2, _report) = Database::open(survivor, wal_dev.clone(), cfg()).unwrap();
+        let rel2 = db2.relation("b").unwrap();
+
+        let mut t = db2.begin();
+        for key in 0u8..12 {
+            let visible = t.blob_state(&rel2, &[key]).unwrap();
+            if let Some(state) = visible {
+                // Invariant 2: content equals SOME committed version.
+                let got = t.get_blob(&rel2, &[key], |b| b.to_vec()).unwrap();
+                prop_assert_eq!(state.size as usize, got.len());
+                let versions = committed.get(&key).cloned().unwrap_or_default();
+                prop_assert!(
+                    versions.iter().any(|v| v == &got),
+                    "key {} holds a never-committed content ({} bytes, crash_after={})",
+                    key, got.len(), crash_after
+                );
+            }
+            // Invariant 3: checkpointed state is a floor.
+            if !data_dev.has_crashed() {
+                continue; // no crash fired: everything must match `current`
+            }
+            if let Some(Some(ckpt_content)) = checkpointed.get(&key) {
+                // The key existed at checkpoint; afterwards it may have
+                // been replaced or deleted by a post-checkpoint commit —
+                // but it cannot have silently vanished with no committed
+                // delete.
+                let deleted_later = committed
+                    .get(&key)
+                    .map(|vs| vs.iter().any(|v| v.is_empty()))
+                    .unwrap_or(false);
+                let visible_now = t.blob_state(&rel2, &[key]).unwrap().is_some();
+                prop_assert!(
+                    visible_now || deleted_later,
+                    "checkpointed key {} vanished (crash_after={})",
+                    key, crash_after
+                );
+                let _ = ckpt_content;
+            }
+        }
+        // No crash fired ⇒ exact final state.
+        if !data_dev.has_crashed() {
+            for key in 0u8..12 {
+                let got = t
+                    .blob_state(&rel2, &[key])
+                    .unwrap()
+                    .map(|_| t.get_blob(&rel2, &[key], |b| b.to_vec()).unwrap());
+                prop_assert_eq!(got.as_ref(), current.get(&key), "key {}", key);
+            }
+        }
+        t.commit().unwrap();
+
+        // Invariant 4: still writable and re-recoverable.
+        let post = make_payload(5000, 0xDEAD);
+        let mut t = db2.begin();
+        t.put_blob(&rel2, b"post", &post).unwrap();
+        t.commit().unwrap();
+        db2.shutdown().unwrap();
+        let data_dev2 = db2.device();
+        drop(db2);
+        let (db3, _) = Database::open(data_dev2, wal_dev, cfg()).unwrap();
+        let rel3 = db3.relation("b").unwrap();
+        let mut t = db3.begin();
+        prop_assert_eq!(t.get_blob(&rel3, b"post", |b| b.to_vec()).unwrap(), post);
+        t.commit().unwrap();
+    }
+}
+
+// ------------------------------------------------------- WAL-side crash ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The mirror experiment: the *log* device loses power mid-run while
+    /// the data device stays healthy. With synchronous commits, every
+    /// acknowledged transaction is durable by definition — recovery must
+    /// reproduce the acknowledged history exactly, plus at most the one
+    /// transaction in flight at the crash point.
+    #[test]
+    fn wal_crash_preserves_acknowledged_commits(
+        sizes in proptest::collection::vec(256usize..40_000, 2..25),
+        crash_after in 0u64..40,
+        tear in 0u32..=256,
+    ) {
+        const CAP: usize = 96 << 20;
+        let data_dev = Arc::new(MemDevice::new(CAP));
+        let wal_dev = Arc::new(CrashDevice::new(MemDevice::new(16 << 20)));
+        let db = Database::create(data_dev.clone(), wal_dev.clone(), cfg()).unwrap();
+        let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+        db.checkpoint().unwrap();
+        wal_dev.set_fail_after_crash(true);
+        wal_dev.arm_after_writes(crash_after, tear);
+
+        let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut in_flight: Option<(u64, Vec<u8>)> = None;
+        for (i, size) in sizes.iter().enumerate() {
+            let data = make_payload(*size, i as u64 + 1);
+            let mut t = db.begin();
+            let r = t
+                .put_blob(&rel, &(i as u64).to_be_bytes(), &data)
+                .and_then(|_| t.commit());
+            match r {
+                Ok(()) => acked.push((i as u64, data)),
+                Err(_) => {
+                    // The crashing commit: its WAL frames may or may not be
+                    // fully durable.
+                    in_flight = Some((i as u64, data));
+                    break;
+                }
+            }
+        }
+        std::mem::forget(db);
+
+        let survivor_wal = copy_device(wal_dev.inner(), 16 << 20);
+        let (db2, _) = Database::open(data_dev, survivor_wal, cfg()).unwrap();
+        let rel2 = db2.relation("b").unwrap();
+        let mut t = db2.begin();
+        for (key, data) in &acked {
+            let got = t.get_blob(&rel2, &key.to_be_bytes(), |b| b.to_vec()).unwrap();
+            prop_assert_eq!(&got, data, "acked key {} must survive a WAL crash", key);
+        }
+        if let Some((key, data)) = in_flight {
+            // Either fully recovered or fully absent — never torn.
+            if t.blob_state(&rel2, &key.to_be_bytes()).unwrap().is_some() {
+                let got = t.get_blob(&rel2, &key.to_be_bytes(), |b| b.to_vec()).unwrap();
+                prop_assert_eq!(got, data, "in-flight txn recovered torn");
+            }
+        }
+        t.commit().unwrap();
+    }
+}
+
+// -------------------------------------------------- restartable recovery ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Recovery itself can lose power (it rewrites pages during its final
+    /// checkpoint). A second recovery from whatever survived must succeed
+    /// and expose the same committed data — recovery is restartable.
+    #[test]
+    fn recovery_survives_a_crash_during_recovery(
+        sizes in proptest::collection::vec(256usize..30_000, 2..12),
+        crash_after in 0u64..60,
+        tear in 0u32..=256,
+    ) {
+        const CAP: usize = 96 << 20;
+        let base = Arc::new(MemDevice::new(CAP));
+        let wal_dev = Arc::new(MemDevice::new(16 << 20));
+        {
+            let db = Database::create(base.clone(), wal_dev.clone(), cfg()).unwrap();
+            let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+            for (i, size) in sizes.iter().enumerate() {
+                let data = make_payload(*size, i as u64 + 1);
+                let mut t = db.begin();
+                t.put_blob(&rel, &(i as u64).to_be_bytes(), &data).unwrap();
+                t.commit().unwrap();
+            }
+            db.wait_for_durability();
+            std::mem::forget(db); // first crash: dirty shutdown
+        }
+
+        // First recovery attempt on a device armed to die mid-recovery.
+        let crash_dev = Arc::new(CrashDevice::new(MemDevice::new(CAP)));
+        {
+            // Clone the surviving image onto the crash device.
+            let src = copy_device(&base, CAP);
+            let mut buf = vec![0u8; 1 << 20];
+            let mut off = 0u64;
+            while off < CAP as u64 {
+                let n = buf.len().min((CAP as u64 - off) as usize);
+                src.read_at(&mut buf[..n], off).unwrap();
+                crash_dev.inner().write_at(&buf[..n], off).unwrap();
+                off += n as u64;
+            }
+        }
+        crash_dev.set_fail_after_crash(true);
+        crash_dev.arm_after_writes(crash_after, tear);
+        let wal_copy = copy_device(&wal_dev, 16 << 20);
+        match Database::open(crash_dev.clone(), wal_copy.clone(), cfg()) {
+            Ok((db, _)) => {
+                // Recovery finished before the crash point: normal checks.
+                std::mem::forget(db);
+            }
+            Err(_) => {
+                prop_assert!(crash_dev.has_crashed(), "open may only fail from the injected crash");
+            }
+        }
+
+        // Second recovery from what physically survived the first attempt.
+        let survivor = copy_device(crash_dev.inner(), CAP);
+        let (db2, _) = Database::open(survivor, wal_copy, cfg()).unwrap();
+        let rel2 = db2.relation("b").unwrap();
+        let mut t = db2.begin();
+        for (i, size) in sizes.iter().enumerate() {
+            let expect = make_payload(*size, i as u64 + 1);
+            let got = t
+                .get_blob(&rel2, &(i as u64).to_be_bytes(), |b| b.to_vec())
+                .unwrap();
+            prop_assert_eq!(got, expect, "blob {} after double recovery", i);
+        }
+        t.commit().unwrap();
+    }
+}

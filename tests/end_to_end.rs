@@ -1,0 +1,353 @@
+//! Cross-crate integration tests: the engine, the filesystem facade, the
+//! baseline models, and real file-backed devices working together.
+
+use lobster::baselines::{
+    ClientServerCost, FsProfile, LobsterStore, ModelFs, ObjectStore, OverflowStore, SqliteStore,
+    ToastStore,
+};
+use lobster::core::{Config, Database, RelationKind};
+use lobster::storage::{FileDevice, MemDevice};
+use lobster::vfs::{read_to_vec, DbFs, FileSystem};
+use lobster::workloads::{make_payload, Op, PayloadDist, YcsbConfig, YcsbGenerator};
+use std::sync::Arc;
+
+fn small_cfg() -> Config {
+    Config {
+        pool_frames: 4096,
+        ..Config::default()
+    }
+}
+
+/// Every backend — ours, the FS models, and the DBMS models — must agree
+/// byte-for-byte under the same YCSB workload.
+#[test]
+fn all_backends_agree_under_ycsb() {
+    let stores: Vec<Box<dyn ObjectStore>> = vec![
+        Box::new(
+            LobsterStore::new(
+                "Our",
+                Arc::new(MemDevice::new(256 << 20)),
+                Arc::new(MemDevice::new(64 << 20)),
+                small_cfg(),
+                lobster::baselines::LobsterMode::Blobs,
+            )
+            .unwrap(),
+        ),
+        Box::new(ModelFs::new(
+            FsProfile::ext4_ordered(),
+            Arc::new(MemDevice::new(256 << 20)),
+            4096,
+        )),
+        Box::new(ModelFs::new(
+            FsProfile::f2fs(),
+            Arc::new(MemDevice::new(256 << 20)),
+            4096,
+        )),
+        Box::new(ToastStore::new(
+            Arc::new(MemDevice::new(256 << 20)),
+            4096,
+            ClientServerCost::none(),
+        )),
+        Box::new(OverflowStore::new(
+            Arc::new(MemDevice::new(256 << 20)),
+            4096,
+            ClientServerCost::none(),
+        )),
+        Box::new(SqliteStore::new(
+            Arc::new(MemDevice::new(256 << 20)),
+            4096,
+            false,
+        )),
+    ];
+
+    let cfg = YcsbConfig {
+        records: 50,
+        read_ratio: 0.5,
+        payload: PayloadDist::Uniform {
+            min: 100,
+            max: 100_000,
+        },
+        zipf_theta: 0.9,
+        seed: 1234,
+    };
+
+    // The reference model.
+    let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+    let mut gen = YcsbGenerator::new(cfg.clone());
+    let load = gen.load_phase();
+    for &(k, size) in &load {
+        let data = make_payload(size, k);
+        model.insert(k, data.clone());
+        for s in &stores {
+            s.put(&format!("user{k:012}"), &data)
+                .unwrap_or_else(|e| panic!("{}: put {k}: {e}", s.label()));
+        }
+    }
+
+    for i in 0..200 {
+        match gen.next_op() {
+            Op::Read { key } => {
+                let expect = &model[&key];
+                for s in &stores {
+                    let mut got = Vec::new();
+                    s.get(&format!("user{key:012}"), &mut |b| got = b.to_vec())
+                        .unwrap_or_else(|e| panic!("{}: get {key}: {e}", s.label()));
+                    assert_eq!(&got, expect, "{} op {i} key {key}", s.label());
+                }
+            }
+            Op::Update { key, size } => {
+                let data = make_payload(size, key ^ (i as u64) << 32);
+                model.insert(key, data.clone());
+                for s in &stores {
+                    s.replace(&format!("user{key:012}"), &data)
+                        .unwrap_or_else(|e| panic!("{}: update {key}: {e}", s.label()));
+                }
+            }
+        }
+    }
+}
+
+/// Full lifecycle on real file-backed devices, including reopen with
+/// recovery.
+#[test]
+fn file_backed_database_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("lobster-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_path = dir.join("data.db");
+    let wal_path = dir.join("wal.db");
+    let payload = make_payload(3 << 20, 99);
+
+    {
+        let device = Arc::new(FileDevice::create(&data_path, 128 << 20).unwrap());
+        let wal = Arc::new(FileDevice::create(&wal_path, 32 << 20).unwrap());
+        let db = Database::create(device, wal, small_cfg()).unwrap();
+        let rel = db.create_relation("files", RelationKind::Blob).unwrap();
+        let mut t = db.begin();
+        t.put_blob(&rel, b"big.bin", &payload).unwrap();
+        t.commit().unwrap();
+        // NO clean shutdown: force recovery on reopen.
+    }
+    {
+        let device = Arc::new(FileDevice::open(&data_path).unwrap());
+        let wal = Arc::new(FileDevice::open(&wal_path).unwrap());
+        let (db, report) = Database::open(device, wal, small_cfg()).unwrap();
+        assert!(report.committed >= 2);
+        let rel = db.relation("files").unwrap();
+        let mut t = db.begin();
+        let got = t.get_blob(&rel, b"big.bin", |b| b.to_vec()).unwrap();
+        t.commit().unwrap();
+        assert_eq!(got, payload);
+        db.shutdown().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The filesystem facade and the engine observe the same data; files added
+/// through transactions appear in directory listings immediately.
+#[test]
+fn vfs_and_engine_are_consistent() {
+    let db = Database::create(
+        Arc::new(MemDevice::new(128 << 20)),
+        Arc::new(MemDevice::new(32 << 20)),
+        small_cfg(),
+    )
+    .unwrap();
+    let rel = db.create_relation("media", RelationKind::Blob).unwrap();
+    let fs = DbFs::new(db.clone());
+
+    assert!(fs.readdir("/media").unwrap().is_empty());
+    let payload = make_payload(777_777, 3);
+    let mut t = db.begin();
+    t.put_blob(&rel, b"movie.mp4", &payload).unwrap();
+    t.commit().unwrap();
+
+    assert_eq!(fs.readdir("/media").unwrap(), vec!["movie.mp4"]);
+    assert_eq!(fs.getattr("/media/movie.mp4").unwrap().size, 777_777);
+    assert_eq!(read_to_vec(&fs, "/media/movie.mp4").unwrap(), payload);
+
+    let mut t = db.begin();
+    t.delete_blob(&rel, b"movie.mp4").unwrap();
+    t.commit().unwrap();
+    assert!(fs.open("/media/movie.mp4").is_err());
+}
+
+/// Multi-threaded mixed workload: concurrent writers on distinct keys and
+/// readers over the whole key space, with conflicts retried.
+#[test]
+fn concurrent_mixed_workload() {
+    let db = Database::create(
+        Arc::new(MemDevice::new(256 << 20)),
+        Arc::new(MemDevice::new(64 << 20)),
+        Config {
+            pool_frames: 8192,
+            workers: 8,
+            ..Config::default()
+        },
+    )
+    .unwrap();
+    let rel = db.create_relation("objs", RelationKind::Blob).unwrap();
+
+    std::thread::scope(|s| {
+        for w in 0..4usize {
+            let db = db.clone();
+            let rel = rel.clone();
+            s.spawn(move || {
+                for i in 0..30 {
+                    let key = format!("w{w}-obj{i}");
+                    let data = make_payload(10_000 + i * 1000, (w * 1000 + i) as u64);
+                    loop {
+                        let mut t = db.begin_with_worker(w);
+                        let r = t
+                            .put_blob(&rel, key.as_bytes(), &data)
+                            .and_then(|_| t.commit());
+                        match r {
+                            Ok(()) => break,
+                            Err(e) => {
+                                if e.is_retryable() {
+                                    continue;
+                                }
+                                panic!("writer {w}: {e}");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for w in 4..8usize {
+            let db = db.clone();
+            let rel = rel.clone();
+            s.spawn(move || {
+                for round in 0..50 {
+                    let target = format!("w{}-obj{}", round % 4, round % 30);
+                    let mut t = db.begin_with_worker(w);
+                    match t.get_blob(&rel, target.as_bytes(), |b| b.len()) {
+                        Ok(n) => assert!(n >= 10_000),
+                        Err(lobster::types::Error::KeyNotFound) => {}
+                        Err(e) if e.is_retryable() => {}
+                        Err(e) => panic!("reader: {e}"),
+                    }
+                    drop(t);
+                }
+            });
+        }
+    });
+
+    // All 120 objects present and correct.
+    let mut t = db.begin();
+    for w in 0..4usize {
+        for i in 0..30usize {
+            let key = format!("w{w}-obj{i}");
+            let expect = make_payload(10_000 + i * 1000, (w * 1000 + i) as u64);
+            let got = t.get_blob(&rel, key.as_bytes(), |b| b.to_vec()).unwrap();
+            assert_eq!(got, expect, "{key}");
+        }
+    }
+    t.commit().unwrap();
+}
+
+/// Our store and the host filesystem agree through the shared FileSystem
+/// trait (the fs_bridge example, as a test).
+#[test]
+fn dbfs_matches_hostfs_behaviour() {
+    let root = std::env::temp_dir().join(format!("lobster-e2e-host-{}", std::process::id()));
+    let host = lobster::vfs::HostFs::new(&root).unwrap();
+    let db = Database::create(
+        Arc::new(MemDevice::new(64 << 20)),
+        Arc::new(MemDevice::new(16 << 20)),
+        small_cfg(),
+    )
+    .unwrap();
+    let rel = db.create_relation("d", RelationKind::Blob).unwrap();
+    let dbfs = DbFs::new(db.clone());
+
+    let data = make_payload(123_456, 5);
+    lobster::vfs::write_all(&host, "/d/file.bin", &data).unwrap();
+    let mut t = db.begin();
+    t.put_blob(&rel, b"file.bin", &data).unwrap();
+    t.commit().unwrap();
+
+    for fs in [&host as &dyn FileSystem, &dbfs as &dyn FileSystem] {
+        assert_eq!(fs.getattr("/d/file.bin").unwrap().size, 123_456);
+        assert_eq!(read_to_vec(fs, "/d/file.bin").unwrap(), data);
+        assert_eq!(fs.readdir("/d").unwrap(), vec!["file.bin"]);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Writers, a reader, and a checkpointer running concurrently: the
+/// checkpoint gate must serialize image journaling against commits without
+/// deadlock, and a crash at the end must recover every committed object.
+#[test]
+fn concurrent_commits_and_checkpoints_recover() {
+    let dev = Arc::new(MemDevice::new(512 << 20));
+    let wal = Arc::new(MemDevice::new(128 << 20));
+    let cfg = Config {
+        pool_frames: 16 * 1024,
+        workers: 8,
+        commit_wait: false, // group commit: the harder interleaving
+        ..Config::default()
+    };
+    let db = Database::create(dev.clone(), wal.clone(), cfg.clone()).unwrap();
+    let rel = db.create_relation("objs", RelationKind::Blob).unwrap();
+
+    std::thread::scope(|s| {
+        for w in 0..3usize {
+            let db = db.clone();
+            let rel = rel.clone();
+            s.spawn(move || {
+                for i in 0..40usize {
+                    let key = format!("w{w}-{i}");
+                    let data = make_payload(5_000 + (w * 40 + i) * 321, (w * 100 + i) as u64);
+                    loop {
+                        let mut t = db.begin_with_worker(w);
+                        match t.put_blob(&rel, key.as_bytes(), &data).and_then(|_| t.commit()) {
+                            Ok(()) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("writer {w}: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Aggressive checkpointing in parallel with the commit stream.
+        let db2 = db.clone();
+        s.spawn(move || {
+            for _ in 0..25 {
+                db2.checkpoint().unwrap();
+                std::thread::yield_now();
+            }
+        });
+        // A reader scanning throughout.
+        let db3 = db.clone();
+        let rel3 = rel.clone();
+        s.spawn(move || {
+            for _ in 0..50 {
+                let mut t = db3.begin_with_worker(7);
+                let mut n = 0;
+                let _ = t.scan_states(&rel3, b"", |_, _| {
+                    n += 1;
+                    true
+                });
+                drop(t);
+                std::thread::yield_now();
+                std::hint::black_box(n);
+            }
+        });
+    });
+
+    db.wait_for_durability();
+    std::mem::forget(db); // crash
+
+    let (db, _) = Database::open(dev, wal, cfg).unwrap();
+    let rel = db.relation("objs").unwrap();
+    let mut t = db.begin();
+    for w in 0..3usize {
+        for i in 0..40usize {
+            let key = format!("w{w}-{i}");
+            let expect = make_payload(5_000 + (w * 40 + i) * 321, (w * 100 + i) as u64);
+            let got = t.get_blob(&rel, key.as_bytes(), |b| b.to_vec()).unwrap();
+            assert_eq!(got, expect, "{key} after concurrent checkpoints + crash");
+        }
+    }
+    t.commit().unwrap();
+}

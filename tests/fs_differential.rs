@@ -1,0 +1,235 @@
+//! Differential testing of the filesystem implementations: the DBMS facade,
+//! all four modeled file systems, and the real host filesystem must behave
+//! identically through the shared `FileSystem` trait.
+
+use lobster::baselines::{FsProfile, ModelFs};
+use lobster::core::{Config, Database, RelationKind};
+use lobster::storage::MemDevice;
+use lobster::vfs::{read_to_vec, write_all, DbFs, FileKind, FileSystem, HostFs, WritableDbFs};
+use lobster::workloads::make_payload;
+use std::sync::Arc;
+
+/// The file set every backend receives.
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    (0..40)
+        .map(|i| {
+            (
+                format!("/docs/file{i:03}.bin"),
+                make_payload(100 + i * 3777, i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Write the corpus through a writable backend.
+fn populate(fs: &dyn FileSystem, corpus: &[(String, Vec<u8>)]) {
+    for (path, data) in corpus {
+        write_all(fs, path, data).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+}
+
+/// Exercise the read-side API surface and return an observation record.
+fn observe(fs: &dyn FileSystem, corpus: &[(String, Vec<u8>)]) -> Vec<String> {
+    let mut out = Vec::new();
+    // Directory listing.
+    let mut names = fs.readdir("/docs").unwrap();
+    names.sort();
+    out.push(format!("ls: {}", names.join(",")));
+    // Stats and full reads.
+    for (path, data) in corpus.iter().step_by(7) {
+        let stat = fs.getattr(path).unwrap();
+        assert_eq!(stat.kind, FileKind::File);
+        out.push(format!("stat {path}: {}", stat.size));
+        let got = read_to_vec(fs, path).unwrap();
+        assert_eq!(&got, data, "{path} content");
+        out.push(format!("read {path}: ok"));
+    }
+    // Random-offset partial reads.
+    for (path, data) in corpus.iter().step_by(11) {
+        let fd = fs.open(path).unwrap();
+        let off = data.len() as u64 / 3;
+        let mut buf = vec![0u8; (data.len() / 4).max(1)];
+        let n = fs.read(fd, off, &mut buf).unwrap();
+        assert_eq!(&buf[..n], &data[off as usize..off as usize + n]);
+        // Past-EOF read returns 0 bytes.
+        let n = fs.read(fd, data.len() as u64 + 100, &mut buf).unwrap();
+        assert_eq!(n, 0, "{path}: read past EOF");
+        fs.close(fd).unwrap();
+        out.push(format!("pread {path}: ok"));
+    }
+    // Missing files.
+    assert!(fs.open("/docs/definitely-missing").is_err());
+    assert!(fs.getattr("/docs/definitely-missing").is_err());
+    out.push("missing: ok".into());
+    out
+}
+
+#[test]
+fn all_filesystems_agree() {
+    let corpus = corpus();
+    let mut observations: Vec<(String, Vec<String>)> = Vec::new();
+
+    // Host filesystem — real syscalls, ground truth.
+    let root = std::env::temp_dir().join(format!("lobster-diff-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let host = HostFs::new(&root).unwrap();
+    populate(&host, &corpus);
+    observations.push(("host".into(), observe(&host, &corpus)));
+    std::fs::remove_dir_all(&root).ok();
+
+    // The four modeled file systems.
+    for profile in [
+        FsProfile::ext4_ordered(),
+        FsProfile::ext4_journal(),
+        FsProfile::xfs(),
+        FsProfile::btrfs(),
+        FsProfile::f2fs(),
+    ] {
+        let mut p = profile;
+        p.syscall = std::time::Duration::ZERO; // keep the test fast
+        p.page_op = std::time::Duration::ZERO;
+        let fs = ModelFs::new(p, Arc::new(MemDevice::new(512 << 20)), 16 * 1024);
+        populate(&fs, &corpus);
+        observations.push((profile.name.to_string(), observe(&fs, &corpus)));
+    }
+
+    // The DBMS facade (read-only; populate through transactions).
+    let db = Database::create(
+        Arc::new(MemDevice::new(512 << 20)),
+        Arc::new(MemDevice::new(64 << 20)),
+        Config {
+            pool_frames: 8192,
+            ..Config::default()
+        },
+    )
+    .unwrap();
+    let docs = db.create_relation("docs", RelationKind::Blob).unwrap();
+    let mut t = db.begin();
+    for (path, data) in &corpus {
+        let name = path.rsplit('/').next().unwrap();
+        t.put_blob(&docs, name.as_bytes(), data).unwrap();
+    }
+    t.commit().unwrap();
+    let dbfs = DbFs::new(db.clone());
+    observations.push(("lobster".into(), observe(&dbfs, &corpus)));
+
+    // The writable DBMS facade: populated through the same write API as
+    // the host fs, in commit batches of 8.
+    let db2 = Database::create(
+        Arc::new(MemDevice::new(512 << 20)),
+        Arc::new(MemDevice::new(64 << 20)),
+        Config {
+            pool_frames: 8192,
+            ..Config::default()
+        },
+    )
+    .unwrap();
+    db2.create_relation("docs", RelationKind::Blob).unwrap();
+    let wfs = WritableDbFs::with_batch(db2, 8);
+    populate(&wfs, &corpus);
+    wfs.finish().unwrap();
+    observations.push(("lobster-rw".into(), observe(&wfs, &corpus)));
+
+    // Every backend produced the same observation trace.
+    let (ref_name, reference) = &observations[0];
+    for (name, obs) in &observations[1..] {
+        assert_eq!(obs, reference, "{name} diverges from {ref_name}");
+    }
+}
+
+// ------------------------------------------------------ differential fuzz ---
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create { file: u8, size: u16 },
+    Read { file: u8 },
+    Stat { file: u8 },
+    Unlink { file: u8 },
+    List,
+}
+
+fn fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u16..20_000).prop_map(|(f, s)| FsOp::Create { file: f % 10, size: s }),
+        3 => any::<u8>().prop_map(|f| FsOp::Read { file: f % 10 }),
+        2 => any::<u8>().prop_map(|f| FsOp::Stat { file: f % 10 }),
+        2 => any::<u8>().prop_map(|f| FsOp::Unlink { file: f % 10 }),
+        1 => Just(FsOp::List),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary op sequences: the writable DBMS facade and the real host
+    /// filesystem must be observationally identical (existence, sizes,
+    /// contents, listings), including after overwrites and deletes.
+    #[test]
+    fn writable_dbfs_matches_hostfs(ops in proptest::collection::vec(fs_op(), 1..60)) {
+        let root = std::env::temp_dir().join(format!(
+            "lobster-fsfuzz-{}-{:x}",
+            std::process::id(),
+            &ops as *const _ as usize
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let host = HostFs::new(&root).unwrap();
+        std::fs::create_dir_all(root.join("d")).unwrap(); // mirror the relation
+
+        let db = Database::create(
+            Arc::new(MemDevice::new(256 << 20)),
+            Arc::new(MemDevice::new(64 << 20)),
+            Config { pool_frames: 4096, ..Config::default() },
+        ).unwrap();
+        db.create_relation("d", RelationKind::Blob).unwrap();
+        let wfs = WritableDbFs::with_batch(db, 4);
+
+        let both: [&dyn FileSystem; 2] = [&host, &wfs];
+        let mut seq = 0u64;
+        for op in &ops {
+            match op {
+                FsOp::Create { file, size } => {
+                    seq += 1;
+                    let data = make_payload(*size as usize, seq);
+                    let path = format!("/d/f{file}");
+                    for fs in both {
+                        // creat(2) semantics: overwrite allowed.
+                        write_all(fs, &path, &data).unwrap();
+                    }
+                }
+                FsOp::Read { file } => {
+                    let path = format!("/d/f{file}");
+                    let a = read_to_vec(&host, &path);
+                    let b = read_to_vec(&wfs, &path);
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "content of {}", path),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => prop_assert!(false, "read {}: host={:?} db={:?}",
+                            path, a.map(|v| v.len()), b.map(|v| v.len())),
+                    }
+                }
+                FsOp::Stat { file } => {
+                    let path = format!("/d/f{file}");
+                    let a = host.getattr(&path).map(|s| s.size);
+                    let b = wfs.getattr(&path).map(|s| s.size);
+                    prop_assert_eq!(a.ok(), b.ok(), "stat {}", path);
+                }
+                FsOp::Unlink { file } => {
+                    let path = format!("/d/f{file}");
+                    let a = host.unlink(&path).is_ok();
+                    let b = wfs.unlink(&path).is_ok();
+                    prop_assert_eq!(a, b, "unlink {}", path);
+                }
+                FsOp::List => {
+                    let mut a = host.readdir("/d").unwrap();
+                    let mut b = wfs.readdir("/d").unwrap();
+                    a.sort();
+                    b.sort();
+                    prop_assert_eq!(a, b, "listing");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
