@@ -252,7 +252,7 @@ impl ObjectStore for ToastStore {
 
     fn get(&self, key: &str, f: &mut dyn FnMut(&[u8])) -> Result<()> {
         self.cost.charge(&self.store.metrics, 64); // the query itself
-        // Two lookups: main relation, then the TOAST index.
+                                                   // Two lookups: main relation, then the TOAST index.
         self.store
             .metrics
             .btree_node_accesses
@@ -283,11 +283,7 @@ impl ObjectStore for ToastStore {
 
     fn delete(&self, key: &str) -> Result<()> {
         self.cost.charge(&self.store.metrics, 64);
-        let entry = self
-            .entries
-            .lock()
-            .remove(key)
-            .ok_or(Error::KeyNotFound)?;
+        let entry = self.entries.lock().remove(key).ok_or(Error::KeyNotFound)?;
         self.store.free_pages(&entry.pages);
         self.store.wal_append(entry.pages.len() * 32 + 64)?;
         Ok(())
@@ -409,11 +405,7 @@ impl ObjectStore for OverflowStore {
 
     fn delete(&self, key: &str) -> Result<()> {
         self.cost.charge(&self.store.metrics, 64);
-        let entry = self
-            .entries
-            .lock()
-            .remove(key)
-            .ok_or(Error::KeyNotFound)?;
+        let entry = self.entries.lock().remove(key).ok_or(Error::KeyNotFound)?;
         self.store.free_pages(&entry.pages);
         self.store.wal_append(entry.pages.len() * 16 + 64)?;
         Ok(())
@@ -576,11 +568,7 @@ impl ObjectStore for SqliteStore {
 
     fn delete(&self, key: &str) -> Result<()> {
         self.statement();
-        let entry = self
-            .entries
-            .lock()
-            .remove(key)
-            .ok_or(Error::KeyNotFound)?;
+        let entry = self.entries.lock().remove(key).ok_or(Error::KeyNotFound)?;
         self.store.free_pages(&entry.pages);
         self.store.wal_append(entry.pages.len() * 16 + 64)?;
         self.maybe_checkpoint()?;

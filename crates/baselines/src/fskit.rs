@@ -174,7 +174,9 @@ impl PageCache {
             self.order.push_back(block);
         }
         while self.pages.len() > self.budget {
-            let Some(victim) = self.order.pop_front() else { break };
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
             self.pages.remove(&victim);
         }
     }
@@ -310,7 +312,10 @@ impl ModelFs {
                                 .latch_acquisitions
                                 .fetch_add(1, Ordering::Relaxed);
                             let fragments = self.alloc.fragment_count();
-                            spin(Duration::from_nanos(200) * fragments as u32 + Duration::from_micros(20));
+                            spin(
+                                Duration::from_nanos(200) * fragments as u32
+                                    + Duration::from_micros(20),
+                            );
                             want = want.div_ceil(2);
                         }
                         Err(e) => {
@@ -350,7 +355,8 @@ impl ModelFs {
         // Journal writes are sequential appends.
         let zeros = vec![0u8; (blocks as usize * BLOCK).min(self.journal_blocks as usize * BLOCK)];
         let off = (pos % self.journal_blocks) * BLOCK as u64;
-        let fit = ((self.journal_blocks - pos % self.journal_blocks) as usize * BLOCK).min(zeros.len());
+        let fit =
+            ((self.journal_blocks - pos % self.journal_blocks) as usize * BLOCK).min(zeros.len());
         self.device.write_at(&zeros[..fit], off)?;
         self.metrics
             .wal_bytes
@@ -463,7 +469,9 @@ impl ModelFs {
                 }
                 scan += ext_bytes;
             }
-            let Some((start, len, off_in_ext)) = found else { break };
+            let Some((start, len, off_in_ext)) = found else {
+                break;
+            };
             let take = ((len * BLOCK as u64 - off_in_ext) as usize).min(want - done);
 
             // Per-block cache check; misses read the whole remainder of
@@ -471,8 +479,7 @@ impl ModelFs {
             let first_block = self.data_base + start + off_in_ext / BLOCK as u64;
             let blocks_needed = (off_in_ext % BLOCK as u64 + take as u64).div_ceil(BLOCK as u64);
             let mut inner = self.inner.lock();
-            let all_cached =
-                (0..blocks_needed).all(|i| inner.cache.get(first_block + i).is_some());
+            let all_cached = (0..blocks_needed).all(|i| inner.cache.get(first_block + i).is_some());
             if all_cached {
                 self.metrics
                     .cache_hits
@@ -695,7 +702,13 @@ impl FileSystem for ModelFs {
             .files
             .keys()
             .filter(|k| k.starts_with(&prefix))
-            .map(|k| k[prefix.len()..].split('/').next().unwrap_or("").to_string())
+            .map(|k| {
+                k[prefix.len()..]
+                    .split('/')
+                    .next()
+                    .unwrap_or("")
+                    .to_string()
+            })
             .collect();
         names.sort();
         names.dedup();
@@ -763,11 +776,7 @@ mod tests {
     }
 
     fn fs(profile: FsProfile) -> ModelFs {
-        ModelFs::new(
-            fast(profile),
-            Arc::new(MemDevice::new(256 << 20)),
-            4096,
-        )
+        ModelFs::new(fast(profile), Arc::new(MemDevice::new(256 << 20)), 4096)
     }
 
     #[test]
@@ -876,7 +885,8 @@ mod tests {
             let victim = live.swap_remove(round % live.len());
             m.delete(&victim).unwrap();
             let key = format!("churn{round}");
-            m.put(&key, &obj).expect("log-structured reuse must not fail");
+            m.put(&key, &obj)
+                .expect("log-structured reuse must not fail");
             live.push(key);
         }
     }

@@ -144,7 +144,9 @@ impl ObjectStore for LobsterStore {
                 t.get_blob(&self.rel, key.as_bytes(), |b| f(b))?;
             }
             LobsterMode::Rows => {
-                let v = t.get_kv(&self.rel, key.as_bytes())?.ok_or(Error::KeyNotFound)?;
+                let v = t
+                    .get_kv(&self.rel, key.as_bytes())?
+                    .ok_or(Error::KeyNotFound)?;
                 f(&v);
             }
         }

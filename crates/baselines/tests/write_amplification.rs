@@ -75,7 +75,10 @@ fn journaling_and_doublewrite_pay_two_copies() {
         4096,
     );
     let amp = write_amp(&ext4j);
-    assert!(amp >= 1.9, "data=journal writes everything twice, got {amp:.2}x");
+    assert!(
+        amp >= 1.9,
+        "data=journal writes everything twice, got {amp:.2}x"
+    );
 
     // ext4 ordered mode: data once, tiny metadata journal.
     let ext4o = ModelFs::new(

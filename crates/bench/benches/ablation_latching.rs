@@ -51,11 +51,17 @@ fn main() {
                     frames: 128 * 1024,
                     alias: None,
                     io_threads: 4,
+                    batched_faults: true,
                 },
                 metrics.clone(),
             ))
         } else {
-            BlobPool::Ht(HashTablePool::new(dev.clone(), geo, 128 * 1024, metrics.clone()))
+            BlobPool::Ht(HashTablePool::new(
+                dev.clone(),
+                geo,
+                128 * 1024,
+                metrics.clone(),
+            ))
         };
 
         // Lay out the extents and flush them to the device.
@@ -63,9 +69,13 @@ fn main() {
             .map(|i| ExtentSpec::new(Pid::new(1 + i * EXTENT_PAGES), EXTENT_PAGES))
             .collect();
         for (i, spec) in specs.iter().enumerate() {
-            pool.fill_extent(*spec, &make_payload((EXTENT_PAGES as usize) * 4096, i as u64))
-                .expect("fill");
-            pool.flush_extents(&[FlushItem::whole(*spec)]).expect("flush");
+            pool.fill_extent(
+                *spec,
+                &make_payload((EXTENT_PAGES as usize) * 4096, i as u64),
+            )
+            .expect("fill");
+            pool.flush_extents(&[FlushItem::whole(*spec)])
+                .expect("flush");
         }
         let ideal_pages = extents * EXTENT_PAGES * rounds as u64;
 
@@ -102,7 +112,12 @@ fn main() {
         let elapsed = t0.elapsed();
         let m = metrics.snapshot();
         table.row(&[
-            if coarse { "extent (coarse)" } else { "per-page (fine)" }.to_string(),
+            if coarse {
+                "extent (coarse)"
+            } else {
+                "per-page (fine)"
+            }
+            .to_string(),
             fmt_rate(total_reads as f64 / elapsed.as_secs_f64()),
             m.pages_read.to_string(),
             m.latch_acquisitions.to_string(),

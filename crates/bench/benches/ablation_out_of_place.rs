@@ -54,7 +54,13 @@ fn main() {
     let device_bytes = (scaled(512) << 20).max(256 << 20);
     println!("volume size: {}", fmt_bytes(device_bytes as f64));
 
-    let mut table = Table::new(&["backing device", "ops to full", "ops/s", "gc runs", "relocated"]);
+    let mut table = Table::new(&[
+        "backing device",
+        "ops to full",
+        "ops/s",
+        "gc runs",
+        "relocated",
+    ]);
 
     // Plain device.
     {

@@ -10,16 +10,20 @@
 //! Tail extents eliminate slack entirely but make `append_blob` pay an
 //! extent clone (allocation + memcpy of the old tail).
 
+use lobster_baselines::LobsterStore;
 use lobster_baselines::{LobsterMode, ObjectStore};
 use lobster_bench::*;
-use lobster_baselines::LobsterStore;
 use std::time::Instant;
 
 fn build(use_tail: bool) -> LobsterStore {
     let mut cfg = our_config(1);
     cfg.use_tail_extents = use_tail;
     LobsterStore::new(
-        if use_tail { "tail extent" } else { "tier formula" },
+        if use_tail {
+            "tail extent"
+        } else {
+            "tier formula"
+        },
         mem_device(2 << 30),
         mem_device(256 << 20),
         cfg,
@@ -77,7 +81,12 @@ fn main() {
         let grow_secs = t0.elapsed().as_secs_f64();
 
         table.row(&[
-            if use_tail { "tail extent" } else { "tier formula" }.to_string(),
+            if use_tail {
+                "tail extent"
+            } else {
+                "tier formula"
+            }
+            .to_string(),
             format!("{frag:.3}x"),
             fmt_rate(objects as f64 / put_secs),
             fmt_rate(grows as f64 / grow_secs),

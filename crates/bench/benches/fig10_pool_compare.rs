@@ -18,10 +18,7 @@ fn build(variant: &str, workers: usize) -> LobsterStore {
     if variant == "Our.ht" {
         cfg.pool_variant = PoolVariant::Ht;
     }
-    let cfg = Config {
-        workers,
-        ..cfg
-    };
+    let cfg = Config { workers, ..cfg };
     LobsterStore::new(
         if variant == "Our.ht" { "Our.ht" } else { "Our" },
         mem_device(2 << 30),

@@ -10,7 +10,10 @@ use lobster_baselines::LobsterMode;
 use lobster_bench::*;
 
 fn main() {
-    banner("Figure 5 — YCSB, 120 B payloads, 50% reads", "§V-B Figure 5");
+    banner(
+        "Figure 5 — YCSB, 120 B payloads, 50% reads",
+        "§V-B Figure 5",
+    );
     let records = scaled(20_000) as u64;
     let ops = scaled(60_000);
 

@@ -108,7 +108,12 @@ fn main() {
                 seed: 42,
             });
             if let Err(e) = load_ycsb(store.as_ref(), &mut gen) {
-                table.row(&[spec.name.to_string(), format!("load failed: {e}"), "-".into(), "-".into()]);
+                table.row(&[
+                    spec.name.to_string(),
+                    format!("load failed: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let before = store.stats().metrics;
@@ -123,10 +128,20 @@ fn main() {
                     ]);
                 }
                 Err(Error::OutOfSpace) => {
-                    table.row(&[spec.name.to_string(), "out of space".into(), "-".into(), "-".into()]);
+                    table.row(&[
+                        spec.name.to_string(),
+                        "out of space".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
                 }
                 Err(e) => {
-                    table.row(&[spec.name.to_string(), format!("error: {e}"), "-".into(), "-".into()]);
+                    table.row(&[
+                        spec.name.to_string(),
+                        format!("error: {e}"),
+                        "-".into(),
+                        "-".into(),
+                    ]);
                 }
             }
         }

@@ -36,7 +36,11 @@ fn main() {
         ),
         (
             "XFS".into(),
-            Box::new(ModelFs::new(FsProfile::xfs(), mem_device(2 << 30), 256 * 1024)),
+            Box::new(ModelFs::new(
+                FsProfile::xfs(),
+                mem_device(2 << 30),
+                256 * 1024,
+            )),
         ),
         (
             "BtrFS".into(),
@@ -48,7 +52,11 @@ fn main() {
         ),
         (
             "F2FS".into(),
-            Box::new(ModelFs::new(FsProfile::f2fs(), mem_device(2 << 30), 256 * 1024)),
+            Box::new(ModelFs::new(
+                FsProfile::f2fs(),
+                mem_device(2 << 30),
+                256 * 1024,
+            )),
         ),
     ];
 
@@ -78,7 +86,9 @@ fn main() {
         for _ in 0..reads {
             let i = corpus.sample_by_views(&mut rng);
             store
-                .get(&corpus.articles()[i].title, &mut |b| bytes += b.len() as u64)
+                .get(&corpus.articles()[i].title, &mut |b| {
+                    bytes += b.len() as u64
+                })
                 .expect("read");
         }
         let elapsed = t0.elapsed();
@@ -92,7 +102,10 @@ fn main() {
         table.row(&[
             name,
             fmt_rate(rate),
-            format!("{:.0}", bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()),
+            format!(
+                "{:.0}",
+                bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()
+            ),
             fmt_bytes(delta.memcpy_bytes as f64 / reads as f64),
             format!("{:.1}", delta.syscalls as f64 / reads as f64),
         ]);

@@ -36,6 +36,22 @@ fn bench_sha256(c: &mut Criterion) {
             h.finalize()
         });
     });
+
+    // Per-call dispatch cost: many tiny one-shot digests, so the SHA-NI
+    // feature probe in compress_many runs once per digest. With the cached
+    // OnceLock detection this is a single load; regressing to a repeated
+    // CPUID probe shows up here immediately.
+    let small = vec![0x5Au8; 64];
+    g.throughput(Throughput::Bytes((small.len() * 1024) as u64));
+    g.bench_function("dispatch_1024x64B", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for _ in 0..1024 {
+                acc ^= Sha256::digest(&small)[0];
+            }
+            acc
+        });
+    });
     g.finish();
 }
 
@@ -48,6 +64,7 @@ fn bench_btree(c: &mut Criterion) {
             frames: 32 * 1024,
             alias: None,
             io_threads: 1,
+            batched_faults: true,
         },
         lobster_metrics::new_metrics(),
     );

@@ -3,7 +3,10 @@
 //! the duplicate copies (write amplification), log volume, read
 //! indirections, and read copies that the paper's table catalogues.
 
-use lobster_baselines::{FsProfile, LobsterMode, ModelFs, ObjectStore, OverflowStore, SqliteStore, ToastStore, ClientServerCost};
+use lobster_baselines::{
+    ClientServerCost, FsProfile, LobsterMode, ModelFs, ObjectStore, OverflowStore, SqliteStore,
+    ToastStore,
+};
 use lobster_bench::*;
 
 fn main() {
@@ -27,19 +30,35 @@ fn main() {
         ("Our".into(), (sys_our(LobsterMode::Blobs).build)()),
         (
             "Ext4.ordered".into(),
-            Box::new(ModelFs::new(FsProfile::ext4_ordered(), mem_device(1 << 30), 16 * 1024)),
+            Box::new(ModelFs::new(
+                FsProfile::ext4_ordered(),
+                mem_device(1 << 30),
+                16 * 1024,
+            )),
         ),
         (
             "Ext4.journal".into(),
-            Box::new(ModelFs::new(FsProfile::ext4_journal(), mem_device(1 << 30), 16 * 1024)),
+            Box::new(ModelFs::new(
+                FsProfile::ext4_journal(),
+                mem_device(1 << 30),
+                16 * 1024,
+            )),
         ),
         (
             "PostgreSQL".into(),
-            Box::new(ToastStore::new(mem_device(1 << 30), 16 * 1024, ClientServerCost::none())),
+            Box::new(ToastStore::new(
+                mem_device(1 << 30),
+                16 * 1024,
+                ClientServerCost::none(),
+            )),
         ),
         (
             "MySQL".into(),
-            Box::new(OverflowStore::new(mem_device(1 << 30), 16 * 1024, ClientServerCost::none())),
+            Box::new(OverflowStore::new(
+                mem_device(1 << 30),
+                16 * 1024,
+                ClientServerCost::none(),
+            )),
         ),
         (
             "SQLite".into(),
@@ -67,10 +86,7 @@ fn main() {
 
         table.row(&[
             name,
-            format!(
-                "{:.2}x",
-                write_delta.bytes_written as f64 / blob as f64
-            ),
+            format!("{:.2}x", write_delta.bytes_written as f64 / blob as f64),
             fmt_bytes(write_delta.wal_bytes as f64),
             format!(
                 "{}",

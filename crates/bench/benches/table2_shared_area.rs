@@ -126,10 +126,21 @@ fn main() {
             .expect("aliasing enabled");
         table.row(&[
             label.to_string(),
-            if alias_stats.shared_uses > 0 { "Yes" } else { "No" }.to_string(),
+            if alias_stats.shared_uses > 0 {
+                "Yes"
+            } else {
+                "No"
+            }
+            .to_string(),
             fmt_rate(txns as f64 / secs[vi]),
-            format!("{:.1}k", cm.instructions(&delta) as f64 / txns as f64 / 1000.0),
-            format!("{:.1}k", cm.total_cycles(&delta) as f64 / txns as f64 / 1000.0),
+            format!(
+                "{:.1}k",
+                cm.instructions(&delta) as f64 / txns as f64 / 1000.0
+            ),
+            format!(
+                "{:.1}k",
+                cm.total_cycles(&delta) as f64 / txns as f64 / 1000.0
+            ),
             format!(
                 "{:.1}k",
                 cm.kernel_cycles(&delta) as f64 / txns as f64 / 1000.0
@@ -138,5 +149,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\npaper: both variants perform alike (3,453 vs 3,477 txn/s); shared-area sync is trivial");
+    println!(
+        "\npaper: both variants perform alike (3,453 vs 3,477 txn/s); shared-area sync is trivial"
+    );
 }

@@ -40,17 +40,19 @@ fn main() {
         (corpus.fraction_larger_than(767) * 100.0) as u32
     );
 
-    let db = Database::create(
-        mem_device(4 << 30),
-        mem_device(512 << 20),
-        our_config(1),
-    )
-    .expect("create");
-    let articles = db.create_relation("article", RelationKind::Blob).expect("ddl");
+    let db = Database::create(mem_device(4 << 30), mem_device(512 << 20), our_config(1))
+        .expect("create");
+    let articles = db
+        .create_relation("article", RelationKind::Blob)
+        .expect("ddl");
     for i in 0..corpus.len() {
         let mut t = db.begin();
-        t.put_blob(&articles, corpus.articles()[i].title.as_bytes(), &corpus.body(i))
-            .expect("load");
+        t.put_blob(
+            &articles,
+            corpus.articles()[i].title.as_bytes(),
+            &corpus.body(i),
+        )
+        .expect("load");
         t.commit().expect("commit");
     }
 
@@ -143,12 +145,7 @@ fn main() {
     let t0 = Instant::now();
     for q in 0..lookups {
         let probe = &bodies_prefix[(q * 7919) % bodies_prefix.len()];
-        std::hint::black_box(
-            prefix_index
-                .tree
-                .lookup_map(probe, |_| ())
-                .expect("lookup"),
-        );
+        std::hint::black_box(prefix_index.tree.lookup_map(probe, |_| ()).expect("lookup"));
     }
     let prefix_rate = lookups as f64 / t0.elapsed().as_secs_f64();
     table.row(&[

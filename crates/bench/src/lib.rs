@@ -97,7 +97,11 @@ pub struct SystemSpec {
 const DEV_BYTES: usize = 3 << 30; // sparse: actual memory = data written
 const CACHE_PAGES: usize = 96 * 1024; // 384 MiB model page caches
 
-fn lobster_variant(name: &'static str, mutate: impl Fn(&mut Config) + 'static, mode: LobsterMode) -> SystemSpec {
+fn lobster_variant(
+    name: &'static str,
+    mutate: impl Fn(&mut Config) + 'static,
+    mode: LobsterMode,
+) -> SystemSpec {
     SystemSpec {
         name,
         build: Box::new(move |/* lazily built */| {
@@ -124,11 +128,7 @@ pub fn sys_our(mode: LobsterMode) -> SystemSpec {
 
 /// `Our.ht`: hash-table buffer pool.
 pub fn sys_our_ht(mode: LobsterMode) -> SystemSpec {
-    lobster_variant(
-        "Our.ht",
-        |cfg| cfg.pool_variant = PoolVariant::Ht,
-        mode,
-    )
+    lobster_variant("Our.ht", |cfg| cfg.pool_variant = PoolVariant::Ht, mode)
 }
 
 /// `Our.physlog`: full content in the WAL.
@@ -183,9 +183,7 @@ pub fn sys_mysql() -> SystemSpec {
 pub fn sys_sqlite() -> SystemSpec {
     SystemSpec {
         name: "SQLite",
-        build: Box::new(|| {
-            Box::new(SqliteStore::new(mem_device(DEV_BYTES), CACHE_PAGES, false))
-        }),
+        build: Box::new(|| Box::new(SqliteStore::new(mem_device(DEV_BYTES), CACHE_PAGES, false))),
     }
 }
 

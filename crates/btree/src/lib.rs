@@ -26,6 +26,7 @@ mod tests {
                 frames,
                 alias: None,
                 io_threads: 1,
+                batched_faults: true,
             },
             lobster_metrics::new_metrics(),
         );
@@ -55,7 +56,10 @@ mod tests {
     fn duplicate_key_behaviour() {
         let t = tree(256);
         t.insert(b"k", b"v1", false).unwrap();
-        assert!(matches!(t.insert(b"k", b"v2", false), Err(Error::KeyExists)));
+        assert!(matches!(
+            t.insert(b"k", b"v2", false),
+            Err(Error::KeyExists)
+        ));
         assert!(!t.insert(b"k", b"v2", true).unwrap());
         assert_eq!(t.lookup(b"k").unwrap(), Some(b"v2".to_vec()));
     }
@@ -153,7 +157,8 @@ mod tests {
         }
         // Reinsert the removed half.
         for k in (0..500u32).step_by(2) {
-            t.insert(format!("{k:05}").as_bytes(), b"new", false).unwrap();
+            t.insert(format!("{k:05}").as_bytes(), b"new", false)
+                .unwrap();
         }
         assert_eq!(t.stats().unwrap().entries, 500);
     }
@@ -235,7 +240,8 @@ mod tests {
         assert!(t.max_entry() > 4000, "4-page nodes allow larger entries");
         let big_val = vec![7u8; 3000];
         for k in 0..200u32 {
-            t.insert(format!("{k:06}").as_bytes(), &big_val, false).unwrap();
+            t.insert(format!("{k:06}").as_bytes(), &big_val, false)
+                .unwrap();
         }
         assert_eq!(t.stats().unwrap().entries, 200);
         assert_eq!(t.lookup(b"000199").unwrap(), Some(big_val));

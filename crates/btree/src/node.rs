@@ -257,7 +257,10 @@ impl Node {
                 let mut full = old_prefix.clone();
                 full.extend_from_slice(Self::key_suffix(buf, i));
                 debug_assert!(full.starts_with(new_prefix));
-                (full[new_prefix.len()..].to_vec(), Self::value(buf, i).to_vec())
+                (
+                    full[new_prefix.len()..].to_vec(),
+                    Self::value(buf, i).to_vec(),
+                )
             })
             .collect();
         let kind = buf[OFF_KIND];

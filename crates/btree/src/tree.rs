@@ -236,7 +236,8 @@ impl BTree {
     }
 
     fn insert_impl(&self, key: &[u8], value: &[u8], overwrite: bool) -> Result<Option<Vec<u8>>> {
-        if key.len() + 8 + SLOT > self.max_entry() || key.len() + value.len() + SLOT > self.max_entry()
+        if key.len() + 8 + SLOT > self.max_entry()
+            || key.len() + value.len() + SLOT > self.max_entry()
         {
             return Err(Error::InvalidArgument(format!(
                 "entry of {} + {} bytes exceeds max entry {}",
@@ -332,7 +333,11 @@ impl BTree {
         }
         let plen = Node::prefix_len(buf);
         debug_assert!(!self.cmp.bytewise() || key.len() >= plen);
-        let suffix = if self.cmp.bytewise() { &key[plen..] } else { key };
+        let suffix = if self.cmp.bytewise() {
+            &key[plen..]
+        } else {
+            key
+        };
         Node::insert_at(buf, i, suffix, value);
         Ok(None)
     }
@@ -341,7 +346,12 @@ impl BTree {
 
     /// Split `child` (held exclusively) under `parent` (held exclusively).
     /// The left half keeps the child's PID; the right half gets a new node.
-    fn split_child(&self, parent: &mut XGuard<'_>, child_pid: Pid, mut child: XGuard<'_>) -> Result<()> {
+    fn split_child(
+        &self,
+        parent: &mut XGuard<'_>,
+        child_pid: Pid,
+        mut child: XGuard<'_>,
+    ) -> Result<()> {
         let right_spec = self.alloc.allocate_tail(self.node_pages)?;
         let mut right = self.pool.create_extent(right_spec)?;
 
@@ -500,11 +510,7 @@ impl BTree {
 
     /// Visit entries with keys `>= start` in order until `f` returns
     /// `false`.
-    pub fn scan_from(
-        &self,
-        start: &[u8],
-        mut f: impl FnMut(&[u8], &[u8]) -> bool,
-    ) -> Result<()> {
+    pub fn scan_from(&self, start: &[u8], mut f: impl FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
         let mut guard = self.pool.read_extent(self.spec(self.root))?;
         loop {
             self.bump_node_access();
@@ -615,12 +621,7 @@ impl BTree {
         Ok(())
     }
 
-    fn visit(
-        &self,
-        pid: Pid,
-        depth: u32,
-        f: &mut impl FnMut(&[u8], u32),
-    ) -> Result<()> {
+    fn visit(&self, pid: Pid, depth: u32, f: &mut impl FnMut(&[u8], u32)) -> Result<()> {
         let children = {
             let g = self.pool.read_extent(self.spec(pid))?;
             f(&g, depth);

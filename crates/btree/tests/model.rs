@@ -19,6 +19,7 @@ fn tree(frames: u64, node_pages: u64) -> BTree {
             frames,
             alias: None,
             io_threads: 1,
+            batched_faults: true,
         },
         lobster_metrics::new_metrics(),
     );
@@ -144,7 +145,7 @@ proptest! {
         let pool = ExtentPool::new(
             dev,
             Geometry::new(4096),
-            PoolConfig { frames: 512, alias: None, io_threads: 1 },
+            PoolConfig { frames: 512, alias: None, io_threads: 1, batched_faults: true },
             lobster_metrics::new_metrics(),
         );
         let table = Arc::new(TierTable::new(TierPolicy::default()));

@@ -106,9 +106,7 @@ impl AliasingManager {
             // Case 2: reserve contiguous logical blocks from the shared
             // area via the bitmap range lock.
             let nblocks = total.div_ceil(self.cfg.worker_local_bytes);
-            let range = self
-                .reserve_blocks(nblocks)
-                .ok_or(Error::BufferFull)?;
+            let range = self.reserve_blocks(nblocks).ok_or(Error::BufferFull)?;
             self.shared_uses.fetch_add(1, Ordering::Relaxed);
             let base = self.cfg.workers * self.cfg.worker_local_bytes
                 + range.start * self.cfg.worker_local_bytes;
@@ -305,9 +303,7 @@ mod tests {
     #[test]
     fn fragmented_bitmap_finds_exact_holes() {
         let m = mgr(1, OS_PAGE, 8 * OS_PAGE);
-        let held: Vec<_> = (0..4)
-            .map(|_| m.reserve_blocks(1).expect("room"))
-            .collect();
+        let held: Vec<_> = (0..4).map(|_| m.reserve_blocks(1).expect("room")).collect();
         let r2 = m.reserve_blocks(4).expect("4 contiguous remain");
         assert_eq!(r2, 4..8);
         // Now only nothing is left; a 1-block ask must fail.

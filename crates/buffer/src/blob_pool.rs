@@ -118,6 +118,18 @@ impl BlobPool {
         }
     }
 
+    /// Hint that `specs` will likely be read soon. The vmcache pool issues
+    /// an asynchronous readahead batch; the hash-table pool ignores the hint
+    /// (its batched fault path already covers whole-BLOB reads, and §V-E's
+    /// baseline comparison should not gain speculative I/O it never had).
+    /// Never blocks and never evicts to make room.
+    pub fn prefetch(&self, specs: &[ExtentSpec]) {
+        match self {
+            BlobPool::Vm(p) => p.prefetch(specs),
+            BlobPool::Ht(_) => {}
+        }
+    }
+
     /// Read a small range of one extent without forcing residency (the
     /// append path's final-partial-block read).
     pub fn read_range_uncached(

@@ -44,8 +44,14 @@ mod tests {
                 shared_bytes: 512 * 1024,
             }),
             io_threads: 2,
+            batched_faults: true,
         };
-        ExtentPool::new(dev, Geometry::new(4096), cfg, lobster_metrics::new_metrics())
+        ExtentPool::new(
+            dev,
+            Geometry::new(4096),
+            cfg,
+            lobster_metrics::new_metrics(),
+        )
     }
 
     #[test]
@@ -190,6 +196,7 @@ mod tests {
                     frames: 64,
                     alias: None,
                     io_threads: 1,
+                    batched_faults: true,
                 },
                 m.clone(),
             )),

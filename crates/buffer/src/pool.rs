@@ -20,11 +20,11 @@ use crate::alias::{AliasConfig, AliasingManager};
 use crate::arena::Arena;
 use lobster_extent::{ExtentSpec, RangeAllocator};
 use lobster_metrics::Metrics;
-use lobster_storage::{AsyncIo, Device, IoKind, IoReq};
+use lobster_storage::{AsyncIo, BatchHandle, Device, IoKind, IoReq};
 use lobster_types::{Error, Geometry, Pid, Result};
 use parking_lot::Mutex;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -127,6 +127,10 @@ pub struct PoolConfig {
     pub alias: Option<AliasConfig>,
     /// Threads in the asynchronous I/O engine.
     pub io_threads: usize,
+    /// Fault all evicted extents of a multi-extent BLOB with one batched
+    /// I/O submission instead of one blocking read per extent (§V cold
+    /// reads). `false` reproduces the serial per-extent fault path.
+    pub batched_faults: bool,
 }
 
 impl Default for PoolConfig {
@@ -135,6 +139,7 @@ impl Default for PoolConfig {
             frames: 16 * 1024, // 64 MiB at 4 KiB pages
             alias: None,
             io_threads: 4,
+            batched_faults: true,
         }
     }
 }
@@ -160,6 +165,14 @@ impl FlushItem {
     }
 }
 
+/// One in-flight readahead submission: reaped by [`ExtentPool::poll_prefetches`].
+struct PrefetchBatch {
+    handle: BatchHandle,
+    /// `(spec, frame)` of every extent the batch is loading; their page-table
+    /// entries stay `TAG_LOCKED` until the batch is published or rolled back.
+    claimed: Vec<(ExtentSpec, u64)>,
+}
+
 /// The vmcache-style buffer pool with extent-granular latching.
 pub struct ExtentPool {
     geo: Geometry,
@@ -173,6 +186,14 @@ pub struct ExtentPool {
     device: Arc<dyn Device>,
     metrics: Metrics,
     frame_count: u64,
+    batched_faults: bool,
+    /// Readahead batches not yet reaped.
+    inflight: Mutex<Vec<PrefetchBatch>>,
+    /// Prefetched extents no foreground read has consumed yet (tracks the
+    /// readahead hit/wasted counters).
+    prefetched: Mutex<HashSet<u64>>,
+    /// `prefetched.len()`, mirrored so the hot read path can skip the lock.
+    prefetched_live: AtomicU64,
 }
 
 impl ExtentPool {
@@ -203,6 +224,10 @@ impl ExtentPool {
             device,
             metrics,
             frame_count: cfg.frames,
+            batched_faults: cfg.batched_faults,
+            inflight: Mutex::new(Vec::new()),
+            prefetched: Mutex::new(HashSet::new()),
+            prefetched_live: AtomicU64::new(0),
         })
     }
 
@@ -282,9 +307,19 @@ impl ExtentPool {
                         }
                     }
                 }
-                TAG_LOCKED => std::hint::spin_loop(),
+                TAG_LOCKED => {
+                    // The holder may be an in-flight readahead batch; reap
+                    // completed ones so the wait is bounded.
+                    self.poll_prefetches();
+                    std::hint::spin_loop();
+                }
                 n if n < MAX_SHARED => {
-                    debug_assert_eq!(pages_of(e), spec.pages, "extent size mismatch at {:?}", spec.start);
+                    debug_assert_eq!(
+                        pages_of(e),
+                        spec.pages,
+                        "extent size mismatch at {:?}",
+                        spec.start
+                    );
                     if entry
                         .compare_exchange_weak(
                             e,
@@ -295,6 +330,9 @@ impl ExtentPool {
                         .is_ok()
                     {
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if self.note_prefetch_consumed(spec.start) {
+                            self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
+                        }
                         return Ok(ShGuard {
                             pool: self,
                             spec,
@@ -377,6 +415,9 @@ impl ExtentPool {
                         .is_ok()
                     {
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if self.note_prefetch_consumed(spec.start) {
+                            self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
+                        }
                         return Ok(XGuard {
                             pool: self,
                             spec,
@@ -384,7 +425,10 @@ impl ExtentPool {
                         });
                     }
                 }
-                _ => std::hint::spin_loop(),
+                _ => {
+                    self.poll_prefetches();
+                    std::hint::spin_loop();
+                }
             }
         }
     }
@@ -507,6 +551,267 @@ impl ExtentPool {
         self.frames.free(frame, pages);
         self.resident.lock().remove(pid);
         entry.store(EVICTED_ENTRY, Ordering::Release);
+        self.note_prefetch_evicted(pid);
+    }
+
+    // ------------------------------------- batched faults / readahead ---
+
+    /// Batched cold-read faulting — the read-side analogue of
+    /// [`ExtentPool::flush_extents`]: claim every still-evicted extent in
+    /// `specs`, reserve frames for all of them, and submit their content
+    /// reads as **one** asynchronous batch. The latencies overlap on the
+    /// device, so a cold `num_extents`-extent BLOB costs
+    /// `max(latency, bytes/bandwidth)` instead of `num_extents × latency`.
+    ///
+    /// Safe under concurrent eviction and faulting: claims go through the
+    /// same `EVICTED → LOCKED` CAS as `read_extent`, in extent-list order,
+    /// so losing a race just means another thread is already loading that
+    /// extent. On any failure every claim is rolled back to `EVICTED`.
+    pub fn fault_many(&self, specs: &[ExtentSpec]) -> Result<()> {
+        let mut claimed: Vec<(ExtentSpec, u64)> = Vec::new();
+        let rollback = |claimed: &[(ExtentSpec, u64)], frames_allocated: usize| {
+            for (i, (spec, frame)) in claimed.iter().enumerate() {
+                if i < frames_allocated {
+                    self.frames.free(*frame, spec.pages);
+                }
+                self.entry(spec.start)
+                    .store(EVICTED_ENTRY, Ordering::Release);
+            }
+        };
+        for &spec in specs {
+            let entry = self.entry(spec.start);
+            let e = entry.load(Ordering::Acquire);
+            if tag_of(e) != TAG_EVICTED {
+                continue; // resident, or another thread is faulting it
+            }
+            if entry
+                .compare_exchange(
+                    e,
+                    pack(TAG_LOCKED, 0, spec.pages, 0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                claimed.push((spec, 0));
+            }
+        }
+        if claimed.is_empty() {
+            return Ok(());
+        }
+        self.metrics
+            .cache_misses
+            .fetch_add(claimed.len() as u64, Ordering::Relaxed);
+        for i in 0..claimed.len() {
+            match self.allocate_frames(claimed[i].0.pages) {
+                Ok(f) => claimed[i].1 = f,
+                Err(err) => {
+                    rollback(&claimed, i);
+                    return Err(err);
+                }
+            }
+        }
+        let p = self.geo.page_size();
+        let reqs: Vec<IoReq> = claimed
+            .iter()
+            .map(|(spec, frame)| {
+                let len = (spec.pages as usize) * p;
+                // SAFETY: the frame range is exclusively ours until the
+                // entry is published below.
+                let ptr = unsafe { self.arena.frame_ptr((*frame as usize) * p, len) };
+                IoReq {
+                    kind: IoKind::Read,
+                    offset: self.geo.offset_of(spec.start),
+                    ptr,
+                    len,
+                }
+            })
+            .collect();
+        // SAFETY: the frames stay reserved until the wait returns.
+        if let Err(err) = unsafe { self.io.submit_and_wait(reqs) } {
+            rollback(&claimed, claimed.len());
+            return Err(err);
+        }
+        let total_pages: u64 = claimed.iter().map(|(s, _)| s.pages).sum();
+        self.metrics.fault_batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .pages_faulted_batched
+            .fetch_add(total_pages, Ordering::Relaxed);
+        self.metrics
+            .pages_read
+            .fetch_add(total_pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_read
+            .fetch_add(total_pages * p as u64, Ordering::Relaxed);
+        self.publish_loaded(&claimed);
+        Ok(())
+    }
+
+    /// Publish batch-loaded extents as resident and unlatched (shared
+    /// count 0): the callers' subsequent `read_extent` calls then hit.
+    fn publish_loaded(&self, claimed: &[(ExtentSpec, u64)]) {
+        {
+            let mut r = self.resident.lock();
+            for (spec, _) in claimed {
+                r.insert(spec.start);
+            }
+        }
+        for (spec, frame) in claimed {
+            self.max_resident_pages
+                .fetch_max(spec.pages, Ordering::Relaxed);
+            self.entry(spec.start)
+                .store(pack(0, 0, spec.pages, *frame), Ordering::Release);
+        }
+    }
+
+    /// Sequential readahead: fault `specs` asynchronously, without blocking
+    /// and **without evicting** anything to make room — readahead must
+    /// never displace live data for a guess. Prefetched extents are
+    /// published clean, unlatched, and evictable once the batch completes
+    /// (reaped by [`ExtentPool::poll_prefetches`]), so they never pin the
+    /// pool. Extents already resident, already in flight, or not coverable
+    /// by free frames are skipped.
+    pub fn prefetch(&self, specs: &[ExtentSpec]) {
+        self.poll_prefetches();
+        let mut claimed: Vec<(ExtentSpec, u64)> = Vec::new();
+        for &spec in specs {
+            let entry = self.entry(spec.start);
+            let e = entry.load(Ordering::Acquire);
+            if tag_of(e) != TAG_EVICTED {
+                continue;
+            }
+            if entry
+                .compare_exchange(
+                    e,
+                    pack(TAG_LOCKED, 0, spec.pages, 0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            match self.frames.allocate(spec.pages) {
+                Ok(f) => claimed.push((spec, f)),
+                Err(_) => entry.store(EVICTED_ENTRY, Ordering::Release),
+            }
+        }
+        if claimed.is_empty() {
+            return;
+        }
+        let p = self.geo.page_size();
+        let reqs: Vec<IoReq> = claimed
+            .iter()
+            .map(|(spec, frame)| {
+                let len = (spec.pages as usize) * p;
+                // SAFETY: frame range exclusively ours until published.
+                let ptr = unsafe { self.arena.frame_ptr((*frame as usize) * p, len) };
+                IoReq {
+                    kind: IoKind::Read,
+                    offset: self.geo.offset_of(spec.start),
+                    ptr,
+                    len,
+                }
+            })
+            .collect();
+        self.metrics
+            .readahead_issued
+            .fetch_add(claimed.len() as u64, Ordering::Relaxed);
+        // SAFETY: the frames stay reserved (entries locked) until the batch
+        // is reaped; `Drop` drains every batch before the arena goes away.
+        let handle = unsafe { self.io.submit(reqs) };
+        self.inflight.lock().push(PrefetchBatch { handle, claimed });
+    }
+
+    /// Reap completed readahead batches without blocking. Called
+    /// opportunistically from the fault paths; a no-op when nothing is in
+    /// flight.
+    pub fn poll_prefetches(&self) {
+        let Some(mut inflight) = self.inflight.try_lock() else {
+            return;
+        };
+        let mut i = 0;
+        while i < inflight.len() {
+            match inflight[i].handle.try_complete() {
+                Some(result) => {
+                    let batch = inflight.swap_remove(i);
+                    self.finish_prefetch(batch.claimed, result);
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    /// Block until every readahead batch is published (shutdown,
+    /// `drop_caches`, and the pool's own `Drop` — in-flight requests point
+    /// into the arena, which must outlive them).
+    fn drain_prefetches(&self) {
+        loop {
+            let Some(batch) = self.inflight.lock().pop() else {
+                return;
+            };
+            let result = batch.handle.wait();
+            self.finish_prefetch(batch.claimed, result);
+        }
+    }
+
+    fn finish_prefetch(&self, claimed: Vec<(ExtentSpec, u64)>, result: Result<()>) {
+        match result {
+            Ok(()) => {
+                let total: u64 = claimed.iter().map(|(s, _)| s.pages).sum();
+                self.metrics.pages_read.fetch_add(total, Ordering::Relaxed);
+                self.metrics
+                    .bytes_read
+                    .fetch_add(total * self.geo.page_size() as u64, Ordering::Relaxed);
+                {
+                    let mut set = self.prefetched.lock();
+                    for (spec, _) in &claimed {
+                        set.insert(spec.start.raw());
+                    }
+                    self.prefetched_live
+                        .store(set.len() as u64, Ordering::Release);
+                }
+                self.publish_loaded(&claimed);
+            }
+            Err(_) => {
+                // Readahead is advisory: on I/O failure the extents simply
+                // stay evicted, and the foreground read that needs them
+                // reports the error itself.
+                for (spec, frame) in &claimed {
+                    self.frames.free(*frame, spec.pages);
+                    self.entry(spec.start)
+                        .store(EVICTED_ENTRY, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Whether a foreground read just consumed a prefetched extent.
+    fn note_prefetch_consumed(&self, pid: Pid) -> bool {
+        if self.prefetched_live.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let mut set = self.prefetched.lock();
+        let hit = set.remove(&pid.raw());
+        self.prefetched_live
+            .store(set.len() as u64, Ordering::Release);
+        hit
+    }
+
+    /// An extent left residency; if it was prefetched and never read, the
+    /// readahead was wasted.
+    fn note_prefetch_evicted(&self, pid: Pid) {
+        if self.prefetched_live.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut set = self.prefetched.lock();
+        if set.remove(&pid.raw()) {
+            self.metrics
+                .readahead_wasted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.prefetched_live
+            .store(set.len() as u64, Ordering::Release);
     }
 
     fn write_frames_to_device(
@@ -523,7 +828,9 @@ impl ExtentPool {
         let buf = unsafe { self.arena.frame_slice_mut(off, len) };
         self.device
             .write_at(buf, self.geo.offset_of(pid.offset(from_page)))?;
-        self.metrics.pages_written.fetch_add(pages, Ordering::Relaxed);
+        self.metrics
+            .pages_written
+            .fetch_add(pages, Ordering::Relaxed);
         self.metrics
             .bytes_written
             .fetch_add(len as u64, Ordering::Relaxed);
@@ -541,7 +848,11 @@ impl ExtentPool {
             if tag_of(e) == TAG_EVICTED {
                 return;
             }
-            let new = if on { e | PREVENT_BIT } else { e & !PREVENT_BIT };
+            let new = if on {
+                e | PREVENT_BIT
+            } else {
+                e & !PREVENT_BIT
+            };
             if entry
                 .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
@@ -620,11 +931,14 @@ impl ExtentPool {
         Ok(())
     }
 
-    /// Snapshot every dirty resident extent's content (page-image
-    /// journaling before a checkpoint's in-place writes).
-    pub fn collect_dirty(&self) -> Result<Vec<(ExtentSpec, Vec<u8>)>> {
+    /// Visit every dirty resident extent's content (page-image journaling
+    /// before a checkpoint's in-place writes). One scratch buffer is
+    /// reused across extents — the visitor sees each extent's bytes in
+    /// turn and copies only what it keeps, instead of this pool
+    /// allocating a fresh `Vec<u8>` snapshot per dirty extent.
+    pub fn collect_dirty(&self, mut f: impl FnMut(ExtentSpec, &[u8]) -> Result<()>) -> Result<()> {
         let snapshot = self.resident.lock().snapshot();
-        let mut out = Vec::new();
+        let mut scratch: Vec<u8> = Vec::new();
         for pid in snapshot {
             let e = self.entry(pid).load(Ordering::Acquire);
             if tag_of(e) == TAG_EVICTED || e & DIRTY_BIT == 0 {
@@ -632,9 +946,12 @@ impl ExtentPool {
             }
             let spec = ExtentSpec::new(pid, pages_of(e));
             let g = self.read_extent(spec)?;
-            out.push((spec, g.to_vec()));
+            scratch.clear();
+            scratch.extend_from_slice(&g);
+            drop(g); // don't hold the latch across the visitor
+            f(spec, &scratch)?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Flush every dirty resident extent (checkpoint / shutdown).
@@ -656,6 +973,8 @@ impl ExtentPool {
 
     /// Evict every clean, unpinned extent (cold-cache experiments).
     pub fn drop_caches(&self) {
+        // Publish in-flight readahead first so those frames are dropped too.
+        self.drain_prefetches();
         let snapshot = self.resident.lock().snapshot();
         for pid in snapshot {
             let entry = self.entry(pid);
@@ -675,6 +994,7 @@ impl ExtentPool {
                 self.frames.free(frame_of(e), pages_of(e));
                 self.resident.lock().remove(pid);
                 entry.store(EVICTED_ENTRY, Ordering::Release);
+                self.note_prefetch_evicted(pid);
             }
         }
     }
@@ -700,10 +1020,14 @@ impl ExtentPool {
                         self.frames.free(frame_of(e), pages_of(e));
                         self.resident.lock().remove(spec.start);
                         entry.store(EVICTED_ENTRY, Ordering::Release);
+                        self.note_prefetch_evicted(spec.start);
                         return;
                     }
                 }
-                _ => std::hint::spin_loop(),
+                _ => {
+                    self.poll_prefetches();
+                    std::hint::spin_loop();
+                }
             }
         }
     }
@@ -725,6 +1049,11 @@ impl ExtentPool {
         len: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
+        // Fault every evicted extent with one batched submission before
+        // acquiring the guards (the serial loop below then hits).
+        if self.batched_faults && extents.len() > 1 {
+            self.fault_many(extents)?;
+        }
         let guards: Vec<ShGuard<'_>> = extents
             .iter()
             .map(|e| self.read_extent(*e))
@@ -800,6 +1129,14 @@ impl ExtentPool {
     }
 }
 
+impl Drop for ExtentPool {
+    fn drop(&mut self) {
+        // In-flight readahead requests point into the arena, whose field
+        // drops before `io`; every batch must land first.
+        self.drain_prefetches();
+    }
+}
+
 // --------------------------------------------------------------- guards ---
 
 /// Shared (read) latch on one extent. Derefs to the extent's bytes.
@@ -825,7 +1162,11 @@ impl Deref for ShGuard<'_> {
     fn deref(&self) -> &[u8] {
         let len = (self.spec.pages as usize) * self.pool.geo.page_size();
         // SAFETY: shared latch held; writers are excluded.
-        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+        unsafe {
+            self.pool
+                .arena
+                .frame_slice_mut(self.frame_byte_offset(), len)
+        }
     }
 }
 
@@ -885,7 +1226,11 @@ impl Deref for XGuard<'_> {
     fn deref(&self) -> &[u8] {
         let len = (self.spec.pages as usize) * self.pool.geo.page_size();
         // SAFETY: exclusive latch held.
-        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+        unsafe {
+            self.pool
+                .arena
+                .frame_slice_mut(self.frame_byte_offset(), len)
+        }
     }
 }
 
@@ -893,7 +1238,11 @@ impl DerefMut for XGuard<'_> {
     fn deref_mut(&mut self) -> &mut [u8] {
         let len = (self.spec.pages as usize) * self.pool.geo.page_size();
         // SAFETY: exclusive latch held.
-        unsafe { self.pool.arena.frame_slice_mut(self.frame_byte_offset(), len) }
+        unsafe {
+            self.pool
+                .arena
+                .frame_slice_mut(self.frame_byte_offset(), len)
+        }
     }
 }
 

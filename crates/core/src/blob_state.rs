@@ -74,9 +74,9 @@ impl BlobState {
         out.extend_from_slice(&self.sha256);
         out.extend_from_slice(&self.sha_midstate);
         out.extend_from_slice(&self.prefix);
-        let (tail_pid, tail_pages) = self.tail.map_or((u64::MAX, 0u32), |(p, n)| {
-            (p.raw(), n as u32)
-        });
+        let (tail_pid, tail_pages) = self
+            .tail
+            .map_or((u64::MAX, 0u32), |(p, n)| (p.raw(), n as u32));
         out.extend_from_slice(&tail_pid.to_le_bytes());
         out.extend_from_slice(&tail_pages.to_le_bytes());
         debug_assert!(self.extents.len() <= MAX_EXTENTS_PER_BLOB);

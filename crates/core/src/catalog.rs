@@ -120,7 +120,10 @@ mod tests {
     fn entry_roundtrip() {
         let e = encode_entry(7, RelationKind::Blob, Pid::new(42), 2);
         let (id, kind, root, np) = decode_entry(&e).unwrap();
-        assert_eq!((id, kind, root, np), (7, RelationKind::Blob, Pid::new(42), 2));
+        assert_eq!(
+            (id, kind, root, np),
+            (7, RelationKind::Blob, Pid::new(42), 2)
+        );
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct Config {
     /// committer and return immediately — the paper's "critical path does
     /// not involve I/O" configuration (asynchronous commit).
     pub commit_wait: bool,
+    /// Cold multi-extent BLOB reads fault every evicted extent in one
+    /// IoEngine batch instead of one blocking read per extent.
+    pub batched_faults: bool,
+    /// Sequential-readahead window for range reads: a range read touching
+    /// extent `i` prefetches extents `i+1..i+1+readahead_extents`
+    /// asynchronously. `0` disables readahead.
+    pub readahead_extents: usize,
 }
 
 impl Default for Config {
@@ -107,6 +114,8 @@ impl Default for Config {
             update_policy: UpdatePolicy::Auto,
             lock_timeout: Duration::from_secs(5),
             commit_wait: true,
+            batched_faults: true,
+            readahead_extents: 4,
         }
     }
 }
@@ -171,9 +180,12 @@ impl Database {
         let table = Arc::new(TierTable::new(cfg.tier_policy));
         let page_capacity = device.capacity() / cfg.page_size as u64;
         // Page 0 is the header.
-        let alloc = Arc::new(ExtentAllocator::new(table.clone(), Pid::new(1), page_capacity));
-        let (node_pool, blob_pool) =
-            Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
+        let alloc = Arc::new(ExtentAllocator::new(
+            table.clone(),
+            Pid::new(1),
+            page_capacity,
+        ));
+        let (node_pool, blob_pool) = Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
         let wal = Wal::create(wal_device, metrics.clone())?;
         let catalog_tree = BTree::create(
             node_pool.clone(),
@@ -266,9 +278,12 @@ impl Database {
         let geo = Geometry::new(cfg.page_size);
         let table = Arc::new(TierTable::new(cfg.tier_policy));
         let page_capacity = device.capacity() / cfg.page_size as u64;
-        let alloc = Arc::new(ExtentAllocator::new(table.clone(), Pid::new(1), page_capacity));
-        let (node_pool, blob_pool) =
-            Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
+        let alloc = Arc::new(ExtentAllocator::new(
+            table.clone(),
+            Pid::new(1),
+            page_capacity,
+        ));
+        let (node_pool, blob_pool) = Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
         let wal = Wal::open(wal_device, metrics.clone())?;
         let catalog_tree = BTree::open(
             node_pool.clone(),
@@ -331,6 +346,7 @@ impl Database {
                         frames: cfg.pool_frames,
                         alias,
                         io_threads: cfg.io_threads,
+                        batched_faults: cfg.batched_faults,
                     },
                     metrics,
                 );
@@ -347,10 +363,12 @@ impl Database {
                         frames: node_frames,
                         alias: None,
                         io_threads: cfg.io_threads,
+                        batched_faults: cfg.batched_faults,
                     },
                     metrics.clone(),
                 );
                 let ht = HashTablePool::new(device, geo, cfg.pool_frames, metrics);
+                ht.set_batched_faults(cfg.batched_faults);
                 (node_pool, BlobPool::Ht(ht))
             }
         }
@@ -443,9 +461,7 @@ impl Database {
                 report.blobs += 1;
                 report.bytes += state.size;
                 if !crate::recovery::validate_blob(self, &state)? {
-                    report
-                        .corrupt
-                        .push((rel.name.clone(), key));
+                    report.corrupt.push((rel.name.clone(), key));
                 }
             }
         }
@@ -484,9 +500,11 @@ impl Database {
         // Make the empty root durable immediately: recovery walks the
         // on-device tree of every relation named in the log, so the root
         // page must be valid before the DDL record can be replayed.
-        self.node_pool.flush_extents(&[lobster_buffer::FlushItem::whole(
-            ExtentSpec::new(tree.root(), node_pages),
-        )])?;
+        self.node_pool
+            .flush_extents(&[lobster_buffer::FlushItem::whole(ExtentSpec::new(
+                tree.root(),
+                node_pages,
+            ))])?;
         let entry = encode_entry(id, kind, tree.root(), node_pages);
         self.catalog_tree.insert(name.as_bytes(), &entry, false)?;
         let txn_id = self.next_txn.fetch_add(1, Ordering::SeqCst);
@@ -679,15 +697,15 @@ impl Database {
     /// so mid-recovery crashes are covered by the same image journal.
     pub(crate) fn checkpoint_locked(&self) -> Result<()> {
         // 1. Journal images of the dirty node pages (torn-write armor).
-        let dirty = self.node_pool.collect_dirty()?;
-        if !dirty.is_empty() {
-            let images: Vec<LogRecord> = dirty
-                .iter()
-                .map(|(spec, data)| LogRecord::PageImage {
-                    pid: spec.start.raw(),
-                    data: data.clone(),
-                })
-                .collect();
+        let mut images: Vec<LogRecord> = Vec::new();
+        self.node_pool.collect_dirty(|spec, data| {
+            images.push(LogRecord::PageImage {
+                pid: spec.start.raw(),
+                data: data.to_vec(),
+            });
+            Ok(())
+        })?;
+        if !images.is_empty() {
             self.wal.append_and_commit(&images)?;
         }
         // 2. In-place writes.

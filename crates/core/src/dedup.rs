@@ -127,9 +127,9 @@ impl DedupStore {
     pub fn delete(&self, txn: &mut Txn, key: &[u8]) -> Result<bool> {
         let sha = txn.get_kv(&self.refs, key)?.ok_or(Error::KeyNotFound)?;
         txn.delete_kv(&self.refs, key)?;
-        let raw = txn.get_kv(&self.counts, &sha)?.ok_or_else(|| {
-            Error::Corruption("dedup reference without a count row".into())
-        })?;
+        let raw = txn
+            .get_kv(&self.counts, &sha)?
+            .ok_or_else(|| Error::Corruption("dedup reference without a count row".into()))?;
         let count = decode_count(&raw)?;
         if count > 1 {
             txn.put_kv(&self.counts, &sha, &(count - 1).to_le_bytes())?;
@@ -239,7 +239,10 @@ mod tests {
             .extent_frees
             .load(std::sync::atomic::Ordering::Relaxed);
         let mut t = db.begin();
-        assert!(!store.delete(&mut t, b"a").unwrap(), "b still references it");
+        assert!(
+            !store.delete(&mut t, b"a").unwrap(),
+            "b still references it"
+        );
         assert!(store.delete(&mut t, b"b").unwrap(), "last ref frees object");
         assert!(store.delete(&mut t, b"a").is_err());
         t.commit().unwrap();
@@ -265,7 +268,10 @@ mod tests {
         let mut t = db.begin();
         store.put(&mut t, b"x", b"hello").unwrap();
         store.put(&mut t, b"y", b"world").unwrap();
-        assert!(store.put(&mut t, b"x", b"again").is_err(), "key already bound");
+        assert!(
+            store.put(&mut t, b"x", b"again").is_err(),
+            "key already bound"
+        );
         t.commit().unwrap();
 
         let mut t = db.begin();
@@ -339,7 +345,10 @@ mod tests {
         let stats = store.stats(&mut t).unwrap();
         assert_eq!(stats.objects, 1);
         assert_eq!(stats.physical_bytes, 0);
-        assert!((stats.ratio() - 1.0).abs() < 1e-9, "0/0 ratio is defined as 1");
+        assert!(
+            (stats.ratio() - 1.0).abs() < 1e-9,
+            "0/0 ratio is defined as 1"
+        );
         t.commit().unwrap();
     }
 }

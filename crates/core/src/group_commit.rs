@@ -28,10 +28,7 @@ pub(crate) struct CommitBatch {
 impl CommitBatch {
     /// Bytes of buffer-pool frames this batch keeps pinned until flushed.
     fn pinned_bytes(&self, page_size: u64) -> u64 {
-        self.toflush
-            .iter()
-            .map(|i| i.dirty_pages * page_size)
-            .sum()
+        self.toflush.iter().map(|i| i.dirty_pages * page_size).sum()
     }
 }
 
@@ -118,10 +115,7 @@ impl GroupCommitter {
                     if let Err(e) = result {
                         eprintln!("lobster group committer error: {e}");
                     }
-                    let released: u64 = group
-                        .iter()
-                        .map(|b| b.pinned_bytes(page_size))
-                        .sum();
+                    let released: u64 = group.iter().map(|b| b.pinned_bytes(page_size)).sum();
                     {
                         let mut used = budget2.used.lock();
                         *used = used.saturating_sub(released);

@@ -190,10 +190,8 @@ impl BlobIndex {
     /// Reattach after [`Database::open`] (custom comparators must be
     /// rebound; see [`Database::rebind_comparator`]).
     pub fn reopen(db: &Database, blob_rel_name: &str) -> Result<Self> {
-        let relation = db.rebind_comparator(
-            &format!("{blob_rel_name}__content"),
-            BlobStateCmp::new(db),
-        )?;
+        let relation =
+            db.rebind_comparator(&format!("{blob_rel_name}__content"), BlobStateCmp::new(db))?;
         Ok(BlobIndex { relation })
     }
 
@@ -206,19 +204,12 @@ impl BlobIndex {
         data: &[u8],
     ) -> Result<()> {
         txn.put_blob(blob_rel, key, data)?;
-        let state = txn
-            .blob_state(blob_rel, key)?
-            .expect("just inserted");
+        let state = txn.blob_state(blob_rel, key)?.expect("just inserted");
         txn.put_kv(&self.relation, &state.encode(), key)
     }
 
     /// Delete a BLOB and its index entry, in one transaction.
-    pub fn delete_blob(
-        &self,
-        txn: &mut Txn,
-        blob_rel: &Relation,
-        key: &[u8],
-    ) -> Result<()> {
+    pub fn delete_blob(&self, txn: &mut Txn, blob_rel: &Relation, key: &[u8]) -> Result<()> {
         let state = txn
             .blob_state(blob_rel, key)?
             .ok_or(lobster_types::Error::KeyNotFound)?;
@@ -238,12 +229,12 @@ impl BlobIndex {
         from: &BlobState,
         mut f: impl FnMut(&BlobState, &[u8]) -> bool,
     ) -> Result<()> {
-        self.relation.tree.scan_from(&from.encode(), |k, v| {
-            match BlobState::decode(k) {
+        self.relation
+            .tree
+            .scan_from(&from.encode(), |k, v| match BlobState::decode(k) {
                 Ok(state) => f(&state, v),
                 Err(_) => false,
-            }
-        })
+            })
     }
 }
 
@@ -261,12 +252,7 @@ pub struct ExpressionIndex {
 
 impl ExpressionIndex {
     /// Create the index relation (`<blob_rel>__<name>` by convention).
-    pub fn create(
-        db: &Database,
-        blob_rel: &Relation,
-        name: &str,
-        udf: Udf,
-    ) -> Result<Self> {
+    pub fn create(db: &Database, blob_rel: &Relation, name: &str, udf: Udf) -> Result<Self> {
         let rel_name = format!("{}__{}", blob_rel.name, name);
         let relation = db.create_relation(&rel_name, crate::catalog::RelationKind::Kv)?;
         Ok(ExpressionIndex { relation, udf })
@@ -281,12 +267,7 @@ impl ExpressionIndex {
     }
 
     /// Index one row: computes the UDF over the BLOB content.
-    pub fn insert(
-        &self,
-        txn: &mut Txn,
-        blob_rel: &Relation,
-        row_key: &[u8],
-    ) -> Result<()> {
+    pub fn insert(&self, txn: &mut Txn, blob_rel: &Relation, row_key: &[u8]) -> Result<()> {
         let udf = self.udf.clone();
         let value = txn.get_blob(blob_rel, row_key, |content| udf(content))?;
         txn.put_kv(&self.relation, &Self::index_key(&value, row_key), &[])
@@ -294,12 +275,7 @@ impl ExpressionIndex {
 
     /// Remove a row from the index (UDF recomputed over current content;
     /// call *before* deleting the BLOB).
-    pub fn remove(
-        &self,
-        txn: &mut Txn,
-        blob_rel: &Relation,
-        row_key: &[u8],
-    ) -> Result<()> {
+    pub fn remove(&self, txn: &mut Txn, blob_rel: &Relation, row_key: &[u8]) -> Result<()> {
         let udf = self.udf.clone();
         let value = txn.get_blob(blob_rel, row_key, |content| udf(content))?;
         txn.delete_kv(&self.relation, &Self::index_key(&value, row_key))?;

@@ -48,8 +48,10 @@ mod txn;
 
 pub use blob_state::{BlobState, PREFIX_LEN};
 pub use catalog::{Relation, RelationKind};
+pub use db::{
+    BlobLogging, ComparatorFactory, Config, Database, PoolVariant, ScrubReport, UpdatePolicy,
+};
 pub use dedup::{DedupStats, DedupStore};
-pub use db::{BlobLogging, ComparatorFactory, Config, Database, PoolVariant, ScrubReport, UpdatePolicy};
 pub use index::{BlobIndex, BlobStateCmp, ExpressionIndex, Udf};
 pub use lock::{LockManager, LockMode};
 pub use recovery::RecoveryReport;

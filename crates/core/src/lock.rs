@@ -99,8 +99,7 @@ impl LockManager {
                         }
                     }
                     LockMode::Exclusive => {
-                        let solo_shared =
-                            state.shared.len() == 1 && state.shared[0] == txn;
+                        let solo_shared = state.shared.len() == 1 && state.shared[0] == txn;
                         match state.exclusive {
                             Some(holder) if holder == txn => return Ok(()),
                             None if state.shared.is_empty() || solo_shared => {
@@ -203,7 +202,7 @@ mod tests {
         m.lock(1, 0, b"k", LockMode::Exclusive).unwrap();
         m.lock(1, 0, b"k", LockMode::Shared).unwrap(); // X covers S
         m.lock(1, 0, b"k", LockMode::Exclusive).unwrap(); // re-entrant X
-        // Another txn cannot get it.
+                                                          // Another txn cannot get it.
         assert!(m.lock(9, 0, b"k", LockMode::Shared).is_err());
         m.release_all(1);
         m.lock(9, 0, b"k", LockMode::Shared).unwrap();

@@ -93,7 +93,9 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
     {
         let mut used = db.referenced_extents()?;
         for rec in &records {
-            if let LogRecord::Insert { value, relation, .. }
+            if let LogRecord::Insert {
+                value, relation, ..
+            }
             | LogRecord::Update {
                 new_value: value,
                 relation,
@@ -105,9 +107,7 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                     // force-flushed at DDL time, so the on-device tree is a
                     // valid (typically empty) tree whose extents must be
                     // reserved before redo replays inserts into it.
-                    if let Ok((_, _, root, node_pages)) =
-                        crate::catalog::decode_entry(value)
-                    {
+                    if let Ok((_, _, root, node_pages)) = crate::catalog::decode_entry(value) {
                         let tree = lobster_btree::BTree::open(
                             db.node_pool.clone(),
                             db.alloc.clone(),
@@ -286,10 +286,7 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                 }
             }
             LogRecord::Delete {
-                txn,
-                relation,
-                key,
-                ..
+                txn, relation, key, ..
             } if surviving.contains(txn) => {
                 if *relation == CATALOG_REL_ID {
                     // A committed relation drop: detach it so the final
@@ -300,26 +297,80 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                     rel.tree.remove(key)?;
                 }
             }
-            LogRecord::BlobDelta {
-                txn,
-                relation,
-                key,
-                byte_offset,
-                after,
-                ..
-            } if surviving.contains(txn) => {
-                redo_content(db, *relation, key, *byte_offset, after)?;
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------- content redo -----
+    // Content records are replayed *after* the whole tree redo, so offsets
+    // resolve against each key's FINAL committed geometry — never against
+    // an intermediate state whose extents a later committed transaction
+    // recycled (replaying into recycled extents corrupts the new owner).
+    //
+    // Asynchronous logging needs no content redo at all: the commit
+    // protocol flushes extent content to the device before acknowledging,
+    // and the SHA-256 fixpoint above already failed every surviving
+    // version whose content is not byte-exact on the device. Physical
+    // logging is the opposite — the WAL carries the content and redo is
+    // what restores it — but only records of each key's final lineage may
+    // be applied: a committed delete or re-put starts a new lineage, and
+    // content of the old one must not be written into its recycled extents.
+    if matches!(db.cfg.blob_logging, BlobLogging::Physical { .. }) {
+        let mut lineage: HashMap<(u32, Vec<u8>), HashSet<u64>> = HashMap::new();
+        for rec in &records {
+            match rec {
+                LogRecord::Insert {
+                    txn, relation, key, ..
+                } if surviving.contains(txn) && *relation != CATALOG_REL_ID => {
+                    let set = lineage.entry((*relation, key.clone())).or_default();
+                    set.clear(); // a fresh put starts a new lineage
+                    set.insert(*txn);
+                }
+                LogRecord::Update {
+                    txn, relation, key, ..
+                } if surviving.contains(txn) && *relation != CATALOG_REL_ID => {
+                    lineage
+                        .entry((*relation, key.clone()))
+                        .or_default()
+                        .insert(*txn);
+                }
+                LogRecord::Delete {
+                    txn, relation, key, ..
+                } if surviving.contains(txn) && *relation != CATALOG_REL_ID => {
+                    lineage.entry((*relation, key.clone())).or_default().clear();
+                }
+                _ => {}
             }
-            LogRecord::BlobChunk {
-                txn,
-                relation,
-                key,
-                byte_offset,
-                data,
-            } if surviving.contains(txn) => {
+        }
+        for rec in &records {
+            let (txn, relation, key, byte_offset, data) = match rec {
+                LogRecord::BlobDelta {
+                    txn,
+                    relation,
+                    key,
+                    byte_offset,
+                    after,
+                    ..
+                } => (txn, relation, key, byte_offset, after),
+                LogRecord::BlobChunk {
+                    txn,
+                    relation,
+                    key,
+                    byte_offset,
+                    data,
+                } => (txn, relation, key, byte_offset, data),
+                _ => continue,
+            };
+            if !surviving.contains(txn) {
+                continue;
+            }
+            let in_final_lineage = lineage
+                .get(&(*relation, key.clone()))
+                .map(|set| set.contains(txn))
+                .unwrap_or(false);
+            if in_final_lineage {
                 redo_content(db, *relation, key, *byte_offset, data)?;
             }
-            _ => {}
         }
     }
 

@@ -382,6 +382,16 @@ impl Txn {
         debug_assert!(seen_first, "offset < size implies a covering extent");
 
         let local = (offset - first_base) as usize;
+        // Sequential-readahead hint: a range read touching extents
+        // `first..last` will, under streaming access, touch `last..` next.
+        // Issue the prefetch before the foreground read so the two batches
+        // overlap on the device.
+        let ra = self.db.cfg.readahead_extents;
+        if ra > 0 && last < specs.len() {
+            self.db
+                .blob_pool
+                .prefetch(&specs[last..specs.len().min(last + ra)]);
+        }
         self.db.blob_pool.read_blob(
             self.worker,
             &specs[first..last],
@@ -396,9 +406,7 @@ impl Txn {
         self.check_active()?;
         self.lock(rel, key, LockMode::Shared)?;
         self.db.metrics.metadata_ops.fetch_add(1, Ordering::Relaxed);
-        rel.tree
-            .lookup_map(key, BlobState::decode)?
-            .transpose()
+        rel.tree.lookup_map(key, BlobState::decode)?.transpose()
     }
 
     fn require_state(&self, rel: &Relation, key: &[u8]) -> Result<BlobState> {
@@ -442,10 +450,7 @@ impl Txn {
         self.check_active()?;
         debug_assert_eq!(rel.kind, RelationKind::Blob);
         self.lock(rel, key, LockMode::Exclusive)?;
-        let old_encoded = rel
-            .tree
-            .lookup(key)?
-            .ok_or(Error::KeyNotFound)?;
+        let old_encoded = rel.tree.lookup(key)?.ok_or(Error::KeyNotFound)?;
         let mut state = BlobState::decode(&old_encoded)?;
         let geo = self.db.geo;
         let table = &self.db.table;
@@ -520,10 +525,10 @@ impl Txn {
             let tail_spec = ExtentSpec::new(tpid, tpages);
             let covered = geo.bytes_for(table.cumulative_pages(pos));
             let tail_bytes = (old_size - covered) as usize;
-            let content = self
-                .db
-                .blob_pool
-                .read_blob(self.worker, &[tail_spec], tail_bytes as u64, |b| b.to_vec())?;
+            let content =
+                self.db
+                    .blob_pool
+                    .read_blob(self.worker, &[tail_spec], tail_bytes as u64, |b| b.to_vec())?;
             self.db.blob_pool.fill_extent(clone_spec, &content)?;
             self.toflush.push(FlushItem {
                 spec: clone_spec,
@@ -548,9 +553,12 @@ impl Txn {
             // Only the pages holding prior content need loading; the rest
             // of the extent is free capacity about to be overwritten.
             let valid_pages = off_in_ext.div_ceil(geo.page_size()) as u64;
-            self.db
-                .blob_pool
-                .write_range_partial(spec, off_in_ext, &fill_data[..take], valid_pages)?;
+            self.db.blob_pool.write_range_partial(
+                spec,
+                off_in_ext,
+                &fill_data[..take],
+                valid_pages,
+            )?;
             let first_dirty = off_in_ext / geo.page_size();
             let last_dirty = (off_in_ext + take).div_ceil(geo.page_size());
             self.toflush.push(FlushItem {
@@ -602,8 +610,7 @@ impl Txn {
         if old_size < PREFIX_LEN as u64 {
             let need = (PREFIX_LEN as u64 - old_size) as usize;
             let n = need.min(data.len());
-            state.prefix[old_size as usize..old_size as usize + n]
-                .copy_from_slice(&data[..n]);
+            state.prefix[old_size as usize..old_size as usize + n].copy_from_slice(&data[..n]);
         }
         state.size = new_size;
         state.sha_midstate = hasher.midstate().state_bytes();
@@ -801,7 +808,9 @@ impl Txn {
                         byte_off_in_extent: local_off,
                         before,
                     });
-                    self.db.blob_pool.write_range(*spec, local_off, slice, true)?;
+                    self.db
+                        .blob_pool
+                        .write_range(*spec, local_off, slice, true)?;
                     let first = local_off / page;
                     let last = (local_off + overlap).div_ceil(page);
                     self.toflush.push(FlushItem {
@@ -819,10 +828,10 @@ impl Txn {
                     };
                     self.allocated.push(clone_spec);
                     let live = (state.size - ext_base).min(ext_bytes) as usize;
-                    let mut content = self
-                        .db
-                        .blob_pool
-                        .read_blob(self.worker, &[*spec], live as u64, |b| b.to_vec())?;
+                    let mut content =
+                        self.db
+                            .blob_pool
+                            .read_blob(self.worker, &[*spec], live as u64, |b| b.to_vec())?;
                     content[local_off..local_off + overlap].copy_from_slice(slice);
                     self.db.blob_pool.fill_extent(clone_spec, &content)?;
                     self.toflush.push(FlushItem {

@@ -95,7 +95,10 @@ fn run_scenario(crash_after: u64) -> bool {
     // Invariant 2: checkpointed data always intact.
     let mut t = db2.begin();
     let got = t.get_blob(&rel2, b"stable", |b| b.to_vec()).unwrap();
-    assert_eq!(got, stable, "crash_after={crash_after}: stable blob damaged");
+    assert_eq!(
+        got, stable,
+        "crash_after={crash_after}: stable blob damaged"
+    );
 
     // Invariant 3: visible blobs have exactly a committed content version.
     let mut late_a_full = late_a.clone();
@@ -123,7 +126,10 @@ fn run_scenario(crash_after: u64) -> bool {
     t.put_blob(&rel2, b"post_recovery", &post).unwrap();
     t.commit().unwrap();
     let mut t = db2.begin();
-    assert_eq!(t.get_blob(&rel2, b"post_recovery", |b| b.to_vec()).unwrap(), post);
+    assert_eq!(
+        t.get_blob(&rel2, b"post_recovery", |b| b.to_vec()).unwrap(),
+        post
+    );
     t.commit().unwrap();
 
     completed

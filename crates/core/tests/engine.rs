@@ -57,9 +57,11 @@ fn roundtrip_many_sizes() {
     let db = mem_db(small_cfg());
     let rel = db.create_relation("blobs", RelationKind::Blob).unwrap();
     // Sizes straddling page and extent boundaries.
-    for (i, size) in [0usize, 1, 63, 64, 120, 4095, 4096, 4097, 12288, 100_000, 1_000_000]
-        .iter()
-        .enumerate()
+    for (i, size) in [
+        0usize, 1, 63, 64, 120, 4095, 4096, 4097, 12288, 100_000, 1_000_000,
+    ]
+    .iter()
+    .enumerate()
     {
         let key = format!("k{i}");
         let data = pattern(*size, i as u64);
@@ -92,14 +94,20 @@ fn duplicate_key_and_missing_key_errors() {
     let rel = db.create_relation("b", RelationKind::Blob).unwrap();
     put(&db, &rel, b"k", b"data");
     let mut t = db.begin();
-    assert!(matches!(t.put_blob(&rel, b"k", b"other"), Err(Error::KeyExists)));
+    assert!(matches!(
+        t.put_blob(&rel, b"k", b"other"),
+        Err(Error::KeyExists)
+    ));
     drop(t);
     let mut t = db.begin();
     assert!(matches!(
         t.get_blob(&rel, b"missing", |_| ()),
         Err(Error::KeyNotFound)
     ));
-    assert!(matches!(t.delete_blob(&rel, b"missing"), Err(Error::KeyNotFound)));
+    assert!(matches!(
+        t.delete_blob(&rel, b"missing"),
+        Err(Error::KeyNotFound)
+    ));
     drop(t);
 }
 
@@ -265,7 +273,11 @@ fn truncate_into_tail_extent_keeps_tail() {
     t.commit().unwrap();
     let mut t = db.begin();
     let state = t.blob_state(&rel, b"k").unwrap().unwrap();
-    assert_eq!(state.tail.is_some(), had_tail, "tail still holds live bytes");
+    assert_eq!(
+        state.tail.is_some(),
+        had_tail,
+        "tail still holds live bytes"
+    );
     assert_eq!(state.sha256, Sha256::digest(&data[..new_size as usize]));
     t.commit().unwrap();
 
@@ -309,7 +321,11 @@ fn truncate_survives_recovery() {
 
 #[test]
 fn update_in_place_delta_and_clone() {
-    for policy in [UpdatePolicy::AlwaysDelta, UpdatePolicy::AlwaysClone, UpdatePolicy::Auto] {
+    for policy in [
+        UpdatePolicy::AlwaysDelta,
+        UpdatePolicy::AlwaysClone,
+        UpdatePolicy::Auto,
+    ] {
         let mut cfg = small_cfg();
         cfg.update_policy = policy;
         let db = mem_db(cfg);
@@ -480,7 +496,8 @@ fn concurrent_readers_share() {
             s.spawn(move || {
                 for _ in 0..20 {
                     let mut t = db.begin_with_worker(w);
-                    t.get_blob(&rel, b"k", |b| assert_eq!(b, &data[..])).unwrap();
+                    t.get_blob(&rel, b"k", |b| assert_eq!(b, &data[..]))
+                        .unwrap();
                     t.commit().unwrap();
                 }
             });
@@ -592,9 +609,10 @@ fn recovery_replays_committed_transactions() {
         put(&db, &rel, b"committed", &data);
         // Uncommitted work is lost.
         let mut t = db.begin();
-        t.put_blob(&rel, b"uncommitted", &pattern(5000, 92)).unwrap();
+        t.put_blob(&rel, b"uncommitted", &pattern(5000, 92))
+            .unwrap();
         std::mem::forget(t); // simulate crash: no commit, no rollback
-        // No shutdown: the B-Tree state was never checkpointed.
+                             // No shutdown: the B-Tree state was never checkpointed.
     }
     let (db, report) = reopen(dev, wal, small_cfg());
     assert!(report.committed >= 2); // DDL txn + blob txn
@@ -788,7 +806,10 @@ fn blob_state_index_orders_by_content() {
     for (i, _) in contents.iter().enumerate() {
         let key = format!("row{i}");
         let state = t.blob_state(&rel, key.as_bytes()).unwrap().unwrap();
-        index.tree.insert(&state.encode(), key.as_bytes(), false).unwrap();
+        index
+            .tree
+            .insert(&state.encode(), key.as_bytes(), false)
+            .unwrap();
     }
     t.commit().unwrap();
 
@@ -896,7 +917,9 @@ fn async_commit_mode_is_equivalent_after_drain() {
     cfg.commit_wait = false;
     let dev = Arc::new(MemDevice::new(128 << 20));
     let wal = Arc::new(MemDevice::new(32 << 20));
-    let data: Vec<Vec<u8>> = (0..20).map(|i| pattern(20_000 + i * 777, i as u64)).collect();
+    let data: Vec<Vec<u8>> = (0..20)
+        .map(|i| pattern(20_000 + i * 777, i as u64))
+        .collect();
     {
         let db = Database::create(dev.clone(), wal.clone(), cfg.clone()).unwrap();
         let rel = db.create_relation("b", RelationKind::Blob).unwrap();
@@ -925,7 +948,8 @@ fn async_commit_mode_is_equivalent_after_drain() {
             assert!(t.blob_state(&rel, b"k3").unwrap().is_none());
         } else {
             assert_eq!(
-                t.get_blob(&rel, format!("k{i}").as_bytes(), |b| b.to_vec()).unwrap(),
+                t.get_blob(&rel, format!("k{i}").as_bytes(), |b| b.to_vec())
+                    .unwrap(),
                 *d,
                 "blob {i}"
             );
@@ -956,7 +980,12 @@ fn drop_relation_recycles_all_storage() {
     let keep = db.create_relation("keep", RelationKind::Blob).unwrap();
     for i in 0..20 {
         put(&db, &rel, format!("k{i}").as_bytes(), &pattern(40_000, i));
-        put(&db, &keep, format!("k{i}").as_bytes(), &pattern(10_000, 100 + i));
+        put(
+            &db,
+            &keep,
+            format!("k{i}").as_bytes(),
+            &pattern(10_000, 100 + i),
+        );
     }
     let used_before = db.utilization();
 
@@ -975,7 +1004,12 @@ fn drop_relation_recycles_all_storage() {
     // recyclable without clashing with the survivor.
     let rel2 = db.create_relation("victim", RelationKind::Blob).unwrap();
     for i in 0..20 {
-        put(&db, &rel2, format!("n{i}").as_bytes(), &pattern(40_000, 500 + i));
+        put(
+            &db,
+            &rel2,
+            format!("n{i}").as_bytes(),
+            &pattern(40_000, 500 + i),
+        );
     }
     for i in 0..20 {
         assert_eq!(
@@ -983,7 +1017,10 @@ fn drop_relation_recycles_all_storage() {
             pattern(10_000, 100 + i),
             "survivor blob {i} intact"
         );
-        assert_eq!(get(&db, &rel2, format!("n{i}").as_bytes()), pattern(40_000, 500 + i));
+        assert_eq!(
+            get(&db, &rel2, format!("n{i}").as_bytes()),
+            pattern(40_000, 500 + i)
+        );
     }
 }
 
@@ -1004,7 +1041,10 @@ fn drop_relation_survives_recovery() {
         std::mem::forget(db); // crash after the drop committed
     }
     let (db, _) = Database::open(dev.clone(), wal.clone(), small_cfg()).unwrap();
-    assert!(db.relation("gone").is_none(), "dropped relation must stay dropped");
+    assert!(
+        db.relation("gone").is_none(),
+        "dropped relation must stay dropped"
+    );
     let keep = db.relation("keep").unwrap();
     let mut t = db.begin();
     assert_eq!(t.get_kv(&keep, b"row").unwrap().unwrap(), b"value");
@@ -1022,7 +1062,8 @@ fn drop_kv_relation() {
     let rel = db.create_relation("rows", RelationKind::Kv).unwrap();
     let mut t = db.begin();
     for i in 0..100 {
-        t.put_kv(&rel, format!("k{i}").as_bytes(), &[i as u8; 50]).unwrap();
+        t.put_kv(&rel, format!("k{i}").as_bytes(), &[i as u8; 50])
+            .unwrap();
     }
     t.commit().unwrap();
     db.drop_relation("rows").unwrap();
@@ -1039,7 +1080,12 @@ fn scrub_detects_silent_corruption() {
     let db = Database::create(dev.clone(), wal, small_cfg()).unwrap();
     let rel = db.create_relation("b", RelationKind::Blob).unwrap();
     for i in 0..10u64 {
-        put(&db, &rel, format!("k{i}").as_bytes(), &pattern(50_000 + i as usize, i));
+        put(
+            &db,
+            &rel,
+            format!("k{i}").as_bytes(),
+            &pattern(50_000 + i as usize, i),
+        );
     }
     db.wait_for_durability();
 
@@ -1126,7 +1172,11 @@ fn range_read_touches_only_covering_extents() {
         let start = edge - 64;
         let n = t.get_blob_range(&rel, b"big", start, &mut b).unwrap();
         assert_eq!(n, 128);
-        assert_eq!(&b, &data[start as usize..start as usize + 128], "boundary at {edge}");
+        assert_eq!(
+            &b,
+            &data[start as usize..start as usize + 128],
+            "boundary at {edge}"
+        );
     }
     t.commit().unwrap();
 }
@@ -1174,12 +1224,16 @@ fn wal_growth_triggers_automatic_checkpoint() {
     // the threshold repeatedly.
     for i in 0..400u64 {
         let mut t = db.begin();
-        t.put_blob(&rel, &i.to_be_bytes(), &pattern(2000, i)).unwrap();
+        t.put_blob(&rel, &i.to_be_bytes(), &pattern(2000, i))
+            .unwrap();
         t.commit().unwrap();
     }
     db.wait_for_durability();
     let ckpts = db.metrics().checkpoints.load(AtomicOrdering::Relaxed) - ckpts_before;
-    assert!(ckpts >= 2, "expected repeated auto-checkpoints, got {ckpts}");
+    assert!(
+        ckpts >= 2,
+        "expected repeated auto-checkpoints, got {ckpts}"
+    );
     assert!(
         db.wal().active_bytes() < (16 << 10) * 2,
         "the log must stay near the threshold, not grow without bound"
@@ -1210,9 +1264,15 @@ fn header_reads_are_served_from_the_blob_state() {
     let before = db.metrics().pages_read.load(AtomicOrdering::Relaxed);
     let mut t = db.begin();
     let mut magic = [0u8; 16];
-    assert_eq!(t.get_blob_range(&rel, b"file.png", 0, &mut magic).unwrap(), 16);
+    assert_eq!(
+        t.get_blob_range(&rel, b"file.png", 0, &mut magic).unwrap(),
+        16
+    );
     let mut mid = [0u8; 8];
-    assert_eq!(t.get_blob_range(&rel, b"file.png", 24, &mut mid).unwrap(), 8);
+    assert_eq!(
+        t.get_blob_range(&rel, b"file.png", 24, &mut mid).unwrap(),
+        8
+    );
     t.commit().unwrap();
     assert_eq!(&magic, &data[..16]);
     assert_eq!(&mid, &data[24..32]);
@@ -1225,7 +1285,10 @@ fn header_reads_are_served_from_the_blob_state() {
     // A read straddling the 32-byte boundary falls through to content.
     let mut t = db.begin();
     let mut buf = [0u8; 40];
-    assert_eq!(t.get_blob_range(&rel, b"file.png", 10, &mut buf).unwrap(), 40);
+    assert_eq!(
+        t.get_blob_range(&rel, b"file.png", 10, &mut buf).unwrap(),
+        40
+    );
     t.commit().unwrap();
     assert_eq!(&buf, &data[10..50]);
 
@@ -1263,7 +1326,12 @@ fn churn_does_not_leak_space() {
     // exact-size free lists recycle every extent.
     for round in 0..10u64 {
         for i in 0..30u64 {
-            put(&db, &rel, &i.to_be_bytes(), &pattern(64_000, round * 100 + i));
+            put(
+                &db,
+                &rel,
+                &i.to_be_bytes(),
+                &pattern(64_000, round * 100 + i),
+            );
         }
         for i in 0..30u64 {
             let mut t = db.begin();
@@ -1296,9 +1364,7 @@ fn repeated_reopen_cycles_are_stable() {
         // Replace one blob per cycle; read the survivor of the last cycle.
         if cycle > 0 {
             let mut t = db.begin();
-            let got = t
-                .get_blob(&rel, b"survivor", |b| b.to_vec())
-                .unwrap();
+            let got = t.get_blob(&rel, b"survivor", |b| b.to_vec()).unwrap();
             assert_eq!(got, pattern(90_000, cycle - 1), "cycle {cycle}");
             t.delete_blob(&rel, b"survivor").unwrap();
             t.commit().unwrap();

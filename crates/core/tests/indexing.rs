@@ -1,9 +1,7 @@
 //! Tests of the transactional Blob State index and its interaction with
 //! rollback and recovery.
 
-use lobster_core::{
-    BlobIndex, BlobStateCmp, ComparatorFactory, Config, Database, RelationKind,
-};
+use lobster_core::{BlobIndex, BlobStateCmp, ComparatorFactory, Config, Database, RelationKind};
 use lobster_storage::MemDevice;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -142,8 +140,7 @@ fn index_recovery_replays_under_the_registered_comparator() {
         "image__content".into(),
         Arc::new(|db: &Database| BlobStateCmp::new(db) as _),
     );
-    let (db, report) =
-        Database::open_with_comparators(dev, wal, cfg(), factories).unwrap();
+    let (db, report) = Database::open_with_comparators(dev, wal, cfg(), factories).unwrap();
     assert!(report.committed as usize >= n);
     let images = db.relation("image").unwrap();
     let index = BlobIndex {

@@ -179,7 +179,8 @@ impl ExtentAllocator {
     /// this at transaction commit, after moving extents from the
     /// transaction's temporary list (§III-D "BLOB deletion").
     pub fn free_extent(&self, extent: ExtentSpec) {
-        self.ranges.free(extent.start.raw() - self.base, extent.pages);
+        self.ranges
+            .free(extent.start.raw() - self.base, extent.pages);
     }
 
     /// Rebuild allocation state from the set of live extents (recovery).

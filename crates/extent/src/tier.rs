@@ -142,7 +142,10 @@ impl TierTable {
         if self.sizes[pos] == largest {
             // All max-size tiers share one class: the first position with
             // the largest size.
-            self.sizes.iter().position(|&s| s == largest).expect("present")
+            self.sizes
+                .iter()
+                .position(|&s| s == largest)
+                .expect("present")
         } else {
             pos
         }

@@ -91,6 +91,16 @@ counters! {
     cache_hits,
     /// Buffer-pool misses (required device I/O).
     cache_misses,
+    /// Batched cold-read fault submissions (one per multi-extent miss).
+    fault_batches,
+    /// Pages faulted through batched submissions.
+    pages_faulted_batched,
+    /// Extents submitted by the sequential-readahead prefetcher.
+    readahead_issued,
+    /// Prefetched extents later consumed by a foreground read.
+    readahead_hit,
+    /// Prefetched extents evicted or dropped before any read touched them.
+    readahead_wasted,
     /// Latch acquisitions (page or extent granularity).
     latch_acquisitions,
     /// Virtual-memory aliasing map/unmap operations (TLB-shootdown proxy).

@@ -165,7 +165,6 @@ impl Sha256 {
         }
         out
     }
-
 }
 
 /// Compress every 64-byte block of `blocks` into `state`, using the SHA-NI
@@ -173,23 +172,12 @@ impl Sha256 {
 fn compress_many(state: &mut [u32; 8], blocks: &[u8]) {
     debug_assert_eq!(blocks.len() % BLOCK_LEN, 0);
     #[cfg(target_arch = "x86_64")]
-    {
-        use std::sync::atomic::{AtomicU8, Ordering};
-        static AVAILABLE: AtomicU8 = AtomicU8::new(2); // 2 = unknown
-        let flag = match AVAILABLE.load(Ordering::Relaxed) {
-            2 => {
-                let v = shani::available();
-                AVAILABLE.store(v as u8, Ordering::Relaxed);
-                v
-            }
-            v => v == 1,
-        };
-        if flag {
-            // SAFETY: feature presence just checked; length is a multiple
-            // of 64 by the debug_assert above and all call sites.
-            unsafe { shani::compress_blocks(state, blocks) };
-            return;
-        }
+    if shani::available() {
+        // SAFETY: feature presence just checked (available() caches the
+        // CPUID probe); length is a multiple of 64 by the debug_assert
+        // above and all call sites.
+        unsafe { shani::compress_blocks(state, blocks) };
+        return;
     }
     for block in blocks.chunks_exact(BLOCK_LEN) {
         compress_scalar(state, block.try_into().expect("exact chunk"));

@@ -27,11 +27,19 @@ const fn pack_k() -> [(i64, i64); 16] {
 static KPACK: [(i64, i64); 16] = pack_k();
 
 /// Whether the running CPU supports the SHA extensions we need.
+///
+/// `is_x86_feature_detected!` consults a lazily initialized global, but four
+/// macro expansions per compression call still cost a handful of loads and
+/// branches on the hash hot path; collapse them into one cached boolean so
+/// dispatch in `compress_many` is a single relaxed atomic load.
 pub fn available() -> bool {
-    std::is_x86_feature_detected!("sha")
-        && std::is_x86_feature_detected!("sse2")
-        && std::is_x86_feature_detected!("ssse3")
-        && std::is_x86_feature_detected!("sse4.1")
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::is_x86_feature_detected!("sha")
+            && std::is_x86_feature_detected!("sse2")
+            && std::is_x86_feature_detected!("ssse3")
+            && std::is_x86_feature_detected!("sse4.1")
+    })
 }
 
 /// Compress all 64-byte blocks in `blocks` into `state`.
@@ -61,10 +69,7 @@ pub unsafe fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
 
         // Load and byte-swap the four message words.
         let mut m = [
-            _mm_shuffle_epi8(
-                _mm_loadu_si128(block.as_ptr() as *const __m128i),
-                mask,
-            ),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr() as *const __m128i), mask),
             _mm_shuffle_epi8(
                 _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
                 mask,

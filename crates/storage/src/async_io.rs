@@ -119,6 +119,28 @@ impl BatchHandle {
     pub fn is_complete(&self) -> bool {
         *self.state.done.lock()
     }
+
+    /// Poll the batch: returns `Some(result)` once every request has
+    /// executed *and* the modeled device deadline has passed, `None` while
+    /// the batch is still in flight. Each call also helps execute one
+    /// queued request, so a poller makes progress even when every worker
+    /// is busy. Used by the buffer pool to reap readahead batches without
+    /// blocking the foreground read.
+    pub fn try_complete(&self) -> Option<Result<()>> {
+        self.state.run_one(&self.device);
+        if !*self.state.done.lock() {
+            return None;
+        }
+        if let Some(deadline) = *self.state.deadline.lock() {
+            if Instant::now() < deadline {
+                return None;
+            }
+        }
+        Some(match self.state.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        })
+    }
 }
 
 enum Job {
@@ -215,9 +237,7 @@ fn worker_loop(rx: crossbeam::channel::Receiver<Job>, device: Arc<dyn Device>) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Shutdown => break,
-            Job::Batch(state) => {
-                while state.run_one(&device) {}
-            }
+            Job::Batch(state) => while state.run_one(&device) {},
         }
     }
 }
@@ -254,7 +274,9 @@ mod tests {
         }];
         unsafe { io.submit_and_wait(reqs).unwrap() };
         for i in 0..16usize {
-            assert!(out[i * 4096..(i + 1) * 4096].iter().all(|&b| b == i as u8 + 1));
+            assert!(out[i * 4096..(i + 1) * 4096]
+                .iter()
+                .all(|&b| b == i as u8 + 1));
         }
     }
 
@@ -299,6 +321,40 @@ mod tests {
             })
             .collect();
         unsafe { io.submit_and_wait(reqs).unwrap() };
+    }
+
+    #[test]
+    fn try_complete_polls_to_completion() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new(1 << 20));
+        let io = AsyncIo::new(dev, 2);
+        let mut sources: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 4096]).collect();
+        let reqs: Vec<IoReq> = sources
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| IoReq {
+                kind: IoKind::Write,
+                offset: (i * 4096) as u64,
+                ptr: s.as_mut_ptr(),
+                len: s.len(),
+            })
+            .collect();
+        let handle = unsafe { io.submit(reqs) };
+        let result = loop {
+            if let Some(r) = handle.try_complete() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        result.unwrap();
+        let mut out = vec![0u8; 4096];
+        let reqs = vec![IoReq {
+            kind: IoKind::Read,
+            offset: 3 * 4096,
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+        }];
+        unsafe { io.submit_and_wait(reqs).unwrap() };
+        assert!(out.iter().all(|&b| b == 3));
     }
 
     #[test]

@@ -107,7 +107,8 @@ impl<D: Device> Device for CrashDevice<D> {
                 }
                 return Ok(());
             }
-            self.writes_until_crash.store(remaining - 1, Ordering::SeqCst);
+            self.writes_until_crash
+                .store(remaining - 1, Ordering::SeqCst);
         }
         self.inner.write_at(buf, offset)?;
         self.log.lock().push((offset, buf.len()));

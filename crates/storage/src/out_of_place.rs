@@ -241,9 +241,7 @@ mod tests {
     use crate::MemDevice;
 
     fn dev(segments: u64) -> OutOfPlaceDevice<MemDevice> {
-        OutOfPlaceDevice::new(MemDevice::new(
-            (segments * SEGMENT_BLOCKS) as usize * BLOCK,
-        ))
+        OutOfPlaceDevice::new(MemDevice::new((segments * SEGMENT_BLOCKS) as usize * BLOCK))
     }
 
     #[test]
@@ -309,7 +307,8 @@ mod tests {
         d.write_at(&data, 0).unwrap();
         d.write_at(&data, seg_bytes as u64).unwrap();
         d.write_at(&data[..seg_bytes / 2], 0).unwrap();
-        d.write_at(&data[..seg_bytes / 2], seg_bytes as u64).unwrap();
+        d.write_at(&data[..seg_bytes / 2], seg_bytes as u64)
+            .unwrap();
         let before = d.free_segments();
         d.gc(before + 1).unwrap();
         assert!(d.free_segments() > before);
@@ -349,12 +348,7 @@ mod tests {
         let t = d.tables.lock();
         // All mapped physical blocks are within the first segment,
         // consecutively.
-        let mut phys: Vec<u64> = t
-            .l2p
-            .iter()
-            .copied()
-            .filter(|&p| p != UNMAPPED)
-            .collect();
+        let mut phys: Vec<u64> = t.l2p.iter().copied().filter(|&p| p != UNMAPPED).collect();
         phys.sort_unstable();
         assert_eq!(phys.len(), 64);
         assert_eq!(phys[0], 0);

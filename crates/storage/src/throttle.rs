@@ -127,13 +127,17 @@ impl<D: Device> Device for ThrottledDevice<D> {
     fn submit_read(&self, buf: &mut [u8], offset: u64) -> Result<Option<Instant>> {
         self.inner.read_at(buf, offset)?;
         let transfer = self.profile.read_cost(buf.len()) - self.profile.read_latency;
-        Ok(Some(self.completion_deadline(transfer, self.profile.read_latency)))
+        Ok(Some(
+            self.completion_deadline(transfer, self.profile.read_latency),
+        ))
     }
 
     fn submit_write(&self, buf: &[u8], offset: u64) -> Result<Option<Instant>> {
         self.inner.write_at(buf, offset)?;
         let transfer = self.profile.write_cost(buf.len()) - self.profile.write_latency;
-        Ok(Some(self.completion_deadline(transfer, self.profile.write_latency)))
+        Ok(Some(
+            self.completion_deadline(transfer, self.profile.write_latency),
+        ))
     }
 
     fn sync(&self) -> Result<()> {

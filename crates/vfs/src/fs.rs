@@ -98,9 +98,7 @@ impl DbFs {
         }
         match trimmed.split_once('/') {
             None => Ok((trimmed, None)),
-            Some((rel, file)) if !file.contains('/') && !file.is_empty() => {
-                Ok((rel, Some(file)))
-            }
+            Some((rel, file)) if !file.contains('/') && !file.is_empty() => Ok((rel, Some(file))),
             _ => Err(ENOENT), // no nested directories
         }
     }
@@ -169,8 +167,8 @@ impl FileSystem for DbFs {
             }),
             Some(file) => {
                 let mut txn = self.db.begin_with_worker(self.worker);
-                let state = map_db_err(txn.blob_state(&relation, file.as_bytes()))?
-                    .ok_or(ENOENT)?;
+                let state =
+                    map_db_err(txn.blob_state(&relation, file.as_bytes()))?.ok_or(ENOENT)?;
                 map_db_err(txn.commit())?;
                 Ok(FileStat {
                     kind: FileKind::File,

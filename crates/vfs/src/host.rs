@@ -66,7 +66,11 @@ impl FileSystem for HostFs {
     }
 
     fn close(&self, fd: Fd) -> Result<(), Errno> {
-        self.open_files.lock().remove(&fd.0).map(|_| ()).ok_or(EBADF)
+        self.open_files
+            .lock()
+            .remove(&fd.0)
+            .map(|_| ())
+            .ok_or(EBADF)
     }
 
     fn getattr(&self, path: &str) -> Result<FileStat, Errno> {
@@ -138,7 +142,11 @@ mod tests {
 
     fn fs() -> HostFs {
         let mut root = std::env::temp_dir();
-        root.push(format!("lobster-hostfs-{}-{:?}", std::process::id(), std::thread::current().id()));
+        root.push(format!(
+            "lobster-hostfs-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         std::fs::remove_dir_all(&root).ok();
         HostFs::new(root).unwrap()
     }

@@ -379,7 +379,10 @@ mod tests {
         write_all(&fs, "/repo/README.md", b"# hi").unwrap();
 
         assert_eq!(fs.getattr("/repo/src").unwrap().kind, FileKind::Directory);
-        assert_eq!(fs.getattr("/repo/src/main.rs").unwrap().kind, FileKind::File);
+        assert_eq!(
+            fs.getattr("/repo/src/main.rs").unwrap().kind,
+            FileKind::File
+        );
         assert_eq!(fs.getattr("/repo/missing").unwrap_err(), ENOENT);
 
         let top = fs.readdir("/repo").unwrap();
@@ -411,7 +414,10 @@ mod tests {
         assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 13);
         assert_eq!(&buf, b"go\0\0\0\0\0\0\0\0end");
         fs.close(fd).unwrap();
-        assert_eq!(read_to_vec(&fs, "/repo/sparse").unwrap(), b"go\0\0\0\0\0\0\0\0end");
+        assert_eq!(
+            read_to_vec(&fs, "/repo/sparse").unwrap(),
+            b"go\0\0\0\0\0\0\0\0end"
+        );
     }
 
     #[test]
@@ -432,7 +438,10 @@ mod tests {
         }
         fs.finish().unwrap();
         let commits = db.metrics().snapshot().txn_commits - commits_before;
-        assert!(commits <= 3, "16 files in batches of 8 should commit ~2x, got {commits}");
+        assert!(
+            commits <= 3,
+            "16 files in batches of 8 should commit ~2x, got {commits}"
+        );
 
         // Everything readable, including via a batch flush triggered by open.
         for i in 0..16 {
@@ -449,7 +458,10 @@ mod tests {
         write_all(&fs, "/repo/pending", b"not yet committed").unwrap();
         // getattr sees the batched file; open forces the flush.
         assert_eq!(fs.getattr("/repo/pending").unwrap().size, 17);
-        assert_eq!(read_to_vec(&fs, "/repo/pending").unwrap(), b"not yet committed");
+        assert_eq!(
+            read_to_vec(&fs, "/repo/pending").unwrap(),
+            b"not yet committed"
+        );
         // unlink of a just-batched file works too.
         write_all(&fs, "/repo/tmp", b"x").unwrap();
         fs.unlink("/repo/tmp").unwrap();

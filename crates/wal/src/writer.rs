@@ -212,7 +212,8 @@ impl Wal {
                 if self.flushed.load(Ordering::Acquire) >= lsn {
                     return Ok(());
                 }
-                self.flushed_cv.wait_for(&mut m, std::time::Duration::from_millis(1));
+                self.flushed_cv
+                    .wait_for(&mut m, std::time::Duration::from_millis(1));
             }
         }
     }
@@ -382,7 +383,10 @@ mod tests {
         // New records land in the new epoch and are visible.
         wal.append_and_commit(&[LogRecord::TxnCommit { txn: 2 }])
             .unwrap();
-        assert_eq!(wal.read_all().unwrap(), vec![LogRecord::TxnCommit { txn: 2 }]);
+        assert_eq!(
+            wal.read_all().unwrap(),
+            vec![LogRecord::TxnCommit { txn: 2 }]
+        );
     }
 
     #[test]
@@ -449,9 +453,6 @@ mod tests {
             byte_offset: 0,
             data: vec![0; 8192],
         };
-        assert!(matches!(
-            wal.append_batch(&[big]),
-            Err(Error::OutOfSpace)
-        ));
+        assert!(matches!(wal.append_batch(&[big]), Err(Error::OutOfSpace)));
     }
 }

@@ -17,7 +17,10 @@ fn sample_records(n: usize, seed: u64) -> Vec<LogRecord> {
                     txn: i,
                     relation: (i % 3) as u32,
                     key: key.clone(),
-                    value: vec![(i as u8).wrapping_mul(37); (seed as usize + i as usize * 13) % 300],
+                    value: vec![
+                        (i as u8).wrapping_mul(37);
+                        (seed as usize + i as usize * 13) % 300
+                    ],
                 },
                 LogRecord::TxnCommit { txn: i },
             ]
@@ -138,5 +141,8 @@ fn targeted_frame_damage() {
     hdr[0] ^= 0x01;
     dev.write_at(&hdr, first).unwrap();
     let got = Wal::read_records(&dev, epoch).unwrap();
-    assert!(got.is_empty(), "a broken first frame ends the scan immediately");
+    assert!(
+        got.is_empty(),
+        "a broken first frame ends the scan immediately"
+    );
 }

@@ -54,7 +54,7 @@ impl GitCloneTrace {
         // Mean ≈ 16 KB per file (1.28 GB / 80 k), log-normal like real
         // source trees: many small files, few large ones.
         let sizes = PayloadDist::LogNormal {
-            mu: 8.8,   // e^8.8 ≈ 6.6 KB median
+            mu: 8.8,    // e^8.8 ≈ 6.6 KB median
             sigma: 1.1, // mean ≈ e^(mu + sigma²/2) ≈ 12–18 KB
             min: 32,
             max: 2 << 20,
@@ -169,7 +169,9 @@ mod tests {
     fn paths_are_wellformed() {
         let t = GitCloneTrace::synthesize(200, 4);
         for op in &t.ops {
-            let TraceOp::Create { path, .. } = op else { continue };
+            let TraceOp::Create { path, .. } = op else {
+                continue;
+            };
             assert!(path.starts_with('/'));
             assert_eq!(path.matches('/').count(), 3, "{path}");
         }

@@ -73,12 +73,7 @@ impl WikiCorpus {
         )
     }
 
-    pub fn with_sizes(
-        n: usize,
-        seed: u64,
-        dist: PayloadDist,
-        template_fraction: f64,
-    ) -> Self {
+    pub fn with_sizes(n: usize, seed: u64, dist: PayloadDist, template_fraction: f64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let articles = (0..n)
             .map(|i| WikiArticle {
@@ -162,7 +157,10 @@ mod tests {
         );
         // PostgreSQL's 8191 B limit near the 95th percentile.
         let over_pg = c.fraction_larger_than(8191);
-        assert!((0.02..0.15).contains(&over_pg), "fraction over 8191B: {over_pg}");
+        assert!(
+            (0.02..0.15).contains(&over_pg),
+            "fraction over 8191B: {over_pg}"
+        );
     }
 
     #[test]
@@ -215,7 +213,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         assert!(max > 500, "hot article must dominate: max={max}");
-        assert!(counts.iter().filter(|&&c| c > 0).count() > 500, "tail covered");
+        assert!(
+            counts.iter().filter(|&&c| c > 0).count() > 500,
+            "tail covered"
+        );
     }
 
     #[test]

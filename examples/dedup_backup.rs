@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for night in 0..NIGHTS {
         if night > 0 {
             for (i, v) in versions.iter_mut().enumerate() {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if (rng >> 33) as f64 / (1u64 << 31) as f64 / 2.0 < CHURN {
                     *v += 1;
                     let _ = i;

@@ -43,9 +43,15 @@ fn word_count_tool(fs: &dyn FileSystem, dir: &str) -> Result<Vec<(String, usize)
 }
 
 const DOCS: [(&str, &str); 3] = [
-    ("readme.txt", "files are so last decade\nlong live the database"),
+    (
+        "readme.txt",
+        "files are so last decade\nlong live the database",
+    ),
     ("paper.txt", "why files if you have a dbms"),
-    ("haiku.txt", "extent sequences\nflushed exactly once to disk\nthe log stays tiny"),
+    (
+        "haiku.txt",
+        "extent sequences\nflushed exactly once to disk\nthe log stays tiny",
+    ),
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -82,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, words) in &db_counts {
         println!("  {words:>3}  {name}");
     }
-    assert_eq!(host_counts, db_counts, "the tool cannot tell the difference");
+    assert_eq!(
+        host_counts, db_counts,
+        "the tool cannot tell the difference"
+    );
 
     // Whole files round-trip bit-exactly through both backends.
     for (name, text) in DOCS {

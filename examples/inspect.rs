@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------ catalog --
     println!("== catalog ==");
     let geo = db.geometry();
-    println!("page size {} B, device utilization {:.1}%", geo.page_size(), db.utilization() * 100.0);
+    println!(
+        "page size {} B, device utilization {:.1}%",
+        geo.page_size(),
+        db.utilization() * 100.0
+    );
     for name in db.relation_names() {
         let rel = db.relation(&name).expect("listed");
         let stats = rel.tree.stats()?;
@@ -102,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         a.content_bytes
     );
     if a.page_images > 0 {
-        println!("  checkpoint page images: {} ({} B)", a.page_images, a.image_bytes);
+        println!(
+            "  checkpoint page images: {} ({} B)",
+            a.page_images, a.image_bytes
+        );
     }
     if let Some(mean) = a.bytes.checked_div(a.records) {
         println!("  mean record size: {mean} B");

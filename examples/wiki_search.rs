@@ -73,12 +73,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Content indexing: Blob State index vs 1K-prefix index (§V-H) -----
     println!("\nbuilding content indexes…");
     let t0 = Instant::now();
-    let state_index =
-        db.create_relation_with("article_by_content", RelationKind::Kv, BlobStateCmp::new(&db), 1)?;
+    let state_index = db.create_relation_with(
+        "article_by_content",
+        RelationKind::Kv,
+        BlobStateCmp::new(&db),
+        1,
+    )?;
     let mut txn = db.begin();
     for i in 0..corpus.len() {
         let title = corpus.articles()[i].title.clone();
-        let state = txn.blob_state(&articles, title.as_bytes())?.expect("loaded");
+        let state = txn
+            .blob_state(&articles, title.as_bytes())?
+            .expect("loaded");
         state_index
             .tree
             .insert(&state.encode(), title.as_bytes(), false)?;

@@ -104,7 +104,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     crash_dev.crash_now(); // every further data-device write is lost
     let mut txn = db.begin();
     txn.put_kv(&patients, b"P9999", b"Phantom Patient")?;
-    txn.put_blob(&images, b"P9999-scan1.xray", &make_xray("CHEST", 256 * 1024, 9))?;
+    txn.put_blob(
+        &images,
+        b"P9999-scan1.xray",
+        &make_xray("CHEST", 256 * 1024, 9),
+    )?;
     txn.commit()?; // commit "succeeds" — but the image bytes never landed
 
     // Copy the surviving bytes to a fresh device and recover.

@@ -1,0 +1,104 @@
+//! Offline stand-in for the `libc` crate (Linux x86_64 / aarch64 subset).
+//!
+//! Declares only the symbols the buffer arena uses — memfd_create via
+//! `syscall(2)`, `ftruncate`, `mmap`/`munmap`, `close` — with constants
+//! matching the Linux UAPI headers. Everything links against the system
+//! libc that is always present in the container.
+
+#![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
+
+pub type c_void = std::ffi::c_void;
+pub type c_char = std::ffi::c_char;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+
+// Protection flags for mmap (asm-generic/mman-common.h).
+pub const PROT_NONE: c_int = 0x0;
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+pub const PROT_EXEC: c_int = 0x4;
+
+// Mapping flags.
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// Syscall numbers for memfd_create.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_memfd_create: c_long = 319;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_memfd_create: c_long = 279;
+
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_mapping_roundtrip() {
+        unsafe {
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0xAB;
+            assert_eq!(*(p as *const u8), 0xAB);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn memfd_create_and_map() {
+        unsafe {
+            let name = b"shimtest\0";
+            let fd = syscall(
+                SYS_memfd_create,
+                name.as_ptr() as *const c_char,
+                0 as c_uint,
+            ) as c_int;
+            assert!(fd >= 0, "memfd_create failed");
+            assert_eq!(ftruncate(fd, 8192), 0);
+            let p = mmap(
+                std::ptr::null_mut(),
+                8192,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u64) = 0xDEAD_BEEF;
+            assert_eq!(*(p as *const u64), 0xDEAD_BEEF);
+            assert_eq!(munmap(p, 8192), 0);
+            assert_eq!(close(fd), 0);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the API subset the workspace uses: `Rng` (gen / gen_bool /
+//! gen_range / fill_bytes), `SeedableRng::seed_from_u64`, `rngs::StdRng`,
+//! and `thread_rng()`. The generator is xoshiro256++ seeded via SplitMix64 —
+//! not the upstream ChaCha12, but statistically strong and deterministic,
+//! which is all the workloads and tests rely on.
+
+use std::cell::RefCell;
+use std::ops::{Range, RangeInclusive};
+
+// ------------------------------------------------------------------ core ---
+
+/// Low-level generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+// ------------------------------------------------------------- sampling ---
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Element types `gen_range` can sample uniformly (mirrors
+/// `rand::distributions::uniform::SampleUniform`). The blanket
+/// `SampleRange` impls below are what lets the compiler infer untyped
+/// integer-literal ranges (`gen_range(0..5)`) from the usage site.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "gen_range: empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        assert!(
+            lo < hi || (_inclusive && lo <= hi),
+            "gen_range: empty range"
+        );
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges acceptable to [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in(rng, lo, hi, true)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::sample(self) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ------------------------------------------------------------------ rngs ---
+
+pub mod rngs {
+    use super::*;
+
+    /// Deterministic generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut seed: u64) -> Self {
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_state(seed)
+        }
+    }
+
+    /// Handle to the thread-local generator.
+    pub struct ThreadRng;
+
+    thread_local! {
+        pub(super) static THREAD_RNG: RefCell<StdRng> = RefCell::new({
+            // Derive per-thread seeds from a global counter plus the
+            // address of a thread-local — cheap entropy without OS calls.
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static CTR: AtomicU64 = AtomicU64::new(0x5EED);
+            let n = CTR.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+            let t = &n as *const _ as u64;
+            StdRng::from_state(n ^ t.rotate_left(32))
+        });
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+        }
+    }
+}
+
+pub use rngs::ThreadRng;
+
+/// The thread-local generator handle.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+/// One-shot sample from the thread-local generator.
+pub fn random<T: Standard>() -> T {
+    thread_rng().gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "got {hits}");
+        assert_eq!((0..1000).filter(|_| rng.gen_bool(0.0)).count(), 0);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn uniformish_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "skewed bucket: {b}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Engine-level cold-read pipeline tests: a multi-extent BLOB read from a
+//! fully evicted pool must go to the device as one batched IoEngine
+//! submission (not one blocking read per extent), stay byte-exact over
+//! latency-modeling and crash-injecting devices, and sequential range reads
+//! must drive the readahead prefetcher.
+
+use lobster::core::{Config, Database, RelationKind};
+use lobster::storage::{CrashDevice, Device, MemDevice, ThrottleProfile, ThrottledDevice};
+use std::sync::Arc;
+
+const BLOB_LEN: usize = 600 << 10; // ~150 pages => dozens of tiered extents
+
+fn payload() -> Vec<u8> {
+    (0..BLOB_LEN).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn cfg() -> Config {
+    Config {
+        pool_frames: 4096,
+        ..Config::default()
+    }
+}
+
+/// Write one multi-extent BLOB, make everything durable, and evict both
+/// pools — the cold-start state of Fig. 9.
+fn seed_cold(db: &Arc<Database>) -> Vec<u8> {
+    let rel = db.create_relation("blobs", RelationKind::Blob).unwrap();
+    let data = payload();
+    let mut txn = db.begin();
+    txn.put_blob(&rel, b"big", &data).unwrap();
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+    db.blob_pool().drop_caches();
+    db.node_pool().drop_caches();
+    data
+}
+
+fn read_back(db: &Arc<Database>) -> Vec<u8> {
+    let rel = db.relation("blobs").unwrap();
+    let mut txn = db.begin();
+    let out = txn.get_blob(&rel, b"big", |b| b.to_vec()).unwrap();
+    txn.commit().unwrap();
+    out
+}
+
+#[test]
+fn cold_read_over_throttled_device_is_batched() {
+    let dev: Arc<dyn Device> = Arc::new(ThrottledDevice::new(
+        MemDevice::new(256 << 20),
+        ThrottleProfile::nvme(),
+    ));
+    let wal: Arc<dyn Device> = Arc::new(ThrottledDevice::new(
+        MemDevice::new(64 << 20),
+        ThrottleProfile::nvme(),
+    ));
+    let db = Database::create(dev, wal, cfg()).unwrap();
+    let data = seed_cold(&db);
+
+    let before = db.metrics().snapshot();
+    let out = read_back(&db);
+    let delta = db.metrics().snapshot() - before;
+
+    assert_eq!(out, data, "cold batched read must be byte-exact");
+    assert!(
+        (1..=2).contains(&delta.fault_batches),
+        "expected <=2 IoEngine batches for the cold BLOB, got {}",
+        delta.fault_batches
+    );
+    assert!(
+        delta.pages_faulted_batched >= (BLOB_LEN / 4096) as u64,
+        "content pages must fault through the batch, got {}",
+        delta.pages_faulted_batched
+    );
+}
+
+#[test]
+fn cold_read_over_crash_device_is_batched_and_exact() {
+    let dev: Arc<dyn Device> = Arc::new(CrashDevice::new(MemDevice::new(256 << 20)));
+    let wal: Arc<dyn Device> = Arc::new(CrashDevice::new(MemDevice::new(64 << 20)));
+    let db = Database::create(dev, wal, cfg()).unwrap();
+    let data = seed_cold(&db);
+
+    let before = db.metrics().snapshot();
+    let out = read_back(&db);
+    let delta = db.metrics().snapshot() - before;
+
+    assert_eq!(out, data);
+    assert!((1..=2).contains(&delta.fault_batches));
+}
+
+#[test]
+fn sequential_range_reads_drive_readahead() {
+    let dev: Arc<dyn Device> = Arc::new(ThrottledDevice::new(
+        MemDevice::new(256 << 20),
+        ThrottleProfile::nvme(),
+    ));
+    let wal: Arc<dyn Device> = Arc::new(MemDevice::new(64 << 20));
+    let db = Database::create(dev, wal, cfg()).unwrap();
+    let data = seed_cold(&db);
+
+    let rel = db.relation("blobs").unwrap();
+    let before = db.metrics().snapshot();
+    let mut txn = db.begin();
+    let mut buf = vec![0u8; 16 << 10];
+    let mut off = 0usize;
+    while off < data.len() {
+        let n = txn
+            .get_blob_range(&rel, b"big", off as u64, &mut buf)
+            .unwrap();
+        assert!(n > 0);
+        assert_eq!(&buf[..n], &data[off..off + n], "range at {off} corrupted");
+        off += n;
+    }
+    txn.commit().unwrap();
+    let delta = db.metrics().snapshot() - before;
+
+    assert!(
+        delta.readahead_issued > 0,
+        "sequential scan must issue readahead"
+    );
+    assert!(
+        delta.readahead_hit > 0,
+        "later chunks must consume prefetched extents"
+    );
+}
+
+#[test]
+fn readahead_can_be_disabled() {
+    let dev: Arc<dyn Device> = Arc::new(MemDevice::new(256 << 20));
+    let wal: Arc<dyn Device> = Arc::new(MemDevice::new(64 << 20));
+    let db = Database::create(
+        dev,
+        wal,
+        Config {
+            readahead_extents: 0,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    let data = seed_cold(&db);
+
+    let rel = db.relation("blobs").unwrap();
+    let before = db.metrics().snapshot();
+    let mut txn = db.begin();
+    let mut buf = vec![0u8; 16 << 10];
+    let mut off = 0usize;
+    while off < data.len() {
+        let n = txn
+            .get_blob_range(&rel, b"big", off as u64, &mut buf)
+            .unwrap();
+        assert_eq!(&buf[..n], &data[off..off + n]);
+        off += n;
+    }
+    txn.commit().unwrap();
+    let delta = db.metrics().snapshot() - before;
+    assert_eq!(delta.readahead_issued, 0);
+}

@@ -300,7 +300,10 @@ fn concurrent_commits_and_checkpoints_recover() {
                     let data = make_payload(5_000 + (w * 40 + i) * 321, (w * 100 + i) as u64);
                     loop {
                         let mut t = db.begin_with_worker(w);
-                        match t.put_blob(&rel, key.as_bytes(), &data).and_then(|_| t.commit()) {
+                        match t
+                            .put_blob(&rel, key.as_bytes(), &data)
+                            .and_then(|_| t.commit())
+                        {
                             Ok(()) => break,
                             Err(e) if e.is_retryable() => continue,
                             Err(e) => panic!("writer {w}: {e}"),

@@ -135,9 +135,21 @@ enum BlobOp {
 
 fn blob_op() -> impl Strategy<Value = BlobOp> {
     prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..20_000)).prop_map(|(k, d)| BlobOp::Put(k, d)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..10_000)).prop_map(|(k, d)| BlobOp::Append(k, d)),
-        (any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 1..5_000))
+        (
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..20_000)
+        )
+            .prop_map(|(k, d)| BlobOp::Put(k, d)),
+        (
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..10_000)
+        )
+            .prop_map(|(k, d)| BlobOp::Append(k, d)),
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 1..5_000)
+        )
             .prop_map(|(k, o, d)| BlobOp::Overwrite(k, o, d)),
         (any::<u8>(), any::<u16>()).prop_map(|(k, n)| BlobOp::Truncate(k, n)),
         any::<u8>().prop_map(BlobOp::Delete),
