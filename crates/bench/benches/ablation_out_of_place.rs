@@ -1,117 +1,6 @@
-//! Ablation (§VI future work): the out-of-place write policy.
-//!
-//! The paper's closing proposal: decouple logical PIDs from physical
-//! addresses so every extent is "allocated as new", turning fragmented
-//! logical churn into sequential device writes — the principled fix for
-//! aging. We run the Figure 11 churn (80 % alloc of 1–10 MB / 20 % delete
-//! until full) on the engine twice: directly on the device, and behind
-//! [`OutOfPlaceDevice`].
-
-use lobster_baselines::{LobsterMode, LobsterStore, ObjectStore};
-use lobster_bench::*;
-use lobster_storage::{MemDevice, OutOfPlaceDevice};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::sync::Arc;
-use std::time::Instant;
-
-fn churn(store: &LobsterStore) -> (u64, f64) {
-    let mut rng = StdRng::seed_from_u64(11);
-    let mut live: Vec<u64> = Vec::new();
-    let mut next_key = 0u64;
-    let mut ops = 0u64;
-    let t0 = Instant::now();
-    loop {
-        let alloc = live.is_empty() || rng.gen_bool(0.8);
-        let ok = if alloc {
-            let size = rng.gen_range((1 << 20)..=(10 << 20));
-            let key = next_key;
-            next_key += 1;
-            match store.put(&key_name(key), &make_payload(size, key)) {
-                Ok(()) => {
-                    live.push(key);
-                    true
-                }
-                Err(_) => false,
-            }
-        } else {
-            let idx = rng.gen_range(0..live.len());
-            store.delete(&key_name(live.swap_remove(idx))).is_ok()
-        };
-        if !ok {
-            break;
-        }
-        ops += 1;
-    }
-    (ops, t0.elapsed().as_secs_f64())
-}
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
 fn main() {
-    banner(
-        "Ablation — out-of-place write policy (the paper's §VI proposal)",
-        "§VI \"Aging and fragmentation\"",
-    );
-    let device_bytes = (scaled(512) << 20).max(256 << 20);
-    println!("volume size: {}", fmt_bytes(device_bytes as f64));
-
-    let mut table = Table::new(&[
-        "backing device",
-        "ops to full",
-        "ops/s",
-        "gc runs",
-        "relocated",
-    ]);
-
-    // Plain device.
-    {
-        let store = LobsterStore::new(
-            "Our",
-            Arc::new(MemDevice::new(device_bytes)),
-            Arc::new(MemDevice::new(256 << 20)),
-            our_config(1),
-            LobsterMode::Blobs,
-        )
-        .expect("create");
-        let (ops, secs) = churn(&store);
-        table.row(&[
-            "direct".into(),
-            ops.to_string(),
-            fmt_rate(ops as f64 / secs),
-            "-".into(),
-            "-".into(),
-        ]);
-    }
-
-    // Behind the out-of-place translation layer (with over-provisioning,
-    // like an SSD: physical space = logical space + 12.5 %).
-    {
-        let oop = Arc::new(OutOfPlaceDevice::new(MemDevice::new(
-            device_bytes + device_bytes / 8,
-        )));
-        let store = LobsterStore::new(
-            "Our+OoP",
-            oop.clone(),
-            Arc::new(MemDevice::new(256 << 20)),
-            our_config(1),
-            LobsterMode::Blobs,
-        )
-        .expect("create");
-        let (ops, secs) = churn(&store);
-        let gc = oop.gc_stats();
-        table.row(&[
-            "out-of-place".into(),
-            ops.to_string(),
-            fmt_rate(ops as f64 / secs),
-            gc.runs.to_string(),
-            fmt_bytes(gc.relocated_blocks as f64 * 4096.0),
-        ]);
-        println!(
-            "physical utilization at stop: {:.0}%",
-            oop.physical_utilization() * 100.0
-        );
-    }
-
-    table.print();
-    println!("\nevery write behind the layer lands sequentially at the frontier,");
-    println!("regardless of logical fragmentation; GC relocation is the price.");
+    lobster_bench::suite::bench_main("ablation_out_of_place");
 }

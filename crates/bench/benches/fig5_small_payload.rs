@@ -1,65 +1,6 @@
-//! Figure 5: YCSB with normal payload size (120 B), 50 % reads,
-//! single-threaded.
-//!
-//! Paper shape: all file systems and SQLite beat PostgreSQL and MySQL
-//! (which pay socket + serialization per statement); **Our ≥ 3.5× everyone
-//! else** because a point operation is a pure in-process B-Tree op with no
-//! kernel crossing at all.
-
-use lobster_baselines::LobsterMode;
-use lobster_bench::*;
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
 fn main() {
-    banner(
-        "Figure 5 — YCSB, 120 B payloads, 50% reads",
-        "§V-B Figure 5",
-    );
-    let records = scaled(20_000) as u64;
-    let ops = scaled(60_000);
-
-    let systems = vec![
-        sys_our(LobsterMode::Rows),
-        sys_fs(lobster_baselines::FsProfile::ext4_ordered),
-        sys_fs(lobster_baselines::FsProfile::ext4_journal),
-        sys_fs(lobster_baselines::FsProfile::xfs),
-        sys_fs(lobster_baselines::FsProfile::f2fs),
-        sys_sqlite(),
-        sys_postgres(),
-        sys_mysql(),
-    ];
-
-    let mut table = Table::new(&["system", "txn/s", "syscalls/txn", "memcpy/txn"]);
-    let mut our_rate = 0.0;
-    let mut best_other = 0.0f64;
-    for spec in systems {
-        let store = (spec.build)();
-        let mut gen = YcsbGenerator::new(YcsbConfig {
-            records,
-            read_ratio: 0.5,
-            payload: PayloadDist::Fixed(120),
-            zipf_theta: 0.99,
-            seed: 42,
-        });
-        load_ycsb(store.as_ref(), &mut gen).expect("load");
-        let before = store.stats().metrics;
-        let (done, elapsed) = run_ycsb(store.as_ref(), &mut gen, ops).expect("run");
-        let delta = store.stats().metrics - before;
-        let rate = done as f64 / elapsed.as_secs_f64();
-        if spec.name == "Our" {
-            our_rate = rate;
-        } else {
-            best_other = best_other.max(rate);
-        }
-        table.row(&[
-            spec.name.to_string(),
-            fmt_rate(rate),
-            format!("{:.1}", delta.syscalls as f64 / done as f64),
-            fmt_bytes(delta.memcpy_bytes as f64 / done as f64),
-        ]);
-    }
-    table.print();
-    println!(
-        "\nOur vs best competitor: {:.1}x (paper: ≥3.5x)",
-        our_rate / best_other.max(1e-9)
-    );
+    lobster_bench::suite::bench_main("fig5_small_payload");
 }

@@ -1,213 +1,6 @@
-//! Figure 9: Wikipedia-like read workload with a **cold cache**, measured
-//! as throughput over time.
-//!
-//! Paper shape: Our starts ≥ 2.9× ahead (extent-granular reads exploit the
-//! device far better than the file systems' extent-tree walks) and the gap
-//! *widens* (to 3.9×) as our cache fills faster and serves more reads from
-//! memory. Both systems run on the same throttled NVMe-model device so the
-//! I/O economics are identical.
-
-use lobster_baselines::{FsProfile, LobsterMode, LobsterStore, ModelFs, ObjectStore};
-use lobster_bench::*;
-use lobster_storage::{MemDevice, ThrottleProfile, ThrottledDevice};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use std::time::Instant;
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
 fn main() {
-    banner(
-        "Figure 9 — Wikipedia reads, cold cache, throughput over time",
-        "§V-D Figure 9",
-    );
-    // Larger articles than the default corpus so the cold phase (reading
-    // everything from the device once) dominates the early buckets.
-    let corpus = WikiCorpus::with_sizes(
-        scaled(3000),
-        42,
-        PayloadDist::LogNormal {
-            mu: 9.5,
-            sigma: 1.2,
-            min: 4 * 1024,
-            max: 4 << 20,
-        },
-        0.5,
-    );
-    println!(
-        "corpus: {} articles, {} (device: throttled NVMe model)",
-        corpus.len(),
-        fmt_bytes(corpus.total_bytes() as f64)
-    );
-    let buckets = 5usize;
-    let reads_per_bucket = scaled(4000);
-
-    let mut table = Table::new(&[
-        "system",
-        "bucket1",
-        "bucket2",
-        "bucket3",
-        "bucket4",
-        "bucket5",
-        "(reads/s over time)",
-    ]);
-
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-
-    // ---- Our engine on a throttled device ----------------------------------
-    {
-        let dev = Arc::new(ThrottledDevice::new(
-            MemDevice::new(2 << 30),
-            ThrottleProfile::nvme(),
-        ));
-        let store = LobsterStore::new(
-            "Our",
-            dev,
-            mem_device(256 << 20),
-            our_config(1),
-            LobsterMode::Blobs,
-        )
-        .expect("create");
-        for i in 0..corpus.len() {
-            store
-                .put(&corpus.articles()[i].title, &corpus.body(i))
-                .expect("load");
-        }
-        // Cold start: checkpoint (flush all dirty state), then evict every
-        // clean frame — the buffer pool is now empty, like a fresh boot.
-        store.flush().expect("checkpoint");
-        store.database().node_pool().drop_caches();
-        series.push((
-            "Our".into(),
-            measure_buckets(store, &corpus, buckets, reads_per_bucket, true),
-        ));
-    }
-
-    // ---- File-system models on identical devices ----------------------------
-    for profile in [
-        FsProfile::ext4_ordered(),
-        FsProfile::xfs(),
-        FsProfile::f2fs(),
-    ] {
-        let dev = Arc::new(ThrottledDevice::new(
-            MemDevice::new(2 << 30),
-            ThrottleProfile::nvme(),
-        ));
-        let fs = ModelFs::new(profile, dev, 256 * 1024);
-        for i in 0..corpus.len() {
-            fs.put(&corpus.articles()[i].title, &corpus.body(i))
-                .expect("load");
-        }
-        fs.drop_caches();
-        series.push((
-            profile.name.to_string(),
-            measure_buckets_fs(fs, &corpus, buckets, reads_per_bucket),
-        ));
-    }
-
-    let first_ratio;
-    let last_ratio;
-    {
-        let our = &series[0].1;
-        let best_fs_first = series[1..].iter().map(|(_, s)| s[0]).fold(0.0f64, f64::max);
-        let best_fs_last = series[1..]
-            .iter()
-            .map(|(_, s)| *s.last().unwrap())
-            .fold(0.0f64, f64::max);
-        first_ratio = our[0] / best_fs_first.max(1e-9);
-        last_ratio = our.last().unwrap() / best_fs_last.max(1e-9);
-    }
-    for (name, s) in series {
-        let mut cells = vec![name];
-        for v in &s {
-            cells.push(fmt_rate(*v));
-        }
-        cells.push(String::new());
-        table.row(&cells);
-    }
-    table.print();
-    println!(
-        "\nOur vs best FS: {first_ratio:.1}x at start, {last_ratio:.1}x at end (paper: 2.9x -> 3.9x)"
-    );
-
-    // ---- Ablation: batched vs serial cold faulting --------------------------
-    // Same engine, same device model; only the read path differs. `batched`
-    // faults every evicted extent of a BLOB with one IoEngine submission
-    // (latencies overlap on the device); `serial` reproduces the old
-    // one-blocking-read-per-extent loop. Only the first (coldest) bucket is
-    // measured — that is where faulting dominates.
-    let mut axis: Vec<(&str, f64)> = Vec::new();
-    for (label, batched) in [("batched", true), ("serial", false)] {
-        let dev = Arc::new(ThrottledDevice::new(
-            MemDevice::new(2 << 30),
-            ThrottleProfile::nvme(),
-        ));
-        let mut cfg = our_config(1);
-        cfg.batched_faults = batched;
-        if !batched {
-            cfg.readahead_extents = 0;
-        }
-        let store = LobsterStore::new(label, dev, mem_device(256 << 20), cfg, LobsterMode::Blobs)
-            .expect("create");
-        for i in 0..corpus.len() {
-            store
-                .put(&corpus.articles()[i].title, &corpus.body(i))
-                .expect("load");
-        }
-        store.flush().expect("checkpoint");
-        store.database().node_pool().drop_caches();
-        let cold = measure_buckets(store, &corpus, 1, reads_per_bucket, true);
-        axis.push((label, cold[0]));
-    }
-    let speedup = axis[0].1 / axis[1].1.max(1e-9);
-    println!(
-        "\ncold-fault ablation (bucket1): batched {} vs serial {} -> {speedup:.2}x from one-batch multi-extent faulting",
-        fmt_rate(axis[0].1),
-        fmt_rate(axis[1].1),
-    );
-}
-
-fn measure_buckets(
-    store: LobsterStore,
-    corpus: &WikiCorpus,
-    buckets: usize,
-    reads_per_bucket: usize,
-    _cold: bool,
-) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut out = Vec::new();
-    for _ in 0..buckets {
-        let t0 = Instant::now();
-        for _ in 0..reads_per_bucket {
-            let i = corpus.sample_by_views(&mut rng);
-            store
-                .get(&corpus.articles()[i].title, &mut |b| {
-                    std::hint::black_box(b.len());
-                })
-                .expect("read");
-        }
-        out.push(reads_per_bucket as f64 / t0.elapsed().as_secs_f64());
-    }
-    out
-}
-
-fn measure_buckets_fs(
-    fs: ModelFs,
-    corpus: &WikiCorpus,
-    buckets: usize,
-    reads_per_bucket: usize,
-) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut out = Vec::new();
-    for _ in 0..buckets {
-        let t0 = Instant::now();
-        for _ in 0..reads_per_bucket {
-            let i = corpus.sample_by_views(&mut rng);
-            fs.get(&corpus.articles()[i].title, &mut |b| {
-                std::hint::black_box(b.len());
-            })
-            .expect("read");
-        }
-        out.push(reads_per_bucket as f64 / t0.elapsed().as_secs_f64());
-    }
-    out
+    lobster_bench::suite::bench_main("fig9_cold_read");
 }

@@ -1,128 +1,6 @@
-//! Criterion micro-benchmarks of the primitives the engine's hot paths
-//! are built from: resumable SHA-256 (growth ops), B-Tree point ops
-//! (metadata path), tier-table math (allocation path), and CRC-32 (WAL
-//! framing).
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lobster_btree::{BTree, LexCmp};
-use lobster_buffer::{ExtentPool, PoolConfig};
-use lobster_extent::{plan_sequence, ExtentAllocator, TierPolicy, TierTable};
-use lobster_sha256::Sha256;
-use lobster_storage::{Device, MemDevice};
-use lobster_types::{crc32, Geometry, Pid};
-use std::sync::Arc;
-
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
-    let blob = vec![0xABu8; 4 << 20];
-    g.throughput(Throughput::Bytes(blob.len() as u64));
-    g.bench_function("full_rehash_4MiB", |b| {
-        b.iter(|| Sha256::digest(&blob));
-    });
-
-    // The paper's growth path: resume from the midstate instead of
-    // re-hashing the existing content.
-    let mut h = Sha256::new();
-    h.update(&blob);
-    let mid = h.midstate();
-    let tail = &blob[mid.processed as usize..];
-    let appended = vec![0xCDu8; 64 * 1024];
-    g.throughput(Throughput::Bytes(appended.len() as u64));
-    g.bench_function("resume_append_64KiB", |b| {
-        b.iter(|| {
-            let mut h = Sha256::resume(mid);
-            h.update(tail);
-            h.update(&appended);
-            h.finalize()
-        });
-    });
-
-    // Per-call dispatch cost: many tiny one-shot digests, so the SHA-NI
-    // feature probe in compress_many runs once per digest. With the cached
-    // OnceLock detection this is a single load; regressing to a repeated
-    // CPUID probe shows up here immediately.
-    let small = vec![0x5Au8; 64];
-    g.throughput(Throughput::Bytes((small.len() * 1024) as u64));
-    g.bench_function("dispatch_1024x64B", |b| {
-        b.iter(|| {
-            let mut acc = 0u8;
-            for _ in 0..1024 {
-                acc ^= Sha256::digest(&small)[0];
-            }
-            acc
-        });
-    });
-    g.finish();
+fn main() {
+    lobster_bench::suite::bench_main("micro_primitives");
 }
-
-fn bench_btree(c: &mut Criterion) {
-    let dev: Arc<dyn Device> = Arc::new(MemDevice::new(256 << 20));
-    let pool = ExtentPool::new(
-        dev,
-        Geometry::new(4096),
-        PoolConfig {
-            frames: 32 * 1024,
-            alias: None,
-            io_threads: 1,
-            batched_faults: true,
-        },
-        lobster_metrics::new_metrics(),
-    );
-    let table = Arc::new(TierTable::new(TierPolicy::default()));
-    let alloc = Arc::new(ExtentAllocator::new(table, Pid::new(0), 60_000));
-    let tree = BTree::create(pool, alloc, Arc::new(LexCmp), 1).unwrap();
-    for k in 0..100_000u32 {
-        tree.insert(format!("key{k:09}").as_bytes(), &k.to_le_bytes(), false)
-            .unwrap();
-    }
-
-    let mut g = c.benchmark_group("btree");
-    g.bench_function("lookup_100k", |b| {
-        let mut k = 0u32;
-        b.iter(|| {
-            k = (k.wrapping_mul(1103515245).wrapping_add(12345)) % 100_000;
-            tree.lookup_map(format!("key{k:09}").as_bytes(), |v| v.len())
-                .unwrap()
-        });
-    });
-    g.bench_function("scan_10", |b| {
-        let mut k = 0u32;
-        b.iter(|| {
-            k = (k.wrapping_mul(1103515245).wrapping_add(12345)) % 99_000;
-            let mut n = 0;
-            tree.scan_from(format!("key{k:09}").as_bytes(), |_, _| {
-                n += 1;
-                n < 10
-            })
-            .unwrap();
-            n
-        });
-    });
-    g.finish();
-}
-
-fn bench_tier_math(c: &mut Criterion) {
-    let table = TierTable::new(TierPolicy::default());
-    let mut g = c.benchmark_group("extent_tier");
-    for pages in [25u64, 2_560, 262_144] {
-        g.bench_with_input(BenchmarkId::new("plan_sequence", pages), &pages, |b, &p| {
-            b.iter(|| plan_sequence(&table, p, false).unwrap());
-        });
-    }
-    g.finish();
-}
-
-fn bench_crc32(c: &mut Criterion) {
-    let record = vec![0x5Au8; 512];
-    let mut g = c.benchmark_group("crc32");
-    g.throughput(Throughput::Bytes(record.len() as u64));
-    g.bench_function("wal_record_512B", |b| b.iter(|| crc32(&record)));
-    g.finish();
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sha256, bench_btree, bench_tier_math, bench_crc32
-}
-criterion_main!(benches);

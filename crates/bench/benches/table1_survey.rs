@@ -1,102 +1,6 @@
-//! Table I: the storage-format survey, *measured* rather than quoted —
-//! for each system we store one 10 MB BLOB and read it back, reporting
-//! the duplicate copies (write amplification), log volume, read
-//! indirections, and read copies that the paper's table catalogues.
-
-use lobster_baselines::{
-    ClientServerCost, FsProfile, LobsterMode, ModelFs, ObjectStore, OverflowStore, SqliteStore,
-    ToastStore,
-};
-use lobster_bench::*;
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
 fn main() {
-    banner(
-        "Table I — measured storage-format properties (one 10 MB BLOB)",
-        "§II Table I",
-    );
-    let blob = 10 << 20;
-    let data = make_payload(blob, 1);
-
-    let mut table = Table::new(&[
-        "system",
-        "write amp",
-        "log bytes",
-        "read indirections",
-        "read memcpy",
-        "pages read (warm)",
-    ]);
-
-    let systems: Vec<(String, Box<dyn ObjectStore>)> = vec![
-        ("Our".into(), (sys_our(LobsterMode::Blobs).build)()),
-        (
-            "Ext4.ordered".into(),
-            Box::new(ModelFs::new(
-                FsProfile::ext4_ordered(),
-                mem_device(1 << 30),
-                16 * 1024,
-            )),
-        ),
-        (
-            "Ext4.journal".into(),
-            Box::new(ModelFs::new(
-                FsProfile::ext4_journal(),
-                mem_device(1 << 30),
-                16 * 1024,
-            )),
-        ),
-        (
-            "PostgreSQL".into(),
-            Box::new(ToastStore::new(
-                mem_device(1 << 30),
-                16 * 1024,
-                ClientServerCost::none(),
-            )),
-        ),
-        (
-            "MySQL".into(),
-            Box::new(OverflowStore::new(
-                mem_device(1 << 30),
-                16 * 1024,
-                ClientServerCost::none(),
-            )),
-        ),
-        (
-            "SQLite".into(),
-            Box::new(SqliteStore::new(mem_device(1 << 30), 16 * 1024, false)),
-        ),
-        (
-            "SQLite+index".into(),
-            Box::new(SqliteStore::new(mem_device(1 << 30), 16 * 1024, true)),
-        ),
-    ];
-
-    for (name, store) in systems {
-        let before = store.stats().metrics;
-        store.put("blob", &data).expect("put");
-        store.flush().ok();
-        let after_write = store.stats().metrics;
-        let write_delta = after_write - before;
-
-        // Warm read: indirections + copies.
-        let mut sink = 0usize;
-        store.get("blob", &mut |b| sink = b.len()).expect("read");
-        assert_eq!(sink, blob);
-        let after_read = store.stats().metrics;
-        let read_delta = after_read - after_write;
-
-        table.row(&[
-            name,
-            format!("{:.2}x", write_delta.bytes_written as f64 / blob as f64),
-            fmt_bytes(write_delta.wal_bytes as f64),
-            format!(
-                "{}",
-                read_delta.btree_node_accesses + read_delta.translations
-            ),
-            fmt_bytes(read_delta.memcpy_bytes as f64),
-            format!("{}", read_delta.pages_read),
-        ]);
-    }
-    table.print();
-    println!("\npaper (Table I): all surveyed systems keep >=2 copies per BLOB and use");
-    println!("multi-layer structures; Our keeps one copy behind one indirection layer.");
+    lobster_bench::suite::bench_main("table1_survey");
 }

@@ -1,155 +1,6 @@
-//! Table II: overhead of shared-aliasing-area synchronization.
-//!
-//! Read-only YCSB with 10 MB BLOBs and many workers. With a 4 MB
-//! worker-local area every BLOB is too large for the local area, so every
-//! read reserves blocks from the *shared* area (bitmap + CAS range lock);
-//! with 16 MB the local area always suffices.
-//!
-//! Paper shape: the two variants are statistically identical — the range
-//! lock costs nothing measurable — which is the justification for capping
-//! virtual-address usage with a shared pool. Repetitions of the two
-//! variants are interleaved so machine-level noise hits both equally.
-
-use lobster_baselines::{LobsterMode, LobsterStore, ObjectStore};
-use lobster_bench::*;
-use lobster_buffer::AliasConfig;
-use lobster_core::{Config, PoolVariant};
-use lobster_metrics::CostModel;
-use std::sync::Arc;
-use std::time::Instant;
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
 
 fn main() {
-    banner(
-        "Table II — shared-area synchronization overhead (10 MB BLOBs)",
-        "§V-F Table II",
-    );
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get().min(16))
-        .unwrap_or(8);
-    let records = scaled(12);
-    let reads_per_worker = scaled(150);
-    let repetitions = 6;
-    let blob = 10 << 20;
-
-    let variants = [("4MB (shared)", 4usize << 20), ("16MB (local)", 16 << 20)];
-    let stores: Vec<Arc<LobsterStore>> = variants
-        .iter()
-        .map(|&(_, local_bytes)| {
-            let cfg = Config {
-                pool_frames: 128 * 1024,
-                pool_variant: PoolVariant::Vm {
-                    alias: Some(AliasConfig {
-                        workers,
-                        worker_local_bytes: local_bytes,
-                        shared_bytes: 512 << 20,
-                    }),
-                },
-                workers,
-                ..Config::default()
-            };
-            let store = Arc::new(
-                LobsterStore::new(
-                    "Our",
-                    mem_device(2 << 30),
-                    mem_device(256 << 20),
-                    cfg,
-                    LobsterMode::Blobs,
-                )
-                .expect("create"),
-            );
-            for k in 0..records {
-                store
-                    .put(&key_name(k as u64), &make_payload(blob, k as u64))
-                    .expect("load");
-            }
-            // Warm every object into the pool.
-            for k in 0..records {
-                store
-                    .get(&key_name(k as u64), &mut |b| {
-                        std::hint::black_box(b.len());
-                    })
-                    .expect("warm");
-            }
-            store
-        })
-        .collect();
-
-    let before: Vec<_> = stores.iter().map(|s| s.stats().metrics).collect();
-    let mut secs = [0.0f64; 2];
-    for _rep in 0..repetitions {
-        for (vi, store) in stores.iter().enumerate() {
-            let t0 = Instant::now();
-            std::thread::scope(|s| {
-                for w in 0..workers {
-                    let store = store.clone();
-                    s.spawn(move || {
-                        let db = store.database().clone();
-                        let rel = store.relation().clone();
-                        let mut state = (w as u64 + 1) | 1;
-                        for _ in 0..reads_per_worker {
-                            state ^= state << 13;
-                            state ^= state >> 7;
-                            state ^= state << 17;
-                            let k = state % records as u64;
-                            let mut t = db.begin_with_worker(w);
-                            t.get_blob(&rel, key_name(k).as_bytes(), |b| {
-                                std::hint::black_box(b.len());
-                            })
-                            .expect("read");
-                            t.commit().expect("commit");
-                        }
-                    });
-                }
-            });
-            secs[vi] += t0.elapsed().as_secs_f64();
-        }
-    }
-
-    let mut table = Table::new(&[
-        "wrk-local",
-        "shared used",
-        "txn/s",
-        "instr/txn",
-        "cycles/txn",
-        "kernel cyc/txn",
-        "retries",
-    ]);
-    let cm = CostModel::default();
-    for (vi, &(label, _)) in variants.iter().enumerate() {
-        let store = &stores[vi];
-        let delta = store.stats().metrics - before[vi];
-        let txns = (workers * reads_per_worker * repetitions) as u64;
-        let alias_stats = store
-            .database()
-            .node_pool()
-            .alias_stats()
-            .expect("aliasing enabled");
-        table.row(&[
-            label.to_string(),
-            if alias_stats.shared_uses > 0 {
-                "Yes"
-            } else {
-                "No"
-            }
-            .to_string(),
-            fmt_rate(txns as f64 / secs[vi]),
-            format!(
-                "{:.1}k",
-                cm.instructions(&delta) as f64 / txns as f64 / 1000.0
-            ),
-            format!(
-                "{:.1}k",
-                cm.total_cycles(&delta) as f64 / txns as f64 / 1000.0
-            ),
-            format!(
-                "{:.1}k",
-                cm.kernel_cycles(&delta) as f64 / txns as f64 / 1000.0
-            ),
-            alias_stats.reservation_retries.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "\npaper: both variants perform alike (3,453 vs 3,477 txn/s); shared-area sync is trivial"
-    );
+    lobster_bench::suite::bench_main("table2_shared_area");
 }

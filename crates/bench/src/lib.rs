@@ -12,40 +12,43 @@ use lobster_baselines::{
 };
 use lobster_buffer::AliasConfig;
 use lobster_core::{BlobLogging, Config, PoolVariant};
+use lobster_metrics::{LatencySummary, LocalRecorder, Snapshot};
 use lobster_storage::{Device, MemDevice, ThrottleProfile, ThrottledDevice};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod env;
+pub mod json;
+pub mod report;
+pub mod suite;
+
+pub use env::{env, BenchEnv};
+pub use report::{Entry, Report};
+
 pub use lobster_workloads::{make_payload, PayloadDist, WikiCorpus, YcsbConfig, YcsbGenerator};
 
-/// Workload scale multiplier from `LOBSTER_BENCH_SCALE`.
+/// Workload scale multiplier from `LOBSTER_BENCH_SCALE` (via [`BenchEnv`]).
 pub fn scale() -> f64 {
-    std::env::var("LOBSTER_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    env().scale
 }
 
 /// `n` scaled, with a floor of 1.
 pub fn scaled(n: usize) -> usize {
-    ((n as f64 * scale()) as usize).max(1)
+    env().scaled(n)
 }
-
-static THROTTLED: AtomicBool = AtomicBool::new(false);
 
 /// Route all subsequently built devices through the NVMe throttle model
 /// (used by the I/O-bound experiments so every system pays realistic
 /// device costs; in-memory experiments leave this off).
 pub fn use_throttled_devices(on: bool) {
-    THROTTLED.store(on, Ordering::SeqCst);
+    env().set_throttled(on);
 }
 
 /// Default device: sparse in-memory, optionally behind the NVMe model.
 /// `sync` is free, matching the paper's fsync-disabled competitor setup.
 pub fn mem_device(bytes: usize) -> Arc<dyn Device> {
     let raw = MemDevice::new(bytes);
-    if THROTTLED.load(Ordering::SeqCst) {
+    if env().throttled() {
         // Calibrated to the paper's testbed *ratio*, not absolute speed:
         // on the i7-13700K + 980 Pro, SHA-NI throughput (~2 GB/s) and
         // sustained SSD write bandwidth are roughly 1:1. Our SHA-NI path
@@ -189,7 +192,8 @@ pub fn sys_sqlite() -> SystemSpec {
 
 // ---------------------------------------------------------------- runner ---
 
-/// Outcome of one measured run.
+/// Outcome of one measured run: throughput plus the per-op latency digest
+/// and the counter delta the run charged.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     pub system: String,
@@ -197,6 +201,11 @@ pub struct RunResult {
     pub elapsed: Duration,
     pub stats: lobster_baselines::StoreStats,
     pub note: String,
+    /// Harness-measured per-operation latency percentiles.
+    pub latency: LatencySummary,
+    /// Counter delta over the measured window (stats minus a pre-run
+    /// snapshot, when the caller took one; otherwise the run totals).
+    pub counters: Snapshot,
 }
 
 impl RunResult {
@@ -205,20 +214,41 @@ impl RunResult {
     }
 }
 
-/// Run a YCSB phase against one store: `ops` operations drawn from `gen`.
+/// Outcome of one YCSB phase: op count, wall time, per-op latency histogram.
+pub struct YcsbRun {
+    pub ops: u64,
+    pub elapsed: Duration,
+    pub latency: lobster_metrics::HistSnapshot,
+}
+
+impl YcsbRun {
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        self.latency.summary()
+    }
+}
+
+/// Run a YCSB phase against one store: `ops` operations drawn from `gen`,
+/// each individually timed into a per-thread recorder.
 pub fn run_ycsb(
     store: &dyn ObjectStore,
     gen: &mut YcsbGenerator,
     ops: usize,
-) -> Result<(u64, Duration), lobster_types::Error> {
+) -> Result<YcsbRun, lobster_types::Error> {
     use lobster_workloads::Op;
     // One pre-generated scratch payload, sliced per update: payload
     // *generation* must not pollute the measured system costs.
     let mut scratch: Vec<u8> = Vec::new();
+    let mut rec = LocalRecorder::new();
     let t0 = Instant::now();
     let mut done = 0u64;
     for _ in 0..ops {
-        match gen.next_op() {
+        let op = gen.next_op();
+        let t = Instant::now();
+        match op {
             Op::Read { key } => {
                 let mut sink = 0usize;
                 store.get(&key_name(key), &mut |b| sink = b.len())?;
@@ -231,11 +261,16 @@ pub fn run_ycsb(
                 store.replace(&key_name(key), &scratch[..size])?;
             }
         }
+        rec.record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         done += 1;
     }
     // Background group commits belong to the measured window.
     store.quiesce();
-    Ok((done, t0.elapsed()))
+    Ok(YcsbRun {
+        ops: done,
+        elapsed: t0.elapsed(),
+        latency: rec.snapshot(),
+    })
 }
 
 /// Load the initial YCSB dataset.
@@ -373,7 +408,11 @@ mod tests {
             seed: 1,
         });
         load_ycsb(store.as_ref(), &mut gen).unwrap();
-        let (ops, _) = run_ycsb(store.as_ref(), &mut gen, 50).unwrap();
-        assert_eq!(ops, 50);
+        let run = run_ycsb(store.as_ref(), &mut gen, 50).unwrap();
+        assert_eq!(run.ops, 50);
+        // Every op was individually timed.
+        assert_eq!(run.latency.count(), 50);
+        let s = run.summary();
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
     }
 }

@@ -1,0 +1,81 @@
+//! Figure 5: YCSB with normal payload size (120 B), 50 % reads,
+//! single-threaded.
+//!
+//! Paper shape: all file systems and SQLite beat PostgreSQL and MySQL
+//! (which pay socket + serialization per statement); **Our ≥ 3.5× everyone
+//! else** because a point operation is a pure in-process B-Tree op with no
+//! kernel crossing at all.
+
+use crate::*;
+use lobster_baselines::LobsterMode;
+
+pub(crate) fn run(report: &mut Report) {
+    banner(
+        "Figure 5 — YCSB, 120 B payloads, 50% reads",
+        "§V-B Figure 5",
+    );
+    let records = scaled(20_000) as u64;
+    // Floored so smoke-scale runs still time a stable window (see fig9).
+    let ops = scaled(60_000).max(5000);
+
+    let systems = vec![
+        sys_our(LobsterMode::Rows),
+        sys_fs(lobster_baselines::FsProfile::ext4_ordered),
+        sys_fs(lobster_baselines::FsProfile::ext4_journal),
+        sys_fs(lobster_baselines::FsProfile::xfs),
+        sys_fs(lobster_baselines::FsProfile::f2fs),
+        sys_sqlite(),
+        sys_postgres(),
+        sys_mysql(),
+    ];
+
+    let mut table = Table::new(&["system", "txn/s", "syscalls/txn", "memcpy/txn"]);
+    let mut our_rate = 0.0;
+    let mut best_other = 0.0f64;
+    for spec in systems {
+        let store = (spec.build)();
+        let mut gen = YcsbGenerator::new(YcsbConfig {
+            records,
+            read_ratio: 0.5,
+            payload: PayloadDist::Fixed(120),
+            zipf_theta: 0.99,
+            seed: 42,
+        });
+        load_ycsb(store.as_ref(), &mut gen).expect("load");
+        let before = store.stats().metrics;
+        let run = run_ycsb(store.as_ref(), &mut gen, ops).expect("run");
+        let delta = store.stats().metrics - before;
+        let rate = run.throughput();
+        if spec.name == "Our" {
+            our_rate = rate;
+        } else {
+            best_other = best_other.max(rate);
+        }
+        let result = RunResult {
+            system: spec.name.to_string(),
+            ops: run.ops,
+            elapsed: run.elapsed,
+            stats: store.stats(),
+            note: String::new(),
+            latency: run.summary(),
+            counters: delta,
+        };
+        report.push(
+            Entry::throughput(&result.system, rate)
+                .param("payload", "120B")
+                .param("read_ratio", "0.5")
+                .latency("op", result.latency)
+                .counters(delta),
+        );
+        table.row(&[
+            spec.name.to_string(),
+            fmt_rate(rate),
+            format!("{:.1}", delta.syscalls as f64 / run.ops as f64),
+            fmt_bytes(delta.memcpy_bytes as f64 / run.ops as f64),
+        ]);
+    }
+    table.print();
+    let ratio = our_rate / best_other.max(1e-9);
+    println!("\nOur vs best competitor: {ratio:.1}x (paper: ≥3.5x)");
+    report.push(Entry::new("Our", "speedup_vs_best", "x", ratio, true));
+}

@@ -138,8 +138,10 @@ impl HashTablePool {
     fn load_extent(&self, spec: ExtentSpec) -> Result<()> {
         let p = self.geo.page_size();
         let mut scratch = vec![0u8; (spec.pages as usize) * p];
+        let t = self.metrics.latencies.timer();
         self.device
             .read_at(&mut scratch, self.geo.offset_of(spec.start))?;
+        self.metrics.latencies.pool_fault.record_timer(t);
         self.metrics
             .pages_read
             .fetch_add(spec.pages, Ordering::Relaxed);
@@ -201,7 +203,9 @@ impl HashTablePool {
             .collect();
         // SAFETY: `bufs` outlives the blocking wait and is not touched until
         // the batch completes.
+        let t = self.metrics.latencies.timer();
         unsafe { self.io.submit_and_wait(reqs)? };
+        self.metrics.latencies.pool_fault.record_timer(t);
         let total: u64 = missing.iter().map(|s| s.pages).sum();
         self.metrics.pages_read.fetch_add(total, Ordering::Relaxed);
         self.metrics.fault_batches.fetch_add(1, Ordering::Relaxed);

@@ -471,12 +471,14 @@ impl ExtentPool {
     fn load_extent(&self, spec: ExtentSpec, load_pages: u64) -> Result<u64> {
         let frame = self.allocate_frames(spec.pages)?;
         if load_pages > 0 {
+            let t = self.metrics.latencies.timer();
             let len = (load_pages * self.geo.page_size() as u64) as usize;
             let off = (frame as usize) * self.geo.page_size();
             // SAFETY: we own this frame range exclusively until the entry is
             // published.
             let buf = unsafe { self.arena.frame_slice_mut(off, len) };
             self.device.read_at(buf, self.geo.offset_of(spec.start))?;
+            self.metrics.latencies.pool_fault.record_timer(t);
             self.metrics
                 .pages_read
                 .fetch_add(load_pages, Ordering::Relaxed);
@@ -628,10 +630,14 @@ impl ExtentPool {
             })
             .collect();
         // SAFETY: the frames stay reserved until the wait returns.
+        let t = self.metrics.latencies.timer();
         if let Err(err) = unsafe { self.io.submit_and_wait(reqs) } {
             rollback(&claimed, claimed.len());
             return Err(err);
         }
+        // One record per batch: the whole overlapped round trip is the
+        // fault latency a foreground read observes.
+        self.metrics.latencies.pool_fault.record_timer(t);
         let total_pages: u64 = claimed.iter().map(|(s, _)| s.pages).sum();
         self.metrics.fault_batches.fetch_add(1, Ordering::Relaxed);
         self.metrics

@@ -180,6 +180,13 @@ impl Txn {
 
     /// Store a new BLOB under `key` (§III-C, Figure 2(b)).
     pub fn put_blob(&mut self, rel: &Relation, key: &[u8], data: &[u8]) -> Result<()> {
+        let t = self.db.metrics.latencies.timer();
+        let r = self.put_blob_inner(rel, key, data);
+        self.db.metrics.latencies.put_blob.record_timer(t);
+        r
+    }
+
+    fn put_blob_inner(&mut self, rel: &Relation, key: &[u8], data: &[u8]) -> Result<()> {
         self.check_active()?;
         debug_assert_eq!(rel.kind, RelationKind::Blob);
         self.lock(rel, key, LockMode::Exclusive)?;
@@ -311,6 +318,18 @@ impl Txn {
         key: &[u8],
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
+        let t = self.db.metrics.latencies.timer();
+        let r = self.get_blob_inner(rel, key, f);
+        self.db.metrics.latencies.get_blob.record_timer(t);
+        r
+    }
+
+    fn get_blob_inner<R>(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
         self.check_active()?;
         self.lock(rel, key, LockMode::Shared)?;
         let state = self.require_state(rel, key)?;
@@ -330,6 +349,19 @@ impl Txn {
     /// copy. Only the extents intersecting the range are touched — a 4 KB
     /// `pread` into a 1 GB BLOB loads one extent, not the BLOB.
     pub fn get_blob_range(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize> {
+        let t = self.db.metrics.latencies.timer();
+        let r = self.get_blob_range_inner(rel, key, offset, buf);
+        self.db.metrics.latencies.get_blob_range.record_timer(t);
+        r
+    }
+
+    fn get_blob_range_inner(
         &mut self,
         rel: &Relation,
         key: &[u8],
@@ -913,7 +945,15 @@ impl Txn {
     /// With [`crate::Config::commit_wait`] `false`, the durability work is
     /// handed to the background group committer and this returns
     /// immediately (§V-A's group-commit configuration).
-    pub fn commit(mut self) -> Result<()> {
+    pub fn commit(self) -> Result<()> {
+        let m = self.db.metrics.clone();
+        let t = m.latencies.timer();
+        let r = self.commit_inner();
+        m.latencies.commit.record_timer(t);
+        r
+    }
+
+    fn commit_inner(mut self) -> Result<()> {
         self.check_active()?;
         let db = self.db.clone();
         db.metrics

@@ -22,6 +22,16 @@ fn cfg() -> Config {
     }
 }
 
+/// Sweep-width multiplier for the nightly torture CI job
+/// (`LOBSTER_TORTURE_MULT=10`); unset or invalid means 1.
+fn torture_mult() -> u64 {
+    std::env::var("LOBSTER_TORTURE_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1)
+}
+
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
     let mut out = vec![0u8; len];
     let mut state = seed | 1;
@@ -140,7 +150,7 @@ fn crash_at_every_early_write() {
     // Sweep the first 24 post-checkpoint writes one by one: this covers
     // crashes during the first commit's WAL flush, between WAL fsync and
     // the extent flush (the SHA-validation window), and mid-extent-flush.
-    for crash_after in 0..24 {
+    for crash_after in 0..24 * torture_mult() {
         run_scenario(crash_after);
     }
 }
@@ -148,8 +158,9 @@ fn crash_at_every_early_write() {
 #[test]
 fn crash_across_later_writes() {
     // Coarser sweep further into the scenario (second commit + append).
+    // The torture multiplier widens the sweep rather than repeating it.
     let mut completed_once = false;
-    for crash_after in (24..120).step_by(7) {
+    for crash_after in (24..24 + 96 * torture_mult()).step_by(7) {
         completed_once |= run_scenario(crash_after);
     }
     // Sanity: with a late enough crash point the whole scenario commits.

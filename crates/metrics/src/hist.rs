@@ -1,0 +1,521 @@
+//! Mergeable log-bucketed latency histograms.
+//!
+//! Values (nanoseconds) are bucketed log-linearly: 16 linear sub-buckets per
+//! power of two, so relative error is bounded at ~6% across the full `u64`
+//! range while the whole table stays under 8 KiB of counters. Recording is a
+//! single relaxed `fetch_add` (plus an exact-max `fetch_max`), cheap enough
+//! to leave on in the engine's hot paths. [`LocalRecorder`] offers a
+//! plain-integer per-thread variant for tight bench loops; it merges into a
+//! shared [`Histogram`] (or folds into a [`HistSnapshot`]) afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Linear sub-buckets per power of two = `1 << SUB_BITS`.
+pub const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` range.
+pub const BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a value. Exact for values below 16; above that the
+/// bucket spans `2^(g-1)` values where `g` is the power-of-two group.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let group = msb - SUB_BITS as usize + 1;
+        let sub = ((v >> (msb - SUB_BITS as usize)) & (SUB as u64 - 1)) as usize;
+        group * SUB + sub
+    }
+}
+
+/// Smallest value mapping to bucket `i`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let group = i / SUB;
+        let sub = (i % SUB) as u64;
+        (SUB as u64 + sub) << (group - 1)
+    }
+}
+
+/// Number of distinct values mapping to bucket `i`.
+#[inline]
+pub fn bucket_width(i: usize) -> u64 {
+    if i < SUB {
+        1
+    } else {
+        1u64 << (i / SUB - 1)
+    }
+}
+
+/// Largest value mapping to bucket `i`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    bucket_lower_bound(i).saturating_add(bucket_width(i) - 1)
+}
+
+/// Shared, thread-safe log-bucketed histogram.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (nanoseconds by convention).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record the time elapsed since `start`, if a timer was issued.
+    #[inline]
+    pub fn record_timer(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Fold a per-thread recorder's buckets into this histogram.
+    pub fn merge_recorder(&self, r: &LocalRecorder) {
+        for (i, &c) in r.counts.iter().enumerate() {
+            if c != 0 {
+                self.counts[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(r.count, Ordering::Relaxed);
+        self.sum.fetch_add(r.sum, Ordering::Relaxed);
+        self.max.fetch_max(r.max, Ordering::Relaxed);
+    }
+
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-thread lock-free recorder: plain integers, no atomics. Merge into a
+/// shared [`Histogram`] (or take a snapshot) when the thread finishes.
+pub struct LocalRecorder {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalRecorder {
+    fn default() -> Self {
+        LocalRecorder {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LocalRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        // Wrapping to match `AtomicU64::fetch_add` semantics in `Histogram`.
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self.counts.to_vec(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+/// Plain-value copy of a histogram; supports windowed deltas via `Sub`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl std::ops::Sub for HistSnapshot {
+    type Output = HistSnapshot;
+    /// Windowed delta. Bucket counts subtract exactly; `max` keeps the
+    /// end-of-window value (an upper bound for the window).
+    fn sub(self, rhs: HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(rhs.counts.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(rhs.count),
+            sum: self.sum.saturating_sub(rhs.sum),
+            max: self.max,
+        }
+    }
+}
+
+impl HistSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate percentile (`p` in `0.0..=100.0`): the upper bound of the
+    /// bucket holding the rank-`ceil(p% * count)` observation, clamped to the
+    /// exact recorded max. Monotone in `p` by construction.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.percentile(50.0),
+            p95_ns: self.percentile(95.0),
+            p99_ns: self.percentile(99.0),
+            max_ns: self.max,
+        }
+    }
+}
+
+/// Compact percentile digest of one histogram, ready for report emission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p95_ns),
+            fmt_ns(self.p99_ns),
+            fmt_ns(self.max_ns),
+        )
+    }
+}
+
+/// Human-readable nanoseconds (`640ns`, `12.4µs`, `3.1ms`, `1.02s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+macro_rules! latencies {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Named latency histograms for the engine's hot paths. Lives inside
+        /// [`crate::Counters`], so every holder of a [`crate::Metrics`]
+        /// handle can record without extra plumbing.
+        #[derive(Default)]
+        pub struct Latencies {
+            enabled: EnabledFlag,
+            $($(#[$doc])* pub $name: Histogram,)+
+        }
+
+        /// Point-in-time copy of every [`Latencies`] histogram.
+        #[derive(Clone, Debug, Default, PartialEq, Eq)]
+        pub struct LatenciesSnapshot {
+            $($(#[$doc])* pub $name: HistSnapshot,)+
+        }
+
+        impl Latencies {
+            pub fn snapshot(&self) -> LatenciesSnapshot {
+                LatenciesSnapshot {
+                    $($name: self.$name.snapshot(),)+
+                }
+            }
+
+            pub fn reset(&self) {
+                $(self.$name.reset();)+
+            }
+        }
+
+        impl std::ops::Sub for LatenciesSnapshot {
+            type Output = LatenciesSnapshot;
+            fn sub(self, rhs: LatenciesSnapshot) -> LatenciesSnapshot {
+                LatenciesSnapshot {
+                    $($name: self.$name - rhs.$name,)+
+                }
+            }
+        }
+
+        impl LatenciesSnapshot {
+            /// Non-empty histograms as `(name, summary)` pairs.
+            pub fn summaries(&self) -> Vec<(&'static str, LatencySummary)> {
+                let mut out = Vec::new();
+                $(
+                    if !self.$name.is_empty() {
+                        out.push((stringify!($name), self.$name.summary()));
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+latencies! {
+    /// `Txn::put_blob` end-to-end (staging, not durability).
+    put_blob,
+    /// `Txn::get_blob` end-to-end.
+    get_blob,
+    /// `Txn::get_blob_range` end-to-end.
+    get_blob_range,
+    /// `Txn::commit` (submission under group commit; fsync when `commit_wait`).
+    commit,
+    /// Buffer-pool cold faults: one device round trip (serial or batched).
+    pool_fault,
+    /// WAL group-commit flush: staged-buffer write + device sync.
+    wal_flush,
+}
+
+/// Recording starts enabled; benches may disable it to measure the floor.
+struct EnabledFlag(AtomicBool);
+
+impl Default for EnabledFlag {
+    fn default() -> Self {
+        EnabledFlag(AtomicBool::new(true))
+    }
+}
+
+impl Latencies {
+    /// Start a timer if recording is enabled. Pass the result to
+    /// [`Histogram::record_timer`] on every exit path.
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.enabled.0.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.0.store(on, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        // Every bucket's lower bound is the previous bucket's upper bound + 1.
+        let mut prev_upper: Option<u64> = None;
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            if let Some(pu) = prev_upper {
+                assert_eq!(lo, pu + 1, "gap at bucket {i}");
+            }
+            let hi = bucket_upper_bound(i);
+            assert!(hi >= lo);
+            prev_upper = if hi == u64::MAX { None } else { Some(hi) };
+            if prev_upper.is_none() {
+                assert_eq!(i, BUCKETS - 1, "u64::MAX reached before last bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn value_lands_inside_its_bucket() {
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 30,
+            (1 << 40) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "v={v} bucket={i}");
+            assert!(v <= bucket_upper_bound(i), "v={v} bucket={i}");
+        }
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let h = Histogram::new();
+        h.record(12_345);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), 12_345);
+        assert_eq!(s.percentile(99.0), 12_345);
+        assert_eq!(s.max(), 12_345);
+        assert_eq!(s.mean(), 12_345);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let h = Histogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..10 {
+                h.record(v);
+            }
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0);
+        let p95 = s.percentile(95.0);
+        let p99 = s.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= s.max());
+    }
+
+    #[test]
+    fn local_recorder_merge_matches_direct() {
+        let h = Histogram::new();
+        let mut r = LocalRecorder::new();
+        let direct = Histogram::new();
+        for v in [3u64, 17, 999, 4096, 70_000] {
+            r.record(v);
+            direct.record(v);
+        }
+        h.merge_recorder(&r);
+        assert_eq!(h.snapshot(), direct.snapshot());
+        assert_eq!(r.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn snapshot_delta_is_window() {
+        let h = Histogram::new();
+        h.record(100);
+        let a = h.snapshot();
+        h.record(200);
+        h.record(300);
+        let d = h.snapshot() - a;
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean(), 250);
+    }
+
+    #[test]
+    fn disabled_timer_is_none() {
+        let l = Latencies::default();
+        assert!(l.timer().is_some());
+        l.set_enabled(false);
+        assert!(l.timer().is_none());
+        l.put_blob.record_timer(l.timer()); // no-op
+        assert!(l.snapshot().put_blob.is_empty());
+    }
+}

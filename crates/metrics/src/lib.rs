@@ -13,6 +13,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub mod hist;
+pub use hist::{
+    fmt_ns, HistSnapshot, Histogram, Latencies, LatenciesSnapshot, LatencySummary, LocalRecorder,
+};
+
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
         /// Shared atomic event counters. Cloning the handle is cheap; all
@@ -20,6 +25,9 @@ macro_rules! counters {
         #[derive(Default)]
         pub struct Counters {
             $($(#[$doc])* pub $name: AtomicU64,)+
+            /// Latency histograms for the engine's hot paths; not part of
+            /// [`Snapshot`] — see [`Latencies::snapshot`].
+            pub latencies: Latencies,
         }
 
         /// A plain-value copy of [`Counters`] at a point in time.
@@ -37,6 +45,14 @@ macro_rules! counters {
 
             pub fn reset(&self) {
                 $(self.$name.store(0, Ordering::Relaxed);)+
+                self.latencies.reset();
+            }
+        }
+
+        impl Snapshot {
+            /// Every counter as a `(name, value)` pair, in declaration order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
             }
         }
 

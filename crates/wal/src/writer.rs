@@ -195,8 +195,10 @@ impl Wal {
                     (buf, base)
                 };
                 if !buf.is_empty() {
+                    let t = self.metrics.latencies.timer();
                     self.device.write_at(&buf, base)?;
                     self.device.sync()?;
+                    self.metrics.latencies.wal_flush.record_timer(t);
                     self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
                     self.metrics
                         .bytes_written

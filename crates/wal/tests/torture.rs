@@ -7,6 +7,16 @@ use lobster_wal::{LogRecord, Wal};
 use proptest::prelude::*;
 use std::sync::Arc;
 
+/// Case-count multiplier for the nightly torture CI job
+/// (`LOBSTER_TORTURE_MULT=10`); unset or invalid means 1.
+fn torture_mult() -> u32 {
+    std::env::var("LOBSTER_TORTURE_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1)
+}
+
 fn sample_records(n: usize, seed: u64) -> Vec<LogRecord> {
     (0..n as u64)
         .flat_map(|i| {
@@ -38,7 +48,7 @@ fn assert_prefix(got: &[LogRecord], want: &[LogRecord]) -> std::result::Result<(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(48 * torture_mult()))]
 
     /// A single flipped byte anywhere in the log yields a valid prefix.
     #[test]

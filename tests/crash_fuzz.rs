@@ -46,6 +46,16 @@ fn cfg() -> Config {
     }
 }
 
+/// Case-count multiplier for the nightly torture CI job
+/// (`LOBSTER_TORTURE_MULT=10`); unset or invalid means 1.
+fn torture_mult() -> u32 {
+    std::env::var("LOBSTER_TORTURE_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1)
+}
+
 fn copy_device(src: &MemDevice, capacity: usize) -> Arc<MemDevice> {
     let dst = MemDevice::new(capacity);
     let mut buf = vec![0u8; 1 << 20];
@@ -60,7 +70,7 @@ fn copy_device(src: &MemDevice, capacity: usize) -> Arc<MemDevice> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(48 * torture_mult()))]
 
     #[test]
     fn recovery_invariants_hold_at_random_crash_points(
@@ -276,7 +286,7 @@ proptest! {
 // ------------------------------------------------------- WAL-side crash ---
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+    #![proptest_config(ProptestConfig::with_cases(20 * torture_mult()))]
 
     /// The mirror experiment: the *log* device loses power mid-run while
     /// the data device stays healthy. With synchronous commits, every
@@ -340,7 +350,7 @@ proptest! {
 // -------------------------------------------------- restartable recovery ---
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(16 * torture_mult()))]
 
     /// Recovery itself can lose power (it rewrites pages during its final
     /// checkpoint). A second recovery from whatever survived must succeed
