@@ -188,7 +188,9 @@ impl ObjectStore for LobsterStore {
     }
 
     fn quiesce(&self) {
-        self.db.wait_for_durability();
+        self.db
+            .wait_for_durability()
+            .expect("async commits durable");
     }
 }
 

@@ -94,7 +94,7 @@ pub(crate) fn run(report: &mut Report) {
         let t0 = std::time::Instant::now();
         let _ = replay(&fs, &trace);
         fs.finish().expect("final batch");
-        db.wait_for_durability();
+        db.wait_for_durability().expect("async commits durable");
         let secs = t0.elapsed().as_secs_f64();
         our_secs = secs;
         let delta = db.metrics().snapshot() - before;

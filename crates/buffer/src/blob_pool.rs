@@ -3,11 +3,11 @@
 //! [`HashTablePool`] (`Our.ht`). The engine is written against this enum so
 //! the two variants can be swapped by configuration.
 
-use crate::htpool::HashTablePool;
-use crate::pool::{ExtentPool, FlushItem};
+use crate::htpool::{HashTablePool, HtFlushBatch};
+use crate::pool::{ExtentFlushBatch, ExtentPool, FlushItem};
 use lobster_extent::ExtentSpec;
 use lobster_metrics::Metrics;
-use lobster_types::Result;
+use lobster_types::{Pid, Result};
 use std::sync::Arc;
 
 /// The active BLOB buffer pool.
@@ -49,6 +49,36 @@ impl BlobPool {
                 Ok(())
             }
             BlobPool::Ht(p) => p.fill_extent(spec, src),
+        }
+    }
+
+    /// [`BlobPool::fill_extent`] fused with content hashing: `digest` sees
+    /// every copied chunk while its bytes are still hot in cache, so the
+    /// put path makes one pass over `src` instead of memcpy-then-rehash.
+    pub fn fill_extent_hashed(
+        &self,
+        spec: ExtentSpec,
+        src: &[u8],
+        digest: &mut dyn FnMut(&[u8]),
+    ) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => {
+                let mut g = p.create_extent(spec)?;
+                // Cache-height blocks: large enough to amortize the digest
+                // call, small enough that the copied bytes are still in L1/L2
+                // when hashed.
+                const BLOCK: usize = 64 * 1024;
+                let dst = &mut g[..src.len()];
+                for (d, s) in dst.chunks_mut(BLOCK).zip(src.chunks(BLOCK)) {
+                    d.copy_from_slice(s);
+                    digest(d);
+                }
+                p.metrics().bump_memcpy(src.len() as u64);
+                g.mark_dirty();
+                g.set_prevent_evict();
+                Ok(())
+            }
+            BlobPool::Ht(p) => p.fill_extent_hashed(spec, src, digest),
         }
     }
 
@@ -166,6 +196,26 @@ impl BlobPool {
         }
     }
 
+    /// Begin the commit-time flush without blocking: submit one batched
+    /// asynchronous write of the dirty ranges and return the in-flight
+    /// ticket. The single-flush ordering (§III-C) is the caller's
+    /// responsibility: the batch's WAL records must be fsynced *before*
+    /// this is called. Dirty/`prevent_evict` are cleared only when the
+    /// ticket is reaped.
+    pub fn flush_extents_async(&self, items: &[FlushItem]) -> Result<FlushTicket> {
+        let inner = match self {
+            BlobPool::Vm(p) => TicketInner::Vm {
+                pool: p.clone(),
+                batch: p.flush_extents_begin(items)?,
+            },
+            BlobPool::Ht(p) => TicketInner::Ht {
+                pool: p.clone(),
+                batch: p.flush_extents_begin(items)?,
+            },
+        };
+        Ok(FlushTicket { inner })
+    }
+
     /// Clear the `prevent_evict` pin without flushing (physical-logging
     /// mode: the WAL protects the content, eviction may write it back).
     pub fn unpin_extent(&self, spec: ExtentSpec) {
@@ -199,5 +249,101 @@ impl BlobPool {
             BlobPool::Vm(p) => p.flush_all_dirty(),
             BlobPool::Ht(p) => p.flush_all_dirty(),
         }
+    }
+}
+
+/// One in-flight commit-time extent flush started by
+/// [`BlobPool::flush_extents_async`].
+///
+/// The ticket owns everything the flight needs: the vm pool's shared
+/// latches or the hash-table pool's scratch buffers, plus an `Arc` keeping
+/// the pool itself alive. Reaping ([`FlushTicket::poll`] or
+/// [`FlushTicket::wait`]) is what clears the extents' dirty and
+/// `prevent_evict` flags — until then the frames stay pinned, which is the
+/// pipeline's pin-budget accounting point. Dropping an unreaped ticket
+/// blocks until the device writes land (they reference memory the ticket
+/// guards) and then finishes it.
+pub struct FlushTicket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Vm {
+        pool: Arc<ExtentPool>,
+        batch: ExtentFlushBatch,
+    },
+    Ht {
+        pool: Arc<HashTablePool>,
+        batch: HtFlushBatch,
+    },
+    /// Reaped; nothing left to do.
+    Done,
+}
+
+impl FlushTicket {
+    /// Non-blocking reap. Returns `Some(result)` exactly once, when every
+    /// write of the batch has completed: at that point the extents are
+    /// marked clean and unpinned (on success) and the latches/buffers are
+    /// released. Returns `None` while still in flight — polling never
+    /// executes device requests inline, so a poller cannot stall on
+    /// modeled device time.
+    pub fn poll(&mut self) -> Option<Result<()>> {
+        let result = match &self.inner {
+            TicketInner::Vm { batch, .. } => batch.try_complete()?,
+            TicketInner::Ht { batch, .. } => batch.try_complete()?,
+            TicketInner::Done => return None,
+        };
+        match std::mem::replace(&mut self.inner, TicketInner::Done) {
+            TicketInner::Vm { pool, batch } => pool.flush_extents_finish(&batch, &result),
+            TicketInner::Ht { pool, batch } => pool.flush_extents_finish(&batch, &result),
+            TicketInner::Done => unreachable!("checked above"),
+        }
+        Some(result)
+    }
+
+    /// Block until the batch's writes complete (helping execute them),
+    /// then reap.
+    pub fn wait(mut self) -> Result<()> {
+        self.block_until_io_done();
+        match self.poll() {
+            Some(result) => result,
+            // Already reaped before the call (only possible for `Done`).
+            None => Ok(()),
+        }
+    }
+
+    /// Block until the underlying writes have completed, without reaping:
+    /// the next [`FlushTicket::poll`] returns `Some` immediately. Used by
+    /// the committer's flush stage to wait out a batch it cannot yet
+    /// retire.
+    pub fn block_until_io_done(&self) {
+        match &self.inner {
+            TicketInner::Vm { batch, .. } => batch.wait_done(),
+            TicketInner::Ht { batch, .. } => batch.wait_done(),
+            TicketInner::Done => {}
+        }
+    }
+
+    /// Start pids of the extents this flight is writing (the flush stage's
+    /// write-after-write overlap check).
+    pub fn extent_starts(&self) -> impl Iterator<Item = Pid> + '_ {
+        let items = match &self.inner {
+            TicketInner::Vm { batch, .. } => batch.items(),
+            TicketInner::Ht { batch, .. } => batch.items(),
+            TicketInner::Done => &[],
+        };
+        items.iter().map(|i| i.spec.start)
+    }
+}
+
+impl Drop for FlushTicket {
+    fn drop(&mut self) {
+        if matches!(self.inner, TicketInner::Done) {
+            return;
+        }
+        // The in-flight requests reference latched frames / owned scratch;
+        // land them before releasing either.
+        self.block_until_io_done();
+        let _ = self.poll();
     }
 }

@@ -9,7 +9,7 @@
 
 use lobster_extent::ExtentSpec;
 use lobster_metrics::Metrics;
-use lobster_storage::{AsyncIo, Device, IoKind, IoReq};
+use lobster_storage::{AsyncIo, BatchHandle, Device, IoKind, IoReq};
 use lobster_types::{Error, Geometry, Pid, Result};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
@@ -23,6 +23,38 @@ struct PageFrame {
     data: RwLock<Box<[u8]>>,
     dirty: AtomicBool,
     prevent_evict: AtomicBool,
+}
+
+/// One in-flight commit-time flush for the hash-table pool, submitted by
+/// [`HashTablePool::flush_extents_begin`]; the gathered scratch buffers
+/// backing the device writes live here until the batch is reaped.
+pub struct HtFlushBatch {
+    handle: BatchHandle,
+    items: Vec<crate::pool::FlushItem>,
+    /// Write sources referenced by the in-flight requests.
+    _bufs: Vec<Vec<u8>>,
+}
+
+impl HtFlushBatch {
+    /// Non-blocking completion check; never executes queued requests
+    /// inline (see [`crate::pool::ExtentFlushBatch::try_complete`]).
+    pub fn try_complete(&self) -> Option<Result<()>> {
+        if !self.handle.is_complete() {
+            return None;
+        }
+        self.handle.try_complete()
+    }
+
+    /// Block until every request has executed and the modeled device
+    /// deadline has passed; the result stays reapable.
+    pub fn wait_done(&self) {
+        self.handle.wait_done();
+    }
+
+    /// The flush items this batch is writing.
+    pub fn items(&self) -> &[crate::pool::FlushItem] {
+        &self.items
+    }
 }
 
 /// Page-granular hash-table buffer pool.
@@ -246,6 +278,52 @@ impl HashTablePool {
         self.write_range(spec, 0, src, false)
     }
 
+    /// [`HashTablePool::fill_extent`] fused with content hashing: `digest`
+    /// sees each page-sized chunk right after it is copied, while the
+    /// bytes are still hot in cache — one pass over `src` instead of
+    /// copy-then-rehash.
+    pub fn fill_extent_hashed(
+        &self,
+        spec: ExtentSpec,
+        src: &[u8],
+        digest: &mut dyn FnMut(&[u8]),
+    ) -> Result<()> {
+        let p = self.geo.page_size();
+        debug_assert!(src.len() <= (spec.pages as usize) * p);
+        let mut off = 0usize;
+        let mut page = 0u64;
+        // At least one iteration, mirroring write_range: an empty source
+        // still dirties (and pins) the extent's first page.
+        loop {
+            let take = (src.len() - off).min(p);
+            let pid = spec.start.offset(page);
+            let frame = match self.lookup(pid) {
+                Some(f) => f,
+                None => {
+                    let f = Arc::new(PageFrame {
+                        data: RwLock::new(vec![0u8; p].into_boxed_slice()),
+                        dirty: AtomicBool::new(false),
+                        prevent_evict: AtomicBool::new(false),
+                    });
+                    self.insert(pid, f.clone());
+                    f
+                }
+            };
+            let mut data = frame.data.write();
+            data[..take].copy_from_slice(&src[off..off + take]);
+            self.metrics.bump_memcpy(take as u64);
+            digest(&data[..take]);
+            frame.dirty.store(true, Ordering::Release);
+            frame.prevent_evict.store(true, Ordering::Release);
+            off += take;
+            page += 1;
+            if off >= src.len() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Overwrite a byte range within an extent; `load_existing` pulls pages
     /// from the device first when they might be partially overwritten.
     pub fn write_range(
@@ -378,7 +456,27 @@ impl HashTablePool {
     /// Commit-time flush: one contiguous device write per extent (gathered
     /// from the page frames), then unpin and mark clean.
     pub fn flush_extents(&self, items: &[crate::pool::FlushItem]) -> Result<()> {
+        let batch = self.flush_extents_begin(items)?;
+        batch.handle.wait_done();
+        let result = batch
+            .handle
+            .try_complete()
+            .expect("batch complete after wait_done");
+        self.flush_extents_finish(&batch, &result);
+        result
+    }
+
+    /// First half of the commit-time flush, without blocking: gather each
+    /// extent's dirty pages into owned scratch buffers (the frames are
+    /// scattered heap pages, not a contiguous arena) and submit one batched
+    /// asynchronous write. The scratch lives in the returned batch until
+    /// [`HashTablePool::flush_extents_finish`], so the page frames stay
+    /// free to be written or even evicted while the I/O is in flight —
+    /// which is exactly why the committer must never keep two in-flight
+    /// batches touching the same extent (stale scratch could reorder).
+    pub fn flush_extents_begin(&self, items: &[crate::pool::FlushItem]) -> Result<HtFlushBatch> {
         let p = self.geo.page_size();
+        let mut bufs = Vec::with_capacity(items.len());
         for item in items {
             let mut scratch = vec![0u8; (item.dirty_pages as usize) * p];
             for i in 0..item.dirty_pages {
@@ -389,16 +487,44 @@ impl HashTablePool {
                     self.metrics.bump_memcpy(p as u64);
                 }
             }
-            self.device.write_at(
-                &scratch,
-                self.geo.offset_of(item.spec.start.offset(item.dirty_from)),
-            )?;
-            self.metrics
-                .pages_written
-                .fetch_add(item.dirty_pages, Ordering::Relaxed);
-            self.metrics
-                .bytes_written
-                .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+            bufs.push(scratch);
+        }
+        let reqs: Vec<IoReq> = items
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(item, buf)| IoReq {
+                kind: IoKind::Write,
+                offset: self.geo.offset_of(item.spec.start.offset(item.dirty_from)),
+                ptr: buf.as_mut_ptr(),
+                len: buf.len(),
+            })
+            .collect();
+        // SAFETY: the write sources are owned by the returned batch and
+        // outlive the requests.
+        let handle = unsafe { self.io.submit(reqs) };
+        Ok(HtFlushBatch {
+            handle,
+            items: items.to_vec(),
+            _bufs: bufs,
+        })
+    }
+
+    /// Second half of the commit-time flush: called exactly once per batch
+    /// with the reaped completion result. On success the extents' pages
+    /// become clean and evictable.
+    pub fn flush_extents_finish(&self, batch: &HtFlushBatch, result: &Result<()>) {
+        if result.is_err() {
+            return;
+        }
+        let p = self.geo.page_size() as u64;
+        let total_pages: u64 = batch.items.iter().map(|i| i.dirty_pages).sum();
+        self.metrics
+            .pages_written
+            .fetch_add(total_pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add(total_pages * p, Ordering::Relaxed);
+        for item in &batch.items {
             for i in 0..item.spec.pages {
                 if let Some(frame) = self.lookup(item.spec.start.offset(i)) {
                     frame.dirty.store(false, Ordering::Release);
@@ -406,7 +532,6 @@ impl HashTablePool {
                 }
             }
         }
-        Ok(())
     }
 
     /// Flush every dirty page (checkpoint / shutdown).

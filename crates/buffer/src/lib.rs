@@ -22,9 +22,9 @@ mod pool;
 
 pub use alias::{AliasConfig, AliasGuard, AliasStats, AliasingManager};
 pub use arena::{Arena, OS_PAGE};
-pub use blob_pool::BlobPool;
-pub use htpool::HashTablePool;
-pub use pool::{ExtentPool, FlushItem, PoolConfig, ShGuard, XGuard};
+pub use blob_pool::{BlobPool, FlushTicket};
+pub use htpool::{HashTablePool, HtFlushBatch};
+pub use pool::{ExtentFlushBatch, ExtentPool, FlushItem, PoolConfig, ShGuard, XGuard};
 
 #[cfg(test)]
 mod tests {

@@ -165,6 +165,41 @@ impl FlushItem {
     }
 }
 
+/// One in-flight commit-time extent flush, submitted by
+/// [`ExtentPool::flush_extents_begin`]. The shared latches taken at
+/// submission belong to this batch; [`ExtentPool::flush_extents_finish`]
+/// releases them (and, on success, clears the dirty/`prevent_evict`
+/// flags) exactly once per batch.
+pub struct ExtentFlushBatch {
+    handle: BatchHandle,
+    items: Vec<FlushItem>,
+}
+
+impl ExtentFlushBatch {
+    /// Non-blocking completion check. Returns `Some(result)` once every
+    /// request has executed and the modeled device deadline has passed.
+    /// Never executes queued requests inline (the batch is done before the
+    /// underlying poll runs), so a poller cannot block on device time.
+    pub fn try_complete(&self) -> Option<Result<()>> {
+        if !self.handle.is_complete() {
+            return None;
+        }
+        self.handle.try_complete()
+    }
+
+    /// Block until every request has executed and the modeled device
+    /// deadline has passed; the result stays reapable via
+    /// [`ExtentFlushBatch::try_complete`].
+    pub fn wait_done(&self) {
+        self.handle.wait_done();
+    }
+
+    /// The flush items this batch is writing.
+    pub fn items(&self) -> &[FlushItem] {
+        &self.items
+    }
+}
+
 /// One in-flight readahead submission: reaped by [`ExtentPool::poll_prefetches`].
 struct PrefetchBatch {
     handle: BatchHandle,
@@ -271,6 +306,20 @@ impl ExtentPool {
     /// Fix an extent shared, loading it from the device on a miss (one
     /// contiguous read for the whole extent).
     pub fn read_extent(&self, spec: ExtentSpec) -> Result<ShGuard<'_>> {
+        let frame = self.fix_shared(spec)?;
+        Ok(ShGuard {
+            pool: self,
+            spec,
+            frame,
+        })
+    }
+
+    /// Take a shared latch on `spec` without constructing a guard, loading
+    /// the extent on a miss; returns the frame index. Every call must be
+    /// paired with one [`ExtentPool::release_shared`]. The raw form exists
+    /// for the commit pipeline's in-flight flush batches, which hold their
+    /// latches across call frames (a borrow-tied [`ShGuard`] cannot).
+    fn fix_shared(&self, spec: ExtentSpec) -> Result<u64> {
         self.metrics.translations.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .latch_acquisitions
@@ -294,11 +343,7 @@ impl ExtentPool {
                             Ok(frame) => {
                                 // Enter shared with count 1.
                                 entry.store(pack(1, 0, spec.pages, frame), Ordering::Release);
-                                return Ok(ShGuard {
-                                    pool: self,
-                                    spec,
-                                    frame,
-                                });
+                                return Ok(frame);
                             }
                             Err(err) => {
                                 entry.store(EVICTED_ENTRY, Ordering::Release);
@@ -333,14 +378,31 @@ impl ExtentPool {
                         if self.note_prefetch_consumed(spec.start) {
                             self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
                         }
-                        return Ok(ShGuard {
-                            pool: self,
-                            spec,
-                            frame: frame_of(e),
-                        });
+                        return Ok(frame_of(e));
                     }
                 }
                 _ => std::hint::spin_loop(), // shared count saturated
+            }
+        }
+    }
+
+    /// Drop one shared latch taken by [`ExtentPool::fix_shared`].
+    fn release_shared(&self, pid: Pid) {
+        let entry = self.entry(pid);
+        loop {
+            let e = entry.load(Ordering::Acquire);
+            let n = tag_of(e);
+            debug_assert!((1..=MAX_SHARED).contains(&n));
+            if entry
+                .compare_exchange_weak(
+                    e,
+                    pack(n - 1, flags_of(e), pages_of(e), frame_of(e)),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
             }
         }
     }
@@ -902,15 +964,39 @@ impl ExtentPool {
     /// batched asynchronous submission, then mark the extents clean and
     /// evictable. This is the *only* time BLOB content is written (§III-C).
     pub fn flush_extents(&self, items: &[FlushItem]) -> Result<()> {
-        let mut guards = Vec::with_capacity(items.len());
+        let batch = self.flush_extents_begin(items)?;
+        batch.handle.wait_done();
+        let result = batch
+            .handle
+            .try_complete()
+            .expect("batch complete after wait_done");
+        self.flush_extents_finish(&batch, &result);
+        result
+    }
+
+    /// First half of the commit-time flush, without blocking: latch every
+    /// extent shared and submit one batched asynchronous write of the
+    /// dirty ranges. The latches are owned by the returned batch and live
+    /// until [`ExtentPool::flush_extents_finish`] — they keep the frames
+    /// resident and exclude writers while the device requests reference
+    /// arena memory.
+    pub fn flush_extents_begin(&self, items: &[FlushItem]) -> Result<ExtentFlushBatch> {
         let mut reqs = Vec::with_capacity(items.len());
         let p = self.geo.page_size();
-        for item in items {
-            let g = self.read_extent(item.spec)?;
-            let off = ((g.frame + item.dirty_from) as usize) * p;
+        for (latched, item) in items.iter().enumerate() {
+            let frame = match self.fix_shared(item.spec) {
+                Ok(f) => f,
+                Err(e) => {
+                    for prior in &items[..latched] {
+                        self.release_shared(prior.spec.start);
+                    }
+                    return Err(e);
+                }
+            };
+            let off = ((frame + item.dirty_from) as usize) * p;
             let len = (item.dirty_pages as usize) * p;
-            // SAFETY: the shared guard keeps the frames alive and unchanged
-            // until the batch completes.
+            // SAFETY: the shared latch (held until finish) keeps the frames
+            // alive and unchanged until the batch completes.
             let ptr = unsafe { self.arena.frame_ptr(off, len) };
             reqs.push(IoReq {
                 kind: IoKind::Write,
@@ -918,23 +1004,38 @@ impl ExtentPool {
                 ptr,
                 len,
             });
-            guards.push(g);
         }
-        // SAFETY: guards outlive the wait below.
-        unsafe { self.io.submit_and_wait(reqs)? };
-        let total_pages: u64 = items.iter().map(|i| i.dirty_pages).sum();
-        self.metrics
-            .pages_written
-            .fetch_add(total_pages, Ordering::Relaxed);
-        self.metrics
-            .bytes_written
-            .fetch_add(total_pages * p as u64, Ordering::Relaxed);
-        for item in items {
-            self.set_dirty(item.spec.start, false);
-            self.set_prevent_evict(item.spec.start, false);
+        // SAFETY: the latches held by the returned batch outlive the
+        // requests.
+        let handle = unsafe { self.io.submit(reqs) };
+        Ok(ExtentFlushBatch {
+            handle,
+            items: items.to_vec(),
+        })
+    }
+
+    /// Second half of the commit-time flush: called exactly once per batch
+    /// with the reaped completion result. On success the extents become
+    /// clean and evictable; either way the submission latches are
+    /// released.
+    pub fn flush_extents_finish(&self, batch: &ExtentFlushBatch, result: &Result<()>) {
+        if result.is_ok() {
+            let p = self.geo.page_size() as u64;
+            let total_pages: u64 = batch.items.iter().map(|i| i.dirty_pages).sum();
+            self.metrics
+                .pages_written
+                .fetch_add(total_pages, Ordering::Relaxed);
+            self.metrics
+                .bytes_written
+                .fetch_add(total_pages * p, Ordering::Relaxed);
+            for item in &batch.items {
+                self.set_dirty(item.spec.start, false);
+                self.set_prevent_evict(item.spec.start, false);
+            }
         }
-        drop(guards);
-        Ok(())
+        for item in &batch.items {
+            self.release_shared(item.spec.start);
+        }
     }
 
     /// Visit every dirty resident extent's content (page-image journaling
@@ -1178,23 +1279,7 @@ impl Deref for ShGuard<'_> {
 
 impl Drop for ShGuard<'_> {
     fn drop(&mut self) {
-        let entry = self.pool.entry(self.spec.start);
-        loop {
-            let e = entry.load(Ordering::Acquire);
-            let n = tag_of(e);
-            debug_assert!((1..=MAX_SHARED).contains(&n));
-            if entry
-                .compare_exchange_weak(
-                    e,
-                    pack(n - 1, flags_of(e), pages_of(e), frame_of(e)),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                return;
-            }
-        }
+        self.pool.release_shared(self.spec.start);
     }
 }
 

@@ -320,7 +320,7 @@ mod tests {
             store.put(&mut t, b"a", &content).unwrap();
             store.put(&mut t, b"b", &content).unwrap();
             t.commit().unwrap();
-            db.wait_for_durability();
+            db.wait_for_durability().unwrap();
             std::mem::forget(db); // crash
         }
         let (db, _) = crate::db::Database::open(dev, wal, cfg).unwrap();

@@ -1,23 +1,49 @@
 //! Background group committer (§V-A: "group commit so the critical path
-//! usually does not involve I/O").
+//! usually does not involve I/O"), organized as a **two-stage pipeline**.
 //!
-//! With [`crate::Config::commit_wait`] `false`, [`crate::Txn::commit`]
-//! stages its WAL records and flush list here and returns immediately;
-//! this thread preserves the single-flush ordering — WAL fsync first, then
-//! one batched extent flush — and recycles freed extents afterwards.
-//! Multiple queued commits share one fsync. Durability is thus slightly
-//! deferred (asynchronous commit); crash recovery still sees a correct
-//! prefix of committed transactions.
+//! Stage 1 — the **WAL stage** — absorbs queued [`CommitBatch`]es into
+//! groups, appends their records and makes them durable with one group
+//! fsync. Stage 2 — the **flush stage** — receives each durable group and
+//! keeps up to `Config::commit_inflight_flushes` extent-flush batches in
+//! flight concurrently (non-blocking submissions reaped through
+//! [`FlushTicket`]s), so group N+1's WAL fsync overlaps group N's extent
+//! writes instead of the log device idling during every flush and the
+//! extent engine idling during every fsync.
+//!
+//! The single-flush ordering of §III-C is preserved *per group*: a group's
+//! extents are handed to the flush stage only after its WAL fsync
+//! returned, and a group's freed extents are recycled (and its pin budget
+//! released) only once its flush completed. Two in-flight batches never
+//! touch the same extent — the flush stage waits out the earlier flight —
+//! so writes to one extent cannot reorder. With
+//! `commit_inflight_flushes <= 1` the WAL stage flushes inline, exactly
+//! reproducing the serial fsync→flush→recycle committer (the ablation
+//! baseline).
+//!
+//! Completion is tracked per batch through durable **epochs**: `submit`
+//! assigns epoch N to the N-th batch, and a condvar-guarded frontier
+//! advances once a batch's group is fully retired. [`GroupCommitter::drain`]
+//! and synchronous `commit_wait` commits block on that condvar — no
+//! busy-waiting on the commit path. Committer I/O errors are sticky: the
+//! first failure is recorded, counted in `commit_errors`, and surfaced as
+//! `Err` by every later `drain`/`submit` (an asynchronously acknowledged
+//! commit may have been lost; the database stops pretending otherwise).
 
-use lobster_buffer::{BlobPool, FlushItem};
+use lobster_buffer::{BlobPool, FlushItem, FlushTicket};
 use lobster_extent::{ExtentAllocator, ExtentSpec};
 use lobster_metrics::Metrics;
-use lobster_types::Result;
+use lobster_types::{Error, Result};
 use lobster_wal::{LogRecord, Wal};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the flush stage interleaves ticket polling with waiting for
+/// new durable groups while batches are in flight.
+const POLL_TICK: Duration = Duration::from_micros(200);
 
 pub(crate) struct CommitBatch {
     pub records: Vec<LogRecord>,
@@ -38,16 +64,193 @@ struct PinBudget {
     limit: u64,
 }
 
-pub(crate) struct GroupCommitter {
-    tx: Option<crossbeam::channel::Sender<CommitBatch>>,
-    enqueued: Arc<AtomicU64>,
-    processed: Arc<AtomicU64>,
+impl PinBudget {
+    /// Block until `bytes` fits under the limit, then take it. Always
+    /// admits at least one batch, however large.
+    fn acquire(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        while *used > 0 && *used + bytes > self.limit {
+            self.freed_cv.wait(&mut used);
+        }
+        *used += bytes;
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(bytes);
+        self.freed_cv.notify_all();
+    }
+}
+
+/// Pipeline progress shared by submitters, waiters, and both stages.
+struct Progress {
+    /// Commit epochs handed out by `submit` (epoch N = N-th batch).
+    enqueued: AtomicU64,
+    /// Durability frontier: every epoch `<= processed` has its WAL records
+    /// fsynced *and* its extent flush completed (or failed — see `error`).
+    processed: AtomicU64,
+    /// Durable groups forwarded by the WAL stage and not yet retired.
+    /// Checkpoints quiesce on this: once it reads zero under the held
+    /// checkpoint gate, no extent flush is in flight.
+    inflight_groups: AtomicU64,
+    /// Fast path for "has a sticky error been recorded".
+    failed: AtomicBool,
+    state: Mutex<ProgressState>,
+    cv: Condvar,
+}
+
+struct ProgressState {
+    /// Completed epochs above the frontier: pipelined groups (and racing
+    /// submitters) can finish out of order, so the frontier advances only
+    /// over a contiguous prefix.
+    done_above: BTreeSet<u64>,
+    /// First committer failure, kept sticky. [`Error`] owns an
+    /// `io::Error` and is not `Clone`, so the rendered message is stored
+    /// and re-wrapped for every waiter.
+    error: Option<String>,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Progress {
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            inflight_groups: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            state: Mutex::new(ProgressState {
+                done_above: BTreeSet::new(),
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark `epochs` complete and advance the contiguous frontier.
+    fn complete_epochs(&self, epochs: &[u64]) {
+        let mut st = self.state.lock();
+        st.done_above.extend(epochs.iter().copied());
+        let mut frontier = self.processed.load(Ordering::Relaxed);
+        while st.done_above.remove(&(frontier + 1)) {
+            frontier += 1;
+        }
+        self.processed.store(frontier, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn record_error(&self, e: &Error, metrics: &Metrics) {
+        let mut st = self.state.lock();
+        if st.error.is_none() {
+            st.error = Some(e.to_string());
+        }
+        self.failed.store(true, Ordering::Release);
+        metrics.commit_errors.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    fn sticky_error(&self) -> Option<Error> {
+        if !self.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.state
+            .lock()
+            .error
+            .as_ref()
+            .map(|msg| Error::Io(std::io::Error::other(format!("group commit failed: {msg}"))))
+    }
+
+    /// Block (condvar, no spinning) until `epoch` is durable; surfaces the
+    /// sticky error — a failed group still completes its epochs so waiters
+    /// terminate, but they must not report durability.
+    fn wait_for(&self, epoch: u64) -> Result<()> {
+        if self.processed.load(Ordering::Acquire) < epoch {
+            let mut st = self.state.lock();
+            while self.processed.load(Ordering::Acquire) < epoch {
+                self.cv.wait(&mut st);
+            }
+        }
+        match self.sticky_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A group of commit batches whose WAL records are durable, queued for (or
+/// undergoing) its single extent flush.
+struct DurableGroup {
+    epochs: Vec<u64>,
+    items: Vec<FlushItem>,
+    freed: Vec<ExtentSpec>,
+    pinned: u64,
+}
+
+impl DurableGroup {
+    fn collect(batches: Vec<(u64, CommitBatch)>, page_size: u64) -> Self {
+        let mut group = DurableGroup {
+            epochs: Vec::with_capacity(batches.len()),
+            items: Vec::new(),
+            freed: Vec::new(),
+            pinned: 0,
+        };
+        for (epoch, batch) in batches {
+            group.epochs.push(epoch);
+            group.pinned += batch.pinned_bytes(page_size);
+            group.items.extend(batch.toflush);
+            group.freed.extend(batch.freed);
+        }
+        group
+    }
+}
+
+/// Everything a stage needs to retire groups; shared by both stage threads.
+#[derive(Clone)]
+struct StageCtx {
+    blob_pool: BlobPool,
+    alloc: Arc<ExtentAllocator>,
+    metrics: Metrics,
+    progress: Arc<Progress>,
     budget: Arc<PinBudget>,
     page_size: u64,
-    handle: Option<JoinHandle<()>>,
+}
+
+impl StageCtx {
+    /// Retire a durable group once its extent flush completed (or failed):
+    /// recycle its freed extents, release its pin budget, and advance the
+    /// durability frontier. This is the pipeline's *only* completion point
+    /// — budget and recycling intentionally wait for the flush, not the
+    /// fsync, because until the flush lands the frames stay pinned and the
+    /// freed extents' old content may still be the durable truth.
+    fn retire(&self, group: DurableGroup, result: Result<()>) {
+        match result {
+            Ok(()) => {
+                self.blob_pool.drop_extents(&group.freed);
+                for spec in &group.freed {
+                    self.alloc.free_extent(*spec);
+                    self.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Leave failed groups' extents pinned and their frees
+            // unrecycled: with durability unknown, recycling could overwrite
+            // content a recovery still resolves to.
+            Err(e) => self.progress.record_error(&e, &self.metrics),
+        }
+        self.budget.release(group.pinned);
+        self.progress.inflight_groups.fetch_sub(1, Ordering::AcqRel);
+        self.progress.complete_epochs(&group.epochs);
+    }
+}
+
+pub(crate) struct GroupCommitter {
+    tx: Option<crossbeam::channel::Sender<(u64, CommitBatch)>>,
+    progress: Arc<Progress>,
+    budget: Arc<PinBudget>,
+    page_size: u64,
+    wal_handle: Option<JoinHandle<()>>,
+    flush_handle: Option<JoinHandle<()>>,
 }
 
 impl GroupCommitter {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         wal: Arc<Wal>,
         blob_pool: BlobPool,
@@ -56,118 +259,271 @@ impl GroupCommitter {
         metrics: Metrics,
         page_size: u64,
         pinned_limit_bytes: u64,
+        inflight_flushes: usize,
     ) -> Self {
-        // Backpressure by *bytes*: submitters block while the queue pins
-        // more than a quarter-pool of unflushed frames, so the committer
-        // lag can never exhaust the buffer pool.
-        let (tx, rx) = crossbeam::channel::unbounded::<CommitBatch>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, CommitBatch)>();
+        // Backpressure by *bytes*: submitters block while the pipeline pins
+        // more than a quarter-pool of unflushed frames, so committer lag can
+        // never exhaust the buffer pool.
         let budget = Arc::new(PinBudget {
             used: Mutex::new(0),
             freed_cv: Condvar::new(),
             limit: pinned_limit_bytes.max(page_size),
         });
-        let budget2 = budget.clone();
-        let enqueued = Arc::new(AtomicU64::new(0));
-        let processed = Arc::new(AtomicU64::new(0));
-        let processed2 = processed.clone();
-        let handle = std::thread::Builder::new()
+        let progress = Arc::new(Progress::new());
+        let ctx = StageCtx {
+            blob_pool,
+            alloc,
+            metrics,
+            progress: progress.clone(),
+            budget: budget.clone(),
+            page_size,
+        };
+
+        // Flush stage — only spawned when pipelining. With a limit of 1 the
+        // WAL stage flushes inline, which *is* the serial committer.
+        let limit = inflight_flushes.max(1);
+        let (flush_handle, forward) = if limit > 1 {
+            let (gtx, grx) = crossbeam::channel::unbounded::<DurableGroup>();
+            let fctx = ctx.clone();
+            let handle = std::thread::Builder::new()
+                .name("lobster-commit-flush".into())
+                .spawn(move || flush_stage(grx, fctx, limit))
+                .expect("spawn commit flush stage");
+            (Some(handle), Some(gtx))
+        } else {
+            (None, None)
+        };
+
+        let wal_handle = std::thread::Builder::new()
             .name("lobster-group-commit".into())
-            .spawn(move || {
-                while let Ok(first) = rx.recv() {
-                    // Absorb everything already queued into one group.
-                    let mut group = vec![first];
-                    while let Ok(next) = rx.try_recv() {
-                        group.push(next);
-                    }
-                    let n = group.len() as u64;
-                    let result = (|| -> Result<()> {
-                        let _gate = ckpt_gate.read();
-                        // 1. All Blob States durable with one fsync.
-                        let mut lsn = None;
-                        for batch in &group {
-                            if !batch.records.is_empty() {
-                                lsn = Some(wal.append_batch(&batch.records)?);
-                            }
-                        }
-                        if let Some(lsn) = lsn {
-                            wal.commit_to(lsn)?;
-                        }
-                        // 2. One combined extent flush.
-                        let items: Vec<FlushItem> = group
-                            .iter()
-                            .flat_map(|b| b.toflush.iter().copied())
-                            .collect();
-                        if !items.is_empty() {
-                            blob_pool.flush_extents(&items)?;
-                        }
-                        // 3. Recycle deletions.
-                        for batch in &group {
-                            blob_pool.drop_extents(&batch.freed);
-                            for spec in &batch.freed {
-                                alloc.free_extent(*spec);
-                                metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Ok(())
-                    })();
-                    // An I/O failure here is a durability loss the
-                    // asynchronous-commit mode accepts; surface it loudly.
-                    if let Err(e) = result {
-                        eprintln!("lobster group committer error: {e}");
-                    }
-                    let released: u64 = group.iter().map(|b| b.pinned_bytes(page_size)).sum();
-                    {
-                        let mut used = budget2.used.lock();
-                        *used = used.saturating_sub(released);
-                        budget2.freed_cv.notify_all();
-                    }
-                    processed2.fetch_add(n, Ordering::Release);
-                }
-            })
+            .spawn(move || wal_stage(rx, forward, wal, ckpt_gate, ctx))
             .expect("spawn group committer");
+
         GroupCommitter {
             tx: Some(tx),
-            enqueued,
-            processed,
+            progress,
             budget,
             page_size,
-            handle: Some(handle),
+            wal_handle: Some(wal_handle),
+            flush_handle,
         }
     }
 
-    pub fn submit(&self, batch: CommitBatch) {
-        let bytes = batch.pinned_bytes(self.page_size);
-        {
-            let mut used = self.budget.used.lock();
-            // Always admit at least one batch, however large.
-            while *used > 0 && *used + bytes > self.budget.limit {
-                self.budget.freed_cv.wait(&mut used);
-            }
-            *used += bytes;
+    /// Queue a batch; returns its durability epoch (block on it with
+    /// [`GroupCommitter::wait_for`]). Fails fast once a sticky committer
+    /// error exists — later commits must not be acknowledged on top of a
+    /// lost one.
+    pub fn submit(&self, batch: CommitBatch) -> Result<u64> {
+        if let Some(e) = self.progress.sticky_error() {
+            return Err(e);
         }
-        self.enqueued.fetch_add(1, Ordering::AcqRel);
+        self.budget.acquire(batch.pinned_bytes(self.page_size));
+        let epoch = self.progress.enqueued.fetch_add(1, Ordering::AcqRel) + 1;
         self.tx
             .as_ref()
             .expect("committer alive")
-            .send(batch)
+            .send((epoch, batch))
             .expect("committer thread alive");
+        Ok(epoch)
     }
 
-    /// Wait until everything submitted so far is durable.
-    pub fn drain(&self) {
-        let target = self.enqueued.load(Ordering::Acquire);
-        while self.processed.load(Ordering::Acquire) < target {
-            std::thread::yield_now();
+    /// Block until `epoch` is fully durable: WAL records fsynced *and*
+    /// extent flush completed.
+    pub fn wait_for(&self, epoch: u64) -> Result<()> {
+        self.progress.wait_for(epoch)
+    }
+
+    /// Wait until everything submitted so far is durable; surfaces the
+    /// sticky committer error.
+    pub fn drain(&self) -> Result<()> {
+        let target = self.progress.enqueued.load(Ordering::Acquire);
+        self.progress.wait_for(target)
+    }
+
+    /// Wait until no extent flush is in flight. Only meaningful while the
+    /// caller excludes new WAL-stage forwarding (checkpoints call this
+    /// with the checkpoint gate held exclusively): a group submitted after
+    /// the pre-gate drain may still be flushing, and a checkpoint's
+    /// `flush_all_dirty` must not run concurrently with it.
+    pub fn flush_quiesce(&self) {
+        let mut st = self.progress.state.lock();
+        while self.progress.inflight_groups.load(Ordering::Acquire) > 0 {
+            self.progress.cv.wait(&mut st);
         }
     }
 }
 
 impl Drop for GroupCommitter {
     fn drop(&mut self) {
-        self.drain();
-        self.tx.take(); // disconnect; the thread exits
-        if let Some(h) = self.handle.take() {
+        // Best effort: a sticky error was already surfaced to callers.
+        let _ = self.drain();
+        self.tx.take(); // disconnect: the WAL stage exits, then the flush stage
+        if let Some(h) = self.wal_handle.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.flush_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Stage 1: absorb queued batches into groups, make their records durable
+/// with one group fsync, then hand each durable group downstream (or, in
+/// serial mode, flush inline).
+fn wal_stage(
+    rx: crossbeam::channel::Receiver<(u64, CommitBatch)>,
+    forward: Option<crossbeam::channel::Sender<DurableGroup>>,
+    wal: Arc<Wal>,
+    ckpt_gate: Arc<RwLock<()>>,
+    ctx: StageCtx,
+) {
+    while let Ok(first) = rx.recv() {
+        // Absorb everything already queued into one group.
+        let mut batches = vec![first];
+        while let Ok(next) = rx.try_recv() {
+            batches.push(next);
+        }
+
+        let _gate = ckpt_gate.read();
+        // 1. All of the group's Blob States durable with one fsync.
+        let fsync = (|| -> Result<()> {
+            let mut lsn = None;
+            for (_, batch) in &batches {
+                if !batch.records.is_empty() {
+                    lsn = Some(wal.append_batch(&batch.records)?);
+                }
+            }
+            if let Some(lsn) = lsn {
+                wal.commit_to(lsn)?;
+            }
+            Ok(())
+        })();
+        ctx.metrics
+            .commit_wal_groups
+            .fetch_add(1, Ordering::Relaxed);
+
+        let group = DurableGroup::collect(batches, ctx.page_size);
+        // Counted before the gate drops: checkpoints quiesce on this under
+        // the exclusively-held gate, so the count can only fall once they
+        // hold it.
+        ctx.progress.inflight_groups.fetch_add(1, Ordering::AcqRel);
+        match fsync {
+            // WAL-fsync-first, per group: records that never became durable
+            // forbid the extent flush (§III-C ordering).
+            Err(e) => ctx.retire(group, Err(e)),
+            Ok(()) => match &forward {
+                // 2a. Pipelined: hand off; the next group's fsync overlaps
+                // this group's extent writes.
+                Some(gtx) => gtx.send(group).expect("flush stage alive"),
+                // 2b. Serial ablation: flush inline under the gate, exactly
+                // the old one-stage committer.
+                None => {
+                    let result = if group.items.is_empty() {
+                        Ok(())
+                    } else {
+                        ctx.metrics
+                            .commit_flush_batches
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx.blob_pool.flush_extents(&group.items)
+                    };
+                    ctx.retire(group, result);
+                }
+            },
+        }
+    }
+    // Channel disconnected: dropping `forward` lets the flush stage drain
+    // its in-flight tickets and exit.
+}
+
+/// One in-flight extent flush tracked by the flush stage.
+struct InflightFlush {
+    ticket: FlushTicket,
+    group: DurableGroup,
+    /// Extent starts being written, for the write-after-write check.
+    starts: HashSet<u64>,
+}
+
+/// Stage 2: keep up to `limit` extent-flush batches in flight, reaping
+/// completions and retiring their groups.
+fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, limit: usize) {
+    let mut inflight: Vec<InflightFlush> = Vec::new();
+    loop {
+        // Reap whatever has completed (non-blocking).
+        let mut i = 0;
+        while i < inflight.len() {
+            match inflight[i].ticket.poll() {
+                Some(result) => {
+                    let f = inflight.swap_remove(i);
+                    ctx.retire(f.group, result);
+                }
+                None => i += 1,
+            }
+        }
+
+        let group = if inflight.is_empty() {
+            // Nothing in flight: park until work arrives.
+            match grx.recv() {
+                Ok(g) => g,
+                Err(_) => break,
+            }
+        } else {
+            // Batches in flight: keep polling between short channel waits.
+            match grx.recv_timeout(POLL_TICK) {
+                Ok(g) => g,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        };
+
+        if group.items.is_empty() {
+            // Metadata-only group: durable at fsync, nothing to flush.
+            ctx.retire(group, Ok(()));
+            continue;
+        }
+
+        // Admission: wait out in-flight batches while over the limit, and
+        // never start a second flight touching the same extent — the two
+        // device writes could reorder and land stale content.
+        loop {
+            let overlapping = inflight.iter().position(|f| {
+                group
+                    .items
+                    .iter()
+                    .any(|item| f.starts.contains(&item.spec.start.raw()))
+            });
+            let victim = match overlapping {
+                Some(i) => i,
+                None if inflight.len() >= limit => 0,
+                None => break,
+            };
+            ctx.metrics.commit_stalls.fetch_add(1, Ordering::Relaxed);
+            let f = inflight.remove(victim);
+            let result = f.ticket.wait();
+            ctx.retire(f.group, result);
+        }
+
+        match ctx.blob_pool.flush_extents_async(&group.items) {
+            Ok(ticket) => {
+                ctx.metrics
+                    .commit_flush_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                let starts = ticket.extent_starts().map(|p| p.raw()).collect();
+                inflight.push(InflightFlush {
+                    ticket,
+                    group,
+                    starts,
+                });
+                ctx.metrics
+                    .commit_inflight_peak
+                    .fetch_max(inflight.len() as u64, Ordering::Relaxed);
+            }
+            Err(e) => ctx.retire(group, Err(e)),
+        }
+    }
+    // Shutdown: land every remaining flight.
+    for f in inflight.drain(..) {
+        let result = f.ticket.wait();
+        ctx.retire(f.group, result);
     }
 }

@@ -236,8 +236,9 @@ impl Txn {
             self.allocated.push(spec);
             let ext_bytes = (spec.pages as usize) * geo.page_size();
             let chunk = &data[off..data.len().min(off + ext_bytes)];
-            self.db.blob_pool.fill_extent(spec, chunk)?;
-            hasher.update(chunk);
+            self.db
+                .blob_pool
+                .fill_extent_hashed(spec, chunk, &mut |b| hasher.update(b))?;
             self.toflush.push(FlushItem {
                 spec,
                 dirty_from: 0,
@@ -251,8 +252,9 @@ impl Txn {
                 let spec = self.db.alloc.allocate_tail(tp)?;
                 self.allocated.push(spec);
                 let chunk = &data[off..];
-                self.db.blob_pool.fill_extent(spec, chunk)?;
-                hasher.update(chunk);
+                self.db
+                    .blob_pool
+                    .fill_extent_hashed(spec, chunk, &mut |b| hasher.update(b))?;
                 self.toflush.push(FlushItem {
                     spec,
                     dirty_from: 0,
@@ -962,29 +964,19 @@ impl Txn {
         if !self.records.is_empty() {
             self.records.push(LogRecord::TxnCommit { txn: self.id });
         }
-        if db.cfg.commit_wait {
-            let _gate = db.ckpt_gate.read();
-            if !self.records.is_empty() {
-                let lsn = db.wal.append_batch(&self.records)?;
-                db.wal.commit_to(lsn)?;
-            }
-            // Blob State is durable; now flush content exactly once.
-            if !self.toflush.is_empty() {
-                db.blob_pool.flush_extents(&self.toflush)?;
-            }
-            // Recycle deleted extents (§III-D): move from the temporary
-            // list to the free lists.
-            db.blob_pool.drop_extents(&self.freed);
-            for spec in self.freed.drain(..) {
-                db.alloc.free_extent(spec);
-                db.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
-            }
-        } else if !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty() {
-            db.committer.submit(crate::group_commit::CommitBatch {
+        if !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty() {
+            // Both commit modes ride the same two-stage pipeline (sharing
+            // its group fsync and in-flight extent flushes); they differ
+            // only in whether this thread blocks on the batch's durability
+            // epoch before acknowledging.
+            let epoch = db.committer.submit(crate::group_commit::CommitBatch {
                 records: std::mem::take(&mut self.records),
                 toflush: std::mem::take(&mut self.toflush),
                 freed: std::mem::take(&mut self.freed),
-            });
+            })?;
+            if db.cfg.commit_wait {
+                db.committer.wait_for(epoch)?;
+            }
         }
         db.locks.release_all(self.id);
         db.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);

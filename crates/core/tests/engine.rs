@@ -304,7 +304,7 @@ fn truncate_survives_recovery() {
         let mut t = db.begin();
         t.truncate_blob(&rel, b"k", 70_000).unwrap();
         t.commit().unwrap();
-        db.wait_for_durability();
+        db.wait_for_durability().unwrap();
         std::mem::forget(db); // crash
     }
     let (db, _) = Database::open(dev, wal, small_cfg()).unwrap();
@@ -937,7 +937,7 @@ fn async_commit_mode_is_equivalent_after_drain() {
         assert_eq!(t.get_blob(&rel, b"k5", |b| b.to_vec()).unwrap(), data[5]);
         assert!(t.blob_state(&rel, b"k3").unwrap().is_none());
         t.commit().unwrap();
-        db.wait_for_durability();
+        db.wait_for_durability().unwrap();
         std::mem::forget(db); // crash after drain: everything must survive
     }
     let (db, _) = Database::open(dev, wal, cfg).unwrap();
@@ -1037,7 +1037,7 @@ fn drop_relation_survives_recovery() {
         t.put_kv(&keep, b"row", b"value").unwrap();
         t.commit().unwrap();
         db.drop_relation("gone").unwrap();
-        db.wait_for_durability();
+        db.wait_for_durability().unwrap();
         std::mem::forget(db); // crash after the drop committed
     }
     let (db, _) = Database::open(dev.clone(), wal.clone(), small_cfg()).unwrap();
@@ -1087,7 +1087,7 @@ fn scrub_detects_silent_corruption() {
             &pattern(50_000 + i as usize, i),
         );
     }
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
 
     let clean = db.scrub().unwrap();
     assert!(clean.is_clean());
@@ -1142,7 +1142,7 @@ fn range_read_touches_only_covering_extents() {
     let rel = db.create_relation("b", RelationKind::Blob).unwrap();
     let data = pattern(8 << 20, 5); // 2048 pages across ~11 extents
     put(&db, &rel, b"big", &data);
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     db.blob_pool().drop_caches();
 
     // A 4 KiB pread deep inside the BLOB must not load the whole BLOB.
@@ -1188,7 +1188,7 @@ fn append_reads_only_the_final_partial_block() {
     // 4 MiB + 17 bytes: append must reread only the 17-byte tail block.
     let mut data = pattern((4 << 20) + 17, 6);
     put(&db, &rel, b"k", &data);
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     db.blob_pool().drop_caches();
 
     let before = db.metrics().pages_read.load(AtomicOrdering::Relaxed);
@@ -1228,7 +1228,7 @@ fn wal_growth_triggers_automatic_checkpoint() {
             .unwrap();
         t.commit().unwrap();
     }
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     let ckpts = db.metrics().checkpoints.load(AtomicOrdering::Relaxed) - ckpts_before;
     assert!(
         ckpts >= 2,
@@ -1243,7 +1243,7 @@ fn wal_growth_triggers_automatic_checkpoint() {
     let dev = db.device();
     let wal_rec: Vec<_> = db.wal().read_all().unwrap();
     let _ = wal_rec;
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     std::mem::forget(db);
     // NOTE: mem_db's WAL device is not retrievable here; correctness of
     // checkpoint+recovery interplay is covered by crash_sweep/crash_fuzz.
@@ -1256,7 +1256,7 @@ fn header_reads_are_served_from_the_blob_state() {
     let rel = db.create_relation("b", RelationKind::Blob).unwrap();
     let data = pattern(2 << 20, 13);
     put(&db, &rel, b"file.png", &data);
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     db.blob_pool().drop_caches();
 
     // MIME sniffing: the first bytes come from the Blob State; no content
@@ -1319,7 +1319,7 @@ fn churn_does_not_leak_space() {
         t.delete_blob(&rel, &i.to_be_bytes()).unwrap();
         t.commit().unwrap();
     }
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     let baseline = db.utilization();
 
     // 10 more rounds of identical churn must not grow the footprint: the
@@ -1339,7 +1339,7 @@ fn churn_does_not_leak_space() {
             t.commit().unwrap();
         }
     }
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     assert!(
         db.utilization() <= baseline * 1.05 + 0.01,
         "space leaked: {} -> {}",
@@ -1374,7 +1374,7 @@ fn repeated_reopen_cycles_are_stable() {
         if cycle % 2 == 0 {
             db.shutdown().unwrap();
         } else {
-            db.wait_for_durability();
+            db.wait_for_durability().unwrap();
             std::mem::forget(db.clone());
         }
         let util = db.utilization();
@@ -1475,7 +1475,7 @@ fn inline_blobs_survive_recovery_and_scrub() {
         let rel = db.create_relation("b", RelationKind::Blob).unwrap();
         put(&db, &rel, b"tiny", b"hello inline world");
         put(&db, &rel, b"big", &pattern(50_000, 7));
-        db.wait_for_durability();
+        db.wait_for_durability().unwrap();
         std::mem::forget(db); // crash: tiny must ride the WAL alone
     }
     let (db, report) = Database::open(dev, wal, small_cfg()).unwrap();

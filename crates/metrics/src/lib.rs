@@ -131,6 +131,21 @@ counters! {
     btree_node_accesses,
     /// Metadata operations (stat/open/close equivalents).
     metadata_ops,
+    /// Commit groups fsynced by the group committer's WAL stage.
+    commit_wal_groups,
+    /// Extent-flush batches submitted by the group committer (pipelined
+    /// or inline).
+    commit_flush_batches,
+    /// High-water mark of concurrently in-flight commit flush batches
+    /// (gauge, maintained with `fetch_max`).
+    commit_inflight_peak,
+    /// Times the commit flush stage waited out an in-flight batch before
+    /// submitting (at the in-flight limit, or a write-after-write overlap
+    /// on the same extent).
+    commit_stalls,
+    /// Group-committer I/O failures. Sticky: asynchronously acknowledged
+    /// commits were lost, and every later drain/commit keeps erroring.
+    commit_errors,
 }
 
 /// Shared handle to a counter set.

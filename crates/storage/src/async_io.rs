@@ -94,6 +94,19 @@ impl BatchHandle {
     /// Help execute the batch's remaining requests, then block until every
     /// request completed; returns the first error if any request failed.
     pub fn wait(self) -> Result<()> {
+        self.wait_done();
+        match self.state.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`BatchHandle::wait`], but without consuming the handle or its
+    /// result: the next [`BatchHandle::try_complete`] returns `Some`
+    /// immediately. This lets an owner of an in-flight batch (the group
+    /// committer's flush tickets) block on completion while keeping the
+    /// reap — and the cleanup hanging off it — in one place.
+    pub fn wait_done(&self) {
         // Drain cooperatively instead of just sleeping.
         while self.state.run_one(&self.device) {}
         {
@@ -108,10 +121,6 @@ impl BatchHandle {
             while Instant::now() < deadline {
                 std::thread::yield_now();
             }
-        }
-        match self.state.error.lock().take() {
-            Some(e) => Err(e),
-            None => Ok(()),
         }
     }
 

@@ -336,8 +336,7 @@ impl FileSystem for WritableDbFs {
             // fd simply becomes closed. Document: fsync finalizes the file.
         }
         self.finish()?;
-        self.db.wait_for_durability();
-        Ok(())
+        map_db_err(self.db.wait_for_durability())
     }
 }
 
@@ -502,7 +501,7 @@ mod tests {
             }
             // Drop flushes the remainder.
         }
-        db.wait_for_durability();
+        db.wait_for_durability().unwrap();
         std::mem::forget(db);
 
         let (db2, _) = Database::open(dev, wal, Config::default()).unwrap();

@@ -174,7 +174,7 @@ fn demo_database() -> Result<Arc<Database>, Box<dyn std::error::Error>> {
     let mut t = db.begin();
     t.append_blob(&notes, b"todo.txt", b"\n- dump blob states")?;
     t.commit()?;
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     println!("built demo database (set LOBSTER_INSPECT=<dir> to inspect your own)\n");
     Ok(db)
 }

@@ -67,6 +67,26 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by `recv_timeout`.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     pub struct Sender<T>(Arc<Shared<T>>);
 
     pub struct Receiver<T>(Arc<Shared<T>>);
@@ -128,6 +148,32 @@ pub mod channel {
             }
         }
 
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .0
+                    .cv
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(v) = q.pop_front() {
@@ -178,6 +224,23 @@ pub mod channel {
             let (tx, rx) = unbounded::<i32>();
             drop(rx);
             assert!(tx.send(5).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_semantics() {
+            use std::time::Duration;
+            let (tx, rx) = unbounded::<i32>();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

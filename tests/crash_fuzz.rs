@@ -373,7 +373,7 @@ proptest! {
                 t.put_blob(&rel, &(i as u64).to_be_bytes(), &data).unwrap();
                 t.commit().unwrap();
             }
-            db.wait_for_durability();
+            db.wait_for_durability().unwrap();
             std::mem::forget(db); // first crash: dirty shutdown
         }
 

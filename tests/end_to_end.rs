@@ -338,7 +338,7 @@ fn concurrent_commits_and_checkpoints_recover() {
         });
     });
 
-    db.wait_for_durability();
+    db.wait_for_durability().unwrap();
     std::mem::forget(db); // crash
 
     let (db, _) = Database::open(dev, wal, cfg).unwrap();
