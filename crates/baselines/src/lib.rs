@@ -27,6 +27,8 @@
 //! drives; the filesystem models additionally implement
 //! [`lobster_vfs::FileSystem`] for the path-based git-clone replay.
 
+#![forbid(unsafe_code)]
+
 mod dbms;
 mod fskit;
 mod store;

@@ -6,6 +6,8 @@
 //! so the full suite runs in minutes on a laptop; set
 //! `LOBSTER_BENCH_SCALE` (default `1.0`) to grow or shrink workloads.
 
+#![forbid(unsafe_code)]
+
 use lobster_baselines::{
     ClientServerCost, FsProfile, LobsterMode, LobsterStore, ModelFs, ObjectStore, OverflowStore,
     SqliteStore, ToastStore,

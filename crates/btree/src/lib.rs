@@ -2,6 +2,8 @@
 //! pluggable comparators (the Blob State index of §III-F plugs in a custom
 //! [`KeyCmp`]).
 
+#![forbid(unsafe_code)]
+
 pub mod node;
 mod tree;
 

@@ -370,6 +370,8 @@ mod tests {
         }
         let m = mgr(2, OS_PAGE * 2, OS_PAGE * 8);
         let metrics = lobster_metrics::new_metrics();
+        // SAFETY: single-threaded test; the frame ranges touched are disjoint
+        // and within the arena, so no aliasing mutable access occurs.
         unsafe {
             arena.frame_slice_mut(0, OS_PAGE).fill(1);
             arena.frame_slice_mut(4 * OS_PAGE, OS_PAGE).fill(2);

@@ -7,8 +7,8 @@ use crate::htpool::{HashTablePool, HtFlushBatch};
 use crate::pool::{ExtentFlushBatch, ExtentPool, FlushItem};
 use lobster_extent::ExtentSpec;
 use lobster_metrics::Metrics;
+use lobster_sync::Arc;
 use lobster_types::{Pid, Result};
-use std::sync::Arc;
 
 /// The active BLOB buffer pool.
 #[derive(Clone)]
@@ -25,6 +25,14 @@ impl BlobPool {
         match self {
             BlobPool::Vm(p) => p.metrics(),
             BlobPool::Ht(p) => p.metrics(),
+        }
+    }
+
+    /// The latch/pin ledger of the underlying pool (no-op in release builds).
+    pub fn audit(&self) -> &lobster_sync::audit::LatchLedger {
+        match self {
+            BlobPool::Vm(p) => p.audit(),
+            BlobPool::Ht(p) => p.audit(),
         }
     }
 

@@ -10,12 +10,19 @@
 use lobster_extent::ExtentSpec;
 use lobster_metrics::Metrics;
 use lobster_storage::{AsyncIo, BatchHandle, Device, IoKind, IoReq};
+use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use lobster_sync::audit::LatchLedger;
+use lobster_sync::{Arc, Mutex, RwLock};
 use lobster_types::{Error, Geometry, Pid, Result};
-use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+
+// Memory-ordering note (satellite audit, PR 4): `Relaxed` here is confined
+// to metrics bumps, the `pages` size estimate (eviction pacing only — the
+// sharded maps are the authoritative residency state, under their locks),
+// and the `batched_faults` config flag. The per-frame `dirty`/`prevent_evict`
+// flags use Acquire/Release: eviction reads them to decide whether a frame
+// may be dropped.
 
 const SHARDS: usize = 64;
 
@@ -67,6 +74,8 @@ pub struct HashTablePool {
     io: AsyncIo,
     batched_faults: AtomicBool,
     metrics: Metrics,
+    /// Debug-only pin ledger (per-page `prevent_evict` shadow).
+    audit: LatchLedger,
 }
 
 impl HashTablePool {
@@ -85,6 +94,7 @@ impl HashTablePool {
             io: AsyncIo::new(device, 2),
             batched_faults: AtomicBool::new(true),
             metrics,
+            audit: LatchLedger::new(),
         })
     }
 
@@ -100,6 +110,11 @@ impl HashTablePool {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The pool's pin ledger (debug-only invariant auditor).
+    pub fn audit(&self) -> &LatchLedger {
+        &self.audit
     }
 
     pub fn page_size(&self) -> usize {
@@ -158,7 +173,8 @@ impl HashTablePool {
                 continue;
             }
             if self.shards[idx].lock().remove(&pid).is_some() {
-                self.pages.fetch_sub(1, Ordering::Relaxed);
+                let prev = self.pages.fetch_sub(1, Ordering::Relaxed);
+                debug_assert!(prev > 0, "page counter underflow on eviction");
                 return true;
             }
         }
@@ -233,9 +249,9 @@ impl HashTablePool {
                 len: buf.len(),
             })
             .collect();
+        let t = self.metrics.latencies.timer();
         // SAFETY: `bufs` outlives the blocking wait and is not touched until
         // the batch completes.
-        let t = self.metrics.latencies.timer();
         unsafe { self.io.submit_and_wait(reqs)? };
         self.metrics.latencies.pool_fault.record_timer(t);
         let total: u64 = missing.iter().map(|s| s.pages).sum();
@@ -315,6 +331,7 @@ impl HashTablePool {
             digest(&data[..take]);
             frame.dirty.store(true, Ordering::Release);
             frame.prevent_evict.store(true, Ordering::Release);
+            self.audit.pin(pid.raw());
             off += take;
             page += 1;
             if off >= src.len() {
@@ -367,6 +384,7 @@ impl HashTablePool {
             self.metrics.bump_memcpy((copy_end - copy_start) as u64);
             frame.dirty.store(true, Ordering::Release);
             frame.prevent_evict.store(true, Ordering::Release);
+            self.audit.pin(pid.raw());
         }
         Ok(())
     }
@@ -526,10 +544,12 @@ impl HashTablePool {
             .fetch_add(total_pages * p, Ordering::Relaxed);
         for item in &batch.items {
             for i in 0..item.spec.pages {
-                if let Some(frame) = self.lookup(item.spec.start.offset(i)) {
+                let pid = item.spec.start.offset(i);
+                if let Some(frame) = self.lookup(pid) {
                     frame.dirty.store(false, Ordering::Release);
                     frame.prevent_evict.store(false, Ordering::Release);
                 }
+                self.audit.unpin(pid.raw());
             }
         }
     }
@@ -550,6 +570,7 @@ impl HashTablePool {
                     self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
                 }
                 frame.prevent_evict.store(false, Ordering::Release);
+                self.audit.unpin(pid);
             }
         }
         Ok(())
@@ -562,16 +583,19 @@ impl HashTablePool {
             let mut shard = shard.lock();
             let n = shard.len() as u64;
             shard.clear();
-            self.pages.fetch_sub(n, Ordering::Relaxed);
+            let prev = self.pages.fetch_sub(n, Ordering::Relaxed);
+            debug_assert!(prev >= n, "page counter underflow on drop_all");
         }
     }
 
     /// Clear `prevent_evict` on an extent's pages without flushing.
     pub fn unpin_extent(&self, spec: ExtentSpec) {
         for i in 0..spec.pages {
-            if let Some(frame) = self.lookup(spec.start.offset(i)) {
+            let pid = spec.start.offset(i);
+            if let Some(frame) = self.lookup(pid) {
                 frame.prevent_evict.store(false, Ordering::Release);
             }
+            self.audit.unpin(pid.raw());
         }
     }
 
@@ -580,8 +604,11 @@ impl HashTablePool {
         for i in 0..spec.pages {
             let pid = spec.start.offset(i);
             if self.shard(pid).lock().remove(&pid.raw()).is_some() {
-                self.pages.fetch_sub(1, Ordering::Relaxed);
+                let prev = self.pages.fetch_sub(1, Ordering::Relaxed);
+                debug_assert!(prev > 0, "page counter underflow on drop_extent");
             }
+            // Rollback may drop pages that are still pinned.
+            self.audit.unpin(pid.raw());
         }
     }
 }

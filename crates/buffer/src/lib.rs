@@ -14,6 +14,10 @@
 //!
 //! [`BlobPool`] is the configuration-selected facade the engine uses.
 
+// Every `unsafe` block must carry a `// SAFETY:` justification; enforced
+// in CI via clippy (`undocumented_unsafe_blocks`).
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 mod alias;
 mod arena;
 mod blob_pool;

@@ -21,13 +21,22 @@ use crate::arena::Arena;
 use lobster_extent::{ExtentSpec, RangeAllocator};
 use lobster_metrics::Metrics;
 use lobster_storage::{AsyncIo, BatchHandle, Device, IoKind, IoReq};
+use lobster_sync::atomic::{AtomicU64, Ordering};
+use lobster_sync::audit::LatchLedger;
+use lobster_sync::hint::spin_loop;
+use lobster_sync::{Arc, Mutex};
 use lobster_types::{Error, Geometry, Pid, Result};
-use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+
+// Memory-ordering note (satellite audit, PR 4): every `Ordering::Relaxed`
+// in this file is a metrics counter bump or the `max_resident_pages`
+// eviction-fairness hint — values that feed statistics, never the latch
+// protocol. All page-table-entry transitions use Acquire/AcqRel/Release:
+// the entry word is the synchronization point that publishes frame content
+// to readers.
 
 // ---------------------------------------------------------------- entry ---
 
@@ -229,6 +238,9 @@ pub struct ExtentPool {
     prefetched: Mutex<HashSet<u64>>,
     /// `prefetched.len()`, mirrored so the hot read path can skip the lock.
     prefetched_live: AtomicU64,
+    /// Debug-only latch/pin ledger shadowing the page-table transitions;
+    /// every method is a no-op in release builds.
+    audit: LatchLedger,
 }
 
 impl ExtentPool {
@@ -263,6 +275,7 @@ impl ExtentPool {
             inflight: Mutex::new(Vec::new()),
             prefetched: Mutex::new(HashSet::new()),
             prefetched_live: AtomicU64::new(0),
+            audit: LatchLedger::new(),
         })
     }
 
@@ -296,6 +309,11 @@ impl ExtentPool {
         self.frame_count
     }
 
+    /// The pool's latch/pin ledger (debug-only invariant auditor).
+    pub fn audit(&self) -> &LatchLedger {
+        &self.audit
+    }
+
     #[inline]
     fn entry(&self, pid: Pid) -> &AtomicU64 {
         &self.table[pid.raw() as usize]
@@ -311,6 +329,7 @@ impl ExtentPool {
             pool: self,
             spec,
             frame,
+            _not_send: PhantomData,
         })
     }
 
@@ -324,6 +343,7 @@ impl ExtentPool {
         self.metrics
             .latch_acquisitions
             .fetch_add(1, Ordering::Relaxed);
+        self.audit.check_may_block_shared(spec.start.raw());
         let entry = self.entry(spec.start);
         loop {
             let e = entry.load(Ordering::Acquire);
@@ -338,14 +358,18 @@ impl ExtentPool {
                         )
                         .is_ok()
                     {
+                        self.audit.claim_exclusive(spec.start.raw());
                         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                         match self.load_extent(spec, spec.pages) {
                             Ok(frame) => {
-                                // Enter shared with count 1.
+                                // Enter shared with count 1 (ledger converts
+                                // before the word republishes the extent).
+                                self.audit.convert_claim_to_shared(spec.start.raw());
                                 entry.store(pack(1, 0, spec.pages, frame), Ordering::Release);
                                 return Ok(frame);
                             }
                             Err(err) => {
+                                self.audit.release_claim(spec.start.raw());
                                 entry.store(EVICTED_ENTRY, Ordering::Release);
                                 return Err(err);
                             }
@@ -356,7 +380,7 @@ impl ExtentPool {
                     // The holder may be an in-flight readahead batch; reap
                     // completed ones so the wait is bounded.
                     self.poll_prefetches();
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
                 n if n < MAX_SHARED => {
                     debug_assert_eq!(
@@ -374,6 +398,7 @@ impl ExtentPool {
                         )
                         .is_ok()
                     {
+                        self.audit.acquire_shared(spec.start.raw());
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if self.note_prefetch_consumed(spec.start) {
                             self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
@@ -381,13 +406,17 @@ impl ExtentPool {
                         return Ok(frame_of(e));
                     }
                 }
-                _ => std::hint::spin_loop(), // shared count saturated
+                _ => spin_loop(), // shared count saturated
             }
         }
     }
 
     /// Drop one shared latch taken by [`ExtentPool::fix_shared`].
     fn release_shared(&self, pid: Pid) {
+        // Ledger first: the decrement below republishes availability, so
+        // recording the release after it could race a fresh acquirer and
+        // report a false double unlock.
+        self.audit.release_shared(pid.raw());
         let entry = self.entry(pid);
         loop {
             let e = entry.load(Ordering::Acquire);
@@ -405,6 +434,14 @@ impl ExtentPool {
                 return;
             }
         }
+    }
+
+    /// Test-only fault injection: perform a shared release the caller never
+    /// acquired. The latch ledger must flag it as a double unlock; exists so
+    /// the auditor regression tests can prove detection works end to end.
+    #[cfg(debug_assertions)]
+    pub fn debug_force_release_shared(&self, pid: Pid) {
+        self.release_shared(pid);
     }
 
     /// Fix an extent exclusive, loading it from the device on a miss.
@@ -431,6 +468,7 @@ impl ExtentPool {
         self.metrics
             .latch_acquisitions
             .fetch_add(1, Ordering::Relaxed);
+        self.audit.check_may_block_exclusive(spec.start.raw());
         let entry = self.entry(spec.start);
         loop {
             let e = entry.load(Ordering::Acquire);
@@ -445,6 +483,7 @@ impl ExtentPool {
                         )
                         .is_ok()
                     {
+                        self.audit.acquire_exclusive(spec.start.raw());
                         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                         match self.load_extent(spec, load_pages) {
                             Ok(frame) => {
@@ -457,9 +496,11 @@ impl ExtentPool {
                                     pool: self,
                                     spec,
                                     frame,
+                                    _not_send: PhantomData,
                                 });
                             }
                             Err(err) => {
+                                self.audit.release_exclusive(spec.start.raw());
                                 entry.store(EVICTED_ENTRY, Ordering::Release);
                                 return Err(err);
                             }
@@ -476,6 +517,7 @@ impl ExtentPool {
                         )
                         .is_ok()
                     {
+                        self.audit.acquire_exclusive(spec.start.raw());
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if self.note_prefetch_consumed(spec.start) {
                             self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
@@ -484,12 +526,13 @@ impl ExtentPool {
                             pool: self,
                             spec,
                             frame: frame_of(e),
+                            _not_send: PhantomData,
                         });
                     }
                 }
                 _ => {
                     self.poll_prefetches();
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
             }
         }
@@ -549,6 +592,7 @@ impl ExtentPool {
                 .fetch_add(len as u64, Ordering::Relaxed);
         }
         self.resident.lock().insert(spec.start);
+        // Relaxed: monotonic fairness hint only (see try_evict_one).
         self.max_resident_pages
             .fetch_max(spec.pages, Ordering::Relaxed);
         Ok(frame)
@@ -596,6 +640,8 @@ impl ExtentPool {
         }
         let pages = pages_of(e);
         // Fair eviction: rand(MAX_EXT_SIZE) < extent_size[pid].
+        // Relaxed: a monotonic hint for the fairness dice roll; a stale
+        // value only skews eviction probability, never correctness.
         let max_pages = self.max_resident_pages.load(Ordering::Relaxed).max(1);
         if pages < max_pages && rand::thread_rng().gen_range(0..max_pages) >= pages {
             return;
@@ -611,9 +657,11 @@ impl ExtentPool {
         {
             return;
         }
+        self.audit.claim_exclusive(pid.raw());
         let frame = frame_of(e);
         self.frames.free(frame, pages);
         self.resident.lock().remove(pid);
+        self.audit.release_claim(pid.raw());
         entry.store(EVICTED_ENTRY, Ordering::Release);
         self.note_prefetch_evicted(pid);
     }
@@ -638,6 +686,7 @@ impl ExtentPool {
                 if i < frames_allocated {
                     self.frames.free(*frame, spec.pages);
                 }
+                self.audit.release_claim(spec.start.raw());
                 self.entry(spec.start)
                     .store(EVICTED_ENTRY, Ordering::Release);
             }
@@ -657,6 +706,7 @@ impl ExtentPool {
                 )
                 .is_ok()
             {
+                self.audit.claim_exclusive(spec.start.raw());
                 claimed.push((spec, 0));
             }
         }
@@ -691,8 +741,8 @@ impl ExtentPool {
                 }
             })
             .collect();
-        // SAFETY: the frames stay reserved until the wait returns.
         let t = self.metrics.latencies.timer();
+        // SAFETY: the frames stay reserved until the wait returns.
         if let Err(err) = unsafe { self.io.submit_and_wait(reqs) } {
             rollback(&claimed, claimed.len());
             return Err(err);
@@ -727,6 +777,7 @@ impl ExtentPool {
         for (spec, frame) in claimed {
             self.max_resident_pages
                 .fetch_max(spec.pages, Ordering::Relaxed);
+            self.audit.release_claim(spec.start.raw());
             self.entry(spec.start)
                 .store(pack(0, 0, spec.pages, *frame), Ordering::Release);
         }
@@ -759,9 +810,13 @@ impl ExtentPool {
             {
                 continue;
             }
+            self.audit.claim_exclusive(spec.start.raw());
             match self.frames.allocate(spec.pages) {
                 Ok(f) => claimed.push((spec, f)),
-                Err(_) => entry.store(EVICTED_ENTRY, Ordering::Release),
+                Err(_) => {
+                    self.audit.release_claim(spec.start.raw());
+                    entry.store(EVICTED_ENTRY, Ordering::Release);
+                }
             }
         }
         if claimed.is_empty() {
@@ -847,6 +902,7 @@ impl ExtentPool {
                 // reports the error itself.
                 for (spec, frame) in &claimed {
                     self.frames.free(*frame, spec.pages);
+                    self.audit.release_claim(spec.start.raw());
                     self.entry(spec.start)
                         .store(EVICTED_ENTRY, Ordering::Release);
                 }
@@ -925,6 +981,11 @@ impl ExtentPool {
                 .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                if on {
+                    self.audit.pin(pid.raw());
+                } else {
+                    self.audit.unpin(pid.raw());
+                }
                 return;
             }
         }
@@ -1098,8 +1159,10 @@ impl ExtentPool {
                 )
                 .is_ok()
             {
+                self.audit.claim_exclusive(pid.raw());
                 self.frames.free(frame_of(e), pages_of(e));
                 self.resident.lock().remove(pid);
+                self.audit.release_claim(pid.raw());
                 entry.store(EVICTED_ENTRY, Ordering::Release);
                 self.note_prefetch_evicted(pid);
             }
@@ -1124,8 +1187,13 @@ impl ExtentPool {
                         )
                         .is_ok()
                     {
+                        self.audit.claim_exclusive(spec.start.raw());
                         self.frames.free(frame_of(e), pages_of(e));
                         self.resident.lock().remove(spec.start);
+                        // Rollback of a fresh allocation may drop an extent
+                        // that is still pinned; clear the ledger pin too.
+                        self.audit.unpin(spec.start.raw());
+                        self.audit.release_claim(spec.start.raw());
                         entry.store(EVICTED_ENTRY, Ordering::Release);
                         self.note_prefetch_evicted(spec.start);
                         return;
@@ -1133,7 +1201,7 @@ impl ExtentPool {
                 }
                 _ => {
                     self.poll_prefetches();
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
             }
         }
@@ -1247,10 +1315,16 @@ impl Drop for ExtentPool {
 // --------------------------------------------------------------- guards ---
 
 /// Shared (read) latch on one extent. Derefs to the extent's bytes.
+///
+/// `!Send`: releases must happen on the acquiring thread so the debug
+/// auditor's per-thread held-key tracking stays balanced (the raw
+/// `fix_shared`/`release_shared` pair used by flush batches is the escape
+/// hatch for cross-thread lifetimes).
 pub struct ShGuard<'p> {
     pool: &'p ExtentPool,
     spec: ExtentSpec,
     frame: u64,
+    _not_send: PhantomData<*mut ()>,
 }
 
 impl ShGuard<'_> {
@@ -1284,10 +1358,13 @@ impl Drop for ShGuard<'_> {
 }
 
 /// Exclusive (write) latch on one extent. Derefs mutably to its bytes.
+///
+/// `!Send` for the same thread-affinity reason as [`ShGuard`].
 pub struct XGuard<'p> {
     pool: &'p ExtentPool,
     spec: ExtentSpec,
     frame: u64,
+    _not_send: PhantomData<*mut ()>,
 }
 
 impl XGuard<'_> {
@@ -1339,6 +1416,8 @@ impl DerefMut for XGuard<'_> {
 
 impl Drop for XGuard<'_> {
     fn drop(&mut self) {
+        // Ledger first: the CAS below republishes the extent as unlatched.
+        self.pool.audit.release_exclusive(self.spec.start.raw());
         let entry = self.pool.entry(self.spec.start);
         loop {
             let e = entry.load(Ordering::Acquire);

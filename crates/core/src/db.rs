@@ -11,9 +11,10 @@ use lobster_buffer::{AliasConfig, BlobPool, ExtentPool, HashTablePool, PoolConfi
 use lobster_extent::{ExtentAllocator, ExtentSpec, TierPolicy, TierTable};
 use lobster_metrics::{new_metrics, Metrics};
 use lobster_storage::Device;
+use lobster_sync::RwLock;
 use lobster_types::{read_u32, read_u64, Error, Geometry, Pid, Result};
 use lobster_wal::{LogRecord, Wal};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;

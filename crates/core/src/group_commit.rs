@@ -32,14 +32,20 @@
 use lobster_buffer::{BlobPool, FlushItem, FlushTicket};
 use lobster_extent::{ExtentAllocator, ExtentSpec};
 use lobster_metrics::Metrics;
+use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use lobster_sync::thread::JoinHandle;
+use lobster_sync::{thread, Arc, Condvar, Mutex, RwLock};
 use lobster_types::{Error, Result};
 use lobster_wal::{LogRecord, Wal};
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeSet, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+// Memory-ordering note (satellite audit, PR 4): `Relaxed` in this file is
+// metrics counters plus the `processed` frontier load inside
+// `complete_epochs`, which runs under the `state` mutex (the mutex orders
+// frontier read-modify-write; the `Release` store pairs with the `Acquire`
+// fast-path load in `wait_for`). Epoch handout, frontier publication, and
+// the in-flight group count use Acquire/Release.
 
 /// How often the flush stage interleaves ticket polling with waiting for
 /// new durable groups while batches are in flight.
@@ -77,6 +83,11 @@ impl PinBudget {
 
     fn release(&self, bytes: u64) {
         let mut used = self.used.lock();
+        debug_assert!(
+            *used >= bytes,
+            "pin budget underflow: releasing {bytes} bytes with only {} accounted",
+            *used
+        );
         *used = used.saturating_sub(bytes);
         self.freed_cv.notify_all();
     }
@@ -128,8 +139,17 @@ impl Progress {
     /// Mark `epochs` complete and advance the contiguous frontier.
     fn complete_epochs(&self, epochs: &[u64]) {
         let mut st = self.state.lock();
-        st.done_above.extend(epochs.iter().copied());
+        // Relaxed is sound here: every mutation of `processed` happens under
+        // this mutex, so the load observes the latest frontier.
         let mut frontier = self.processed.load(Ordering::Relaxed);
+        for &e in epochs {
+            debug_assert!(
+                e > frontier,
+                "epoch {e} completed twice: durability frontier already at {frontier}"
+            );
+            let fresh = st.done_above.insert(e);
+            debug_assert!(fresh, "epoch {e} completed twice (already above frontier)");
+        }
         while st.done_above.remove(&(frontier + 1)) {
             frontier += 1;
         }
@@ -235,7 +255,8 @@ impl StageCtx {
             Err(e) => self.progress.record_error(&e, &self.metrics),
         }
         self.budget.release(group.pinned);
-        self.progress.inflight_groups.fetch_sub(1, Ordering::AcqRel);
+        let prev = self.progress.inflight_groups.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "in-flight group count underflow on retire");
         self.progress.complete_epochs(&group.epochs);
     }
 }
@@ -286,7 +307,7 @@ impl GroupCommitter {
         let (flush_handle, forward) = if limit > 1 {
             let (gtx, grx) = crossbeam::channel::unbounded::<DurableGroup>();
             let fctx = ctx.clone();
-            let handle = std::thread::Builder::new()
+            let handle = thread::Builder::new()
                 .name("lobster-commit-flush".into())
                 .spawn(move || flush_stage(grx, fctx, limit))
                 .expect("spawn commit flush stage");
@@ -295,7 +316,7 @@ impl GroupCommitter {
             (None, None)
         };
 
-        let wal_handle = std::thread::Builder::new()
+        let wal_handle = thread::Builder::new()
             .name("lobster-group-commit".into())
             .spawn(move || wal_stage(rx, forward, wal, ckpt_gate, ctx))
             .expect("spawn group committer");

@@ -36,6 +36,8 @@
 //! txn.commit().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod blob_state;
 mod catalog;
 mod db;

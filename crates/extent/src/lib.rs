@@ -17,6 +17,8 @@
 //! * [`ExtentAllocator`] — page-space allocation of tiered extents and
 //!   arbitrary-size tail extents.
 
+#![forbid(unsafe_code)]
+
 mod alloc;
 mod plan;
 mod tier;

@@ -8,7 +8,7 @@
 //! plain-integer per-thread variant for tight bench loops; it merges into a
 //! shared [`Histogram`] (or folds into a [`HistSnapshot`]) afterwards.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Linear sub-buckets per power of two = `1 << SUB_BITS`.

@@ -9,9 +9,11 @@
 //! per-event costs. Relative comparisons between systems — which is what the
 //! paper's tables communicate — are preserved and fully reproducible.
 
+#![forbid(unsafe_code)]
+
+use lobster_sync::atomic::{AtomicU64, Ordering};
+use lobster_sync::Arc;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 pub mod hist;
 pub use hist::{

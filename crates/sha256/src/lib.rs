@@ -31,6 +31,10 @@
 //! let _ = full;
 //! ```
 
+// Every `unsafe` block must carry a `// SAFETY:` justification; enforced
+// in CI via clippy (`undocumented_unsafe_blocks`).
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 mod midstate;
 #[cfg(target_arch = "x86_64")]
 mod shani;

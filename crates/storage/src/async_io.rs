@@ -24,9 +24,12 @@ pub struct IoReq {
     pub len: usize,
 }
 
-// The worker threads access the region exactly as the submitting thread
-// promised (exclusive for reads-into, shared for writes-from).
+// SAFETY: the worker threads access the region exactly as the submitting
+// thread promised (exclusive for reads-into, shared for writes-from); the
+// `submit` contract keeps the region alive for the batch's lifetime.
 unsafe impl Send for IoReq {}
+// SAFETY: same contract as `Send` — the raw region is never aliased
+// mutably across threads within a batch.
 unsafe impl Sync for IoReq {}
 
 struct BatchState {
@@ -48,14 +51,16 @@ impl BatchState {
         let Some(req) = self.queue.lock().pop() else {
             return false;
         };
-        // SAFETY: submit()'s contract guarantees the region is valid and
-        // appropriately exclusive for the duration of the batch.
         let result = match req.kind {
             IoKind::Read => {
+                // SAFETY: submit()'s contract guarantees the region is valid
+                // and exclusively ours for the duration of the batch.
                 let buf = unsafe { std::slice::from_raw_parts_mut(req.ptr, req.len) };
                 device.submit_read(buf, req.offset)
             }
             IoKind::Write => {
+                // SAFETY: submit()'s contract guarantees the region is valid
+                // and unmutated for the duration of the batch.
                 let buf = unsafe { std::slice::from_raw_parts(req.ptr, req.len) };
                 device.submit_write(buf, req.offset)
             }
@@ -272,6 +277,8 @@ mod tests {
                 len: s.len(),
             })
             .collect();
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         unsafe { io.submit_and_wait(reqs).unwrap() };
 
         let mut out = vec![0u8; 16 * 4096];
@@ -281,6 +288,8 @@ mod tests {
             ptr: out.as_mut_ptr(),
             len: out.len(),
         }];
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         unsafe { io.submit_and_wait(reqs).unwrap() };
         for i in 0..16usize {
             assert!(out[i * 4096..(i + 1) * 4096]
@@ -293,6 +302,8 @@ mod tests {
     fn empty_batch_completes_immediately() {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new(4096));
         let io = AsyncIo::new(dev, 1);
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         let handle = unsafe { io.submit(Vec::new()) };
         assert!(handle.is_complete());
         handle.wait().unwrap();
@@ -309,6 +320,8 @@ mod tests {
             ptr: buf.as_mut_ptr(),
             len: buf.len(),
         }];
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         assert!(unsafe { io.submit_and_wait(reqs) }.is_err());
     }
 
@@ -329,6 +342,8 @@ mod tests {
                 len: s.len(),
             })
             .collect();
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         unsafe { io.submit_and_wait(reqs).unwrap() };
     }
 
@@ -347,6 +362,8 @@ mod tests {
                 len: s.len(),
             })
             .collect();
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         let handle = unsafe { io.submit(reqs) };
         let result = loop {
             if let Some(r) = handle.try_complete() {
@@ -362,6 +379,8 @@ mod tests {
             ptr: out.as_mut_ptr(),
             len: out.len(),
         }];
+        // SAFETY: the buffers backing the requests outlive the wait and are
+        // not touched until the batch completes.
         unsafe { io.submit_and_wait(reqs).unwrap() };
         assert!(out.iter().all(|&b| b == 3));
     }

@@ -20,6 +20,10 @@
 //! * [`AsyncIo`] — a submission/completion engine (thread-pool stand-in for
 //!   io_uring) used to flush WAL and extents concurrently at commit.
 
+// Every `unsafe` block must carry a `// SAFETY:` justification; enforced
+// in CI via clippy (`undocumented_unsafe_blocks`).
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 mod async_io;
 mod crash;
 mod device;

@@ -1,0 +1,61 @@
+//! Drives the four protocol-core models.
+//!
+//! Under `--cfg lobster_loom` each test is a bounded-exhaustive model check;
+//! in a normal build each is a multi-iteration smoke run (see
+//! `lobster_sync::model`). The `*_is_caught` tests run deliberately broken
+//! protocol variants and require the checker to find the violation — they
+//! only assert under loom, where detection is deterministic.
+
+use lobster_sync_models::{claim, frontier, latch, pins};
+
+#[test]
+fn latch_mutual_exclusion() {
+    latch::check_latch_excludes();
+}
+
+#[test]
+fn optimistic_read_validates() {
+    latch::check_optimistic_read_validates();
+}
+
+#[test]
+fn fault_batch_claim_rollback() {
+    claim::check_claim_rollback();
+}
+
+#[test]
+fn commit_wal_before_extents() {
+    frontier::check_wal_before_extents();
+}
+
+#[test]
+fn pin_release_exactly_once() {
+    pins::check_pin_release_exactly_once();
+}
+
+#[test]
+fn broken_latch_is_caught() {
+    if !lobster_sync::is_loom() {
+        return; // real-thread smoke runs cannot reliably hit the race
+    }
+    let r = std::panic::catch_unwind(latch::run_broken_latch);
+    assert!(r.is_err(), "checker missed the torn read");
+}
+
+#[test]
+fn broken_optimistic_read_is_caught() {
+    if !lobster_sync::is_loom() {
+        return;
+    }
+    let r = std::panic::catch_unwind(latch::run_broken_optimistic_read);
+    assert!(r.is_err(), "checker missed the unvalidated optimistic read");
+}
+
+#[test]
+fn broken_commit_ordering_is_caught() {
+    if !lobster_sync::is_loom() {
+        return;
+    }
+    let r = std::panic::catch_unwind(frontier::run_broken_ordering);
+    assert!(r.is_err(), "checker missed the WAL-after-extents schedule");
+}

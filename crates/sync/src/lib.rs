@@ -1,0 +1,97 @@
+//! Concurrency facade for the LOBSTER engine.
+//!
+//! Every concurrency primitive the latch/commit fast paths use is imported
+//! through this crate so the same code compiles two ways:
+//!
+//! * normally — thin re-exports of `std` atomics, the `parking_lot` shim's
+//!   `Mutex`/`Condvar`/`RwLock`, and `std::thread`; zero-cost.
+//! * under `RUSTFLAGS="--cfg lobster_loom"` — the `loom` shim's modeled
+//!   equivalents, so protocol cores extracted into `lobster-sync-models`
+//!   run under bounded-exhaustive interleaving exploration. Loom-mode types
+//!   constructed outside an active model execution fall back to the real
+//!   primitives, so the whole workspace still builds and runs under the cfg.
+//!
+//! The crate also hosts [`audit`], the debug-only runtime invariant auditor
+//! (latch/pin ledger) that pool, htpool, and group-commit thread through
+//! their fast paths.
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+
+pub use std::sync::Arc;
+
+#[cfg(not(lobster_loom))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(not(lobster_loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(lobster_loom))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(not(lobster_loom))]
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(lobster_loom)]
+pub use loom::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(lobster_loom)]
+pub mod atomic {
+    pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(lobster_loom)]
+pub mod thread {
+    pub use loom::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(lobster_loom)]
+pub mod hint {
+    pub use loom::hint::spin_loop;
+}
+
+/// Run a concurrency model.
+///
+/// Under `cfg(lobster_loom)` this is `loom::model`: `f` is executed under
+/// every schedule reachable within the preemption bound
+/// (`LOOM_MAX_PREEMPTIONS`, default 3) and the call panics on the first
+/// failing interleaving.
+///
+/// In a normal build it is a smoke harness: `f` runs `LOBSTER_MODEL_ITERS`
+/// times (default 50) with real threads, so the model tests still execute —
+/// and still catch gross protocol breakage — as part of tier-1 `cargo test`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    #[cfg(lobster_loom)]
+    {
+        loom::model(f);
+    }
+    #[cfg(not(lobster_loom))]
+    {
+        let iters = std::env::var("LOBSTER_MODEL_ITERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(50usize);
+        for _ in 0..iters {
+            f();
+        }
+    }
+}
+
+/// True when this build routes primitives through the loom model checker.
+pub const fn is_loom() -> bool {
+    cfg!(lobster_loom)
+}

@@ -4,6 +4,8 @@
 //! in the workspace: page identifiers, byte/page geometry, the common error
 //! type, and a small CRC-32 implementation used for log-record framing.
 
+#![forbid(unsafe_code)]
+
 mod crc32;
 mod error;
 mod geometry;

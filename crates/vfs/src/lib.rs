@@ -18,6 +18,8 @@
 //! /<mount>/document/report.pdf -> blob "report.pdf" in relation "document"
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod fs;
 mod host;
 mod wfs;

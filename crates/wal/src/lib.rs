@@ -9,6 +9,8 @@
 //! Group commit batches fsyncs across sessions; checkpoints truncate the
 //! log logically by bumping an epoch stamped into every record frame.
 
+#![forbid(unsafe_code)]
+
 mod record;
 mod writer;
 

@@ -13,6 +13,8 @@
 //!   `git clone --depth 1 linux` workload (§V-I).
 //! * [`zipf`] — the zipfian generator underlying both.
 
+#![forbid(unsafe_code)]
+
 pub mod gitclone;
 pub mod payload;
 pub mod wiki;

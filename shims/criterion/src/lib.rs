@@ -7,6 +7,8 @@
 //! max wall time (plus derived throughput when one was declared). No
 //! statistical analysis, no HTML reports, no baseline comparisons.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -5,6 +5,8 @@
 //! shared `VecDeque` guarded by a `Mutex` + `Condvar`; disconnection is
 //! tracked by counting live senders/receivers.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -119,6 +121,9 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            // Relaxed is fine for the increment: a clone can only race with
+            // other clones, and disconnection is decided by the AcqRel
+            // fetch_sub in Drop, which orders against these adds.
             self.0.senders.fetch_add(1, Ordering::Relaxed);
             Sender(self.0.clone())
         }
@@ -189,6 +194,7 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            // Relaxed for the same reason as `Sender::clone` above.
             self.0.receivers.fetch_add(1, Ordering::Relaxed);
             Receiver(self.0.clone())
         }

@@ -5,6 +5,9 @@
 //! matching the Linux UAPI headers. Everything links against the system
 //! libc that is always present in the container.
 
+// Every `unsafe` block must carry a `// SAFETY:` justification; enforced
+// in CI via clippy (`undocumented_unsafe_blocks`).
+#![deny(clippy::undocumented_unsafe_blocks)]
 #![allow(non_camel_case_types)]
 #![allow(non_upper_case_globals)]
 
@@ -59,6 +62,8 @@ mod tests {
 
     #[test]
     fn anonymous_mapping_roundtrip() {
+        // SAFETY: a fresh anonymous private mapping is written and read only
+        // within this test, then unmapped exactly once.
         unsafe {
             let p = mmap(
                 std::ptr::null_mut(),
@@ -77,6 +82,8 @@ mod tests {
 
     #[test]
     fn memfd_create_and_map() {
+        // SAFETY: the memfd, its mapping, and the name literal are all owned
+        // by this test; the mapping is unmapped and the fd closed before exit.
         unsafe {
             let name = b"shimtest\0";
             let fd = syscall(

@@ -1,0 +1,835 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Provides the subset `lobster-sync` re-exports under `cfg(lobster_loom)`:
+//! modeled atomics, `Mutex`/`Condvar`/`RwLock` with a parking_lot-style API
+//! (no poisoning, `lock()` returns the guard directly), `thread`, `hint`,
+//! and [`model`], which runs a closure under every thread interleaving
+//! reachable within a preemption bound (see `rt` for the scheduler).
+//!
+//! Types constructed *outside* an active [`model`] execution fall back to the
+//! real std/parking_lot primitives, so a whole workspace built with
+//! `--cfg lobster_loom` still runs normally — only state created inside a
+//! model closure is interleaving-checked.
+
+// Every `unsafe` block must carry a `// SAFETY:` justification; enforced
+// in CI via clippy (`undocumented_unsafe_blocks`).
+#![deny(clippy::undocumented_unsafe_blocks)]
+
+mod rt;
+
+#[doc(hidden)]
+pub use rt::explored_schedules;
+pub use rt::model;
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+pub mod sync {
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::rt;
+        use std::sync::Arc;
+
+        enum Repr<S> {
+            Real(S),
+            Model { slot: usize, sched: Arc<rt::Sched> },
+        }
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $prim:ty, $std:ty) => {
+                pub struct $name(Repr<$std>);
+
+                impl $name {
+                    pub fn new(v: $prim) -> Self {
+                        match rt::ctx() {
+                            Some((sched, _)) => {
+                                let slot = sched.alloc_atomic(v as u64);
+                                $name(Repr::Model { slot, sched })
+                            }
+                            None => $name(Repr::Real(<$std>::new(v))),
+                        }
+                    }
+
+                    fn rmw(&self, _o: Ordering, f: impl FnOnce(&mut u64) -> u64) -> $prim {
+                        match &self.0 {
+                            Repr::Real(_) => unreachable!(),
+                            Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| {
+                                let prev = *v;
+                                *v = f(v) & (<$prim>::MAX as u64);
+                                prev as $prim
+                            }),
+                        }
+                    }
+
+                    pub fn load(&self, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.load(o),
+                            Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| *v as $prim),
+                        }
+                    }
+
+                    pub fn store(&self, val: $prim, o: Ordering) {
+                        match &self.0 {
+                            Repr::Real(a) => a.store(val, o),
+                            Repr::Model { slot, sched } => {
+                                sched.atomic_op(*slot, |v| *v = val as u64)
+                            }
+                        }
+                    }
+
+                    pub fn swap(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.swap(val, o),
+                            Repr::Model { .. } => self.rmw(o, |_| val as u64),
+                        }
+                    }
+
+                    pub fn fetch_add(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_add(val, o),
+                            Repr::Model { .. } => {
+                                self.rmw(o, |v| (*v as $prim).wrapping_add(val) as u64)
+                            }
+                        }
+                    }
+
+                    pub fn fetch_sub(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_sub(val, o),
+                            Repr::Model { .. } => {
+                                self.rmw(o, |v| (*v as $prim).wrapping_sub(val) as u64)
+                            }
+                        }
+                    }
+
+                    pub fn fetch_or(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_or(val, o),
+                            Repr::Model { .. } => self.rmw(o, |v| (*v as $prim | val) as u64),
+                        }
+                    }
+
+                    pub fn fetch_and(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_and(val, o),
+                            Repr::Model { .. } => self.rmw(o, |v| (*v as $prim & val) as u64),
+                        }
+                    }
+
+                    pub fn fetch_max(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_max(val, o),
+                            Repr::Model { .. } => self.rmw(o, |v| (*v as $prim).max(val) as u64),
+                        }
+                    }
+
+                    pub fn fetch_min(&self, val: $prim, o: Ordering) -> $prim {
+                        match &self.0 {
+                            Repr::Real(a) => a.fetch_min(val, o),
+                            Repr::Model { .. } => self.rmw(o, |v| (*v as $prim).min(val) as u64),
+                        }
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        match &self.0 {
+                            Repr::Real(a) => a.compare_exchange(current, new, ok, err),
+                            Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| {
+                                let prev = *v as $prim;
+                                if prev == current {
+                                    *v = new as u64;
+                                    Ok(prev)
+                                } else {
+                                    Err(prev)
+                                }
+                            }),
+                        }
+                    }
+
+                    /// Spurious failure is not modeled; behaves like the
+                    /// strong variant (documented limitation).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.compare_exchange(current, new, ok, err)
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        Self::new(Default::default())
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str(concat!(stringify!($name), "(..)"))
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+        modeled_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+        modeled_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+
+        pub struct AtomicBool(Repr<std::sync::atomic::AtomicBool>);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                match rt::ctx() {
+                    Some((sched, _)) => {
+                        let slot = sched.alloc_atomic(u64::from(v));
+                        AtomicBool(Repr::Model { slot, sched })
+                    }
+                    None => AtomicBool(Repr::Real(std::sync::atomic::AtomicBool::new(v))),
+                }
+            }
+
+            pub fn load(&self, o: Ordering) -> bool {
+                match &self.0 {
+                    Repr::Real(a) => a.load(o),
+                    Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| *v != 0),
+                }
+            }
+
+            pub fn store(&self, val: bool, o: Ordering) {
+                match &self.0 {
+                    Repr::Real(a) => a.store(val, o),
+                    Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| *v = u64::from(val)),
+                }
+            }
+
+            pub fn swap(&self, val: bool, o: Ordering) -> bool {
+                match &self.0 {
+                    Repr::Real(a) => a.swap(val, o),
+                    Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| {
+                        let prev = *v != 0;
+                        *v = u64::from(val);
+                        prev
+                    }),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<bool, bool> {
+                match &self.0 {
+                    Repr::Real(a) => a.compare_exchange(current, new, ok, err),
+                    Repr::Model { slot, sched } => sched.atomic_op(*slot, |v| {
+                        let prev = *v != 0;
+                        if prev == current {
+                            *v = u64::from(new);
+                            Ok(prev)
+                        } else {
+                            Err(prev)
+                        }
+                    }),
+                }
+            }
+        }
+
+        impl Default for AtomicBool {
+            fn default() -> Self {
+                Self::new(false)
+            }
+        }
+
+        impl std::fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("AtomicBool(..)")
+            }
+        }
+    }
+
+    pub use crate::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+}
+
+enum LockRepr {
+    Real,
+    Model { id: usize, sched: Arc<rt::Sched> },
+}
+
+/// Mutex with a parking_lot-style API. Model-checked when created inside a
+/// [`model`] execution, a plain `parking_lot` mutex otherwise.
+pub struct Mutex<T> {
+    repr: LockRepr,
+    real: Option<parking_lot::Mutex<()>>,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is serialized either by the real mutex or by the
+// modeled lock state in the scheduler; `T: Send` is required as for std.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: same serialization argument as for `Send`.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    real: Option<parking_lot::MutexGuard<'a, ()>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self {
+        match rt::ctx() {
+            Some((sched, _)) => Mutex {
+                repr: LockRepr::Model {
+                    id: sched.alloc_lock(),
+                    sched,
+                },
+                real: None,
+                cell: UnsafeCell::new(v),
+            },
+            None => Mutex {
+                repr: LockRepr::Real,
+                real: Some(parking_lot::Mutex::new(())),
+                cell: UnsafeCell::new(v),
+            },
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match &self.repr {
+            LockRepr::Real => MutexGuard {
+                lock: self,
+                real: Some(self.real.as_ref().expect("real mutex").lock()),
+            },
+            LockRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.mutex_lock(me, *id);
+                MutexGuard {
+                    lock: self,
+                    real: None,
+                }
+            }
+        }
+    }
+
+    /// Non-blocking acquisition. In model mode this is a decision point like
+    /// any other visible op; failure (the modeled lock is held) is a real
+    /// interleaving, not a spurious one.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match &self.repr {
+            LockRepr::Real => {
+                let real = self.real.as_ref().expect("real mutex").try_lock()?;
+                Some(MutexGuard {
+                    lock: self,
+                    real: Some(real),
+                })
+            }
+            LockRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.mutex_try_lock(me, *id).then_some(MutexGuard {
+                    lock: self,
+                    real: None,
+                })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock (real or
+        // modeled), so dereferencing the cell is race-free.
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard holds the (modeled) lock.
+        unsafe { &mut *self.lock.cell.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let LockRepr::Model { id, sched } = &self.lock.repr {
+            let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+            sched.mutex_unlock(me, *id);
+        }
+        // The real guard (if any) unlocks on its own drop.
+    }
+}
+
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+enum CvRepr {
+    Real(parking_lot::Condvar),
+    Model { id: usize, sched: Arc<rt::Sched> },
+}
+
+pub struct Condvar(CvRepr);
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        match rt::ctx() {
+            Some((sched, _)) => Condvar(CvRepr::Model {
+                id: sched.alloc_cv(),
+                sched,
+            }),
+            None => Condvar(CvRepr::Real(parking_lot::Condvar::new())),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match (&self.0, &guard.lock.repr) {
+            (CvRepr::Real(cv), LockRepr::Real) => {
+                cv.wait(guard.real.as_mut().expect("real guard"));
+            }
+            (CvRepr::Model { id, sched }, LockRepr::Model { id: mid, .. }) => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.cv_wait(me, *id, *mid);
+            }
+            _ => panic!("loom: condvar and mutex from different contexts"),
+        }
+    }
+
+    /// Timed wait. In model executions this is modeled as an immediate
+    /// timeout (a legal zero-duration wait) so polling loops stay live
+    /// without modeling wall-clock time.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        dur: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        match (&self.0, &guard.lock.repr) {
+            (CvRepr::Real(cv), LockRepr::Real) => {
+                let r = cv.wait_for(guard.real.as_mut().expect("real guard"), dur);
+                WaitTimeoutResult(r.timed_out())
+            }
+            (CvRepr::Model { sched, .. }, LockRepr::Model { id: mid, .. }) => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.cv_wait_timeout(me, *mid);
+                WaitTimeoutResult(true)
+            }
+            _ => panic!("loom: condvar and mutex from different contexts"),
+        }
+    }
+
+    pub fn notify_one(&self) -> bool {
+        match &self.0 {
+            CvRepr::Real(cv) => cv.notify_one(),
+            CvRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.cv_notify_one(me, *id);
+                true
+            }
+        }
+    }
+
+    pub fn notify_all(&self) -> usize {
+        match &self.0 {
+            CvRepr::Real(cv) => cv.notify_all(),
+            CvRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.cv_notify_all(me, *id);
+                1
+            }
+        }
+    }
+}
+
+/// RwLock with a parking_lot-style API; modeled like `Mutex`.
+pub struct RwLock<T> {
+    repr: LockRepr,
+    real: Option<parking_lot::RwLock<()>>,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: as for `Mutex` — the cell is only reached through lock guards.
+unsafe impl<T: Send> Send for RwLock<T> {}
+// SAFETY: readers share `&T` and writers get `&mut T` under the (modeled)
+// rwlock discipline; `T: Send + Sync` mirrors std's bound.
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    // Held for RAII unlock only.
+    _real: Option<parking_lot::RwLockReadGuard<'a, ()>>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    // Held for RAII unlock only.
+    _real: Option<parking_lot::RwLockWriteGuard<'a, ()>>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(v: T) -> Self {
+        match rt::ctx() {
+            Some((sched, _)) => RwLock {
+                repr: LockRepr::Model {
+                    id: sched.alloc_lock(),
+                    sched,
+                },
+                real: None,
+                cell: UnsafeCell::new(v),
+            },
+            None => RwLock {
+                repr: LockRepr::Real,
+                real: Some(parking_lot::RwLock::new(())),
+                cell: UnsafeCell::new(v),
+            },
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match &self.repr {
+            LockRepr::Real => RwLockReadGuard {
+                lock: self,
+                _real: Some(self.real.as_ref().expect("real rwlock").read()),
+            },
+            LockRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.rwlock_read(me, *id);
+                RwLockReadGuard {
+                    lock: self,
+                    _real: None,
+                }
+            }
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match &self.repr {
+            LockRepr::Real => RwLockWriteGuard {
+                lock: self,
+                _real: Some(self.real.as_ref().expect("real rwlock").write()),
+            },
+            LockRepr::Model { id, sched } => {
+                let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                sched.rwlock_write(me, *id);
+                RwLockWriteGuard {
+                    lock: self,
+                    _real: None,
+                }
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: shared read access is protected by the (modeled) rwlock.
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let LockRepr::Model { id, sched } = &self.lock.repr {
+            let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+            sched.rwlock_read_unlock(me, *id);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive access is protected by the (modeled) rwlock.
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the write guard is exclusive.
+        unsafe { &mut *self.lock.cell.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let LockRepr::Model { id, sched } = &self.lock.repr {
+            let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+            sched.rwlock_write_unlock(me, *id);
+        }
+    }
+}
+
+pub mod thread {
+    use crate::rt;
+    use std::sync::Arc;
+
+    enum HandleRepr<T> {
+        Real(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            sched: Arc<rt::Sched>,
+            inner: std::thread::JoinHandle<Option<T>>,
+        },
+    }
+
+    pub struct JoinHandle<T>(HandleRepr<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                HandleRepr::Real(h) => h.join(),
+                HandleRepr::Model { tid, sched, inner } => {
+                    let me = rt::ctx().map(|(_, t)| t).unwrap_or(usize::MAX);
+                    sched.join_wait(me, tid);
+                    // A panicking model thread poisons the whole execution
+                    // before finishing, so reaching here means it produced a
+                    // value.
+                    Ok(inner
+                        .join()
+                        .expect("loom: model thread vanished")
+                        .expect("loom: joined thread did not produce a value"))
+                }
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::ctx() {
+            Some((sched, me)) => {
+                let (tid, inner) = sched.spawn_thread(me, f);
+                JoinHandle(HandleRepr::Model { tid, sched, inner })
+            }
+            None => JoinHandle(HandleRepr::Real(std::thread::spawn(f))),
+        }
+    }
+
+    pub fn yield_now() {
+        match rt::ctx() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Thread name configuration; names are ignored inside model executions.
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match rt::ctx() {
+                Some((sched, me)) => {
+                    let (tid, inner) = sched.spawn_thread(me, f);
+                    Ok(JoinHandle(HandleRepr::Model { tid, sched, inner }))
+                }
+                None => {
+                    let mut b = std::thread::Builder::new();
+                    if let Some(n) = self.name {
+                        b = b.name(n);
+                    }
+                    b.spawn(f).map(|h| JoinHandle(HandleRepr::Real(h)))
+                }
+            }
+        }
+    }
+}
+
+pub mod hint {
+    use crate::rt;
+
+    /// In model executions a spin hint is a scheduling point (the spinning
+    /// thread can be preempted); outside it is a real CPU hint.
+    pub fn spin_loop() {
+        match rt::ctx() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::hint::spin_loop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+    use super::{model, thread, Condvar, Mutex};
+
+    /// An unsynchronized read-modify-write loses updates under some
+    /// interleaving; the model must find it.
+    #[test]
+    fn finds_lost_update_race() {
+        let r = std::panic::catch_unwind(|| {
+            model(|| {
+                let c = Arc::new(AtomicU64::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            let v = c.load(Ordering::SeqCst);
+                            c.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(r.is_err(), "model failed to find the lost-update race");
+    }
+
+    /// The same counter updated via fetch_add never loses updates.
+    #[test]
+    fn fetch_add_has_no_race() {
+        model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Mutex-protected read-modify-write is exhaustively race-free.
+    #[test]
+    fn mutex_serializes_rmw() {
+        model(|| {
+            let c = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let mut g = c.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*c.lock(), 2);
+        });
+    }
+
+    /// AB-BA lock ordering must be reported as a deadlock, not hang.
+    #[test]
+    fn detects_abba_deadlock() {
+        let r = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                {
+                    let _gb = b.lock();
+                    let _ga = a.lock();
+                }
+                h.join().unwrap();
+            });
+        });
+        let msg = r.expect_err("AB-BA deadlock not detected");
+        let msg = msg
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or("");
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    /// Condvar handoff with a predicate works under every schedule.
+    #[test]
+    fn condvar_handoff() {
+        model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_one();
+                drop(g);
+            });
+            {
+                let (m, cv) = &*state;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            }
+            h.join().unwrap();
+        });
+    }
+
+    /// The explorer is deterministic: two runs visit the same schedule count.
+    #[test]
+    fn deterministic_exploration() {
+        let body = || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let h = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+        };
+        let n1 = super::explored_schedules(body);
+        let n2 = super::explored_schedules(body);
+        assert_eq!(n1, n2);
+        assert!(n1 > 1, "expected multiple schedules, got {n1}");
+    }
+}

@@ -8,6 +8,8 @@
 //! holding a latch as fatal to the test that caused it, not to every other
 //! thread.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;

@@ -8,6 +8,8 @@
 //! fixed deterministic seed sequence per test, so failures reproduce
 //! exactly across runs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

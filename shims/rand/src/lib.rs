@@ -6,6 +6,8 @@
 //! not the upstream ChaCha12, but statistically strong and deterministic,
 //! which is all the workloads and tests rely on.
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::ops::{Range, RangeInclusive};
 
