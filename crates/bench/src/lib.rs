@@ -136,6 +136,13 @@ pub fn sys_our_ht(mode: LobsterMode) -> SystemSpec {
     lobster_variant("Our.ht", |cfg| cfg.pool_variant = PoolVariant::Ht, mode)
 }
 
+/// `Our.verify`: SHA-256 verify-on-read enabled — prices the integrity
+/// check of the fault-tolerance ladder (every `get_blob` re-hashes the
+/// mapped view against the Blob State).
+pub fn sys_our_verify(mode: LobsterMode) -> SystemSpec {
+    lobster_variant("Our.verify", |cfg| cfg.verify_reads = true, mode)
+}
+
 /// `Our.physlog`: full content in the WAL.
 pub fn sys_our_physlog(mode: LobsterMode) -> SystemSpec {
     lobster_variant(

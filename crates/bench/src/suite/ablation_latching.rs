@@ -52,6 +52,7 @@ pub(crate) fn run(report: &mut Report) {
                     alias: None,
                     io_threads: 4,
                     batched_faults: true,
+                    io_retries: 3,
                 },
                 metrics.clone(),
             ))

@@ -29,6 +29,10 @@ pub(crate) fn run(report: &mut Report) {
     let systems: Vec<(String, Box<dyn ObjectStore>)> = vec![
         ("Our".into(), (sys_our(LobsterMode::Blobs).build)()),
         (
+            "Our.verify".into(),
+            (sys_our_verify(LobsterMode::Blobs).build)(),
+        ),
+        (
             "Ext4".into(),
             Box::new(ModelFs::new(
                 FsProfile::ext4_ordered(),
@@ -64,6 +68,7 @@ pub(crate) fn run(report: &mut Report) {
 
     let mut table = Table::new(&["system", "reads/s", "MB/s", "memcpy/read", "syscalls/read"]);
     let mut our_rate = 0.0;
+    let mut our_verify_rate = 0.0;
     let mut fs_best = 0.0f64;
     for (name, store) in systems {
         // Load the corpus.
@@ -101,6 +106,8 @@ pub(crate) fn run(report: &mut Report) {
         let rate = reads as f64 / elapsed.as_secs_f64();
         if name == "Our" {
             our_rate = rate;
+        } else if name == "Our.verify" {
+            our_verify_rate = rate;
         } else {
             fs_best = fs_best.max(rate);
         }
@@ -125,4 +132,19 @@ pub(crate) fn run(report: &mut Report) {
     let ratio = our_rate / fs_best.max(1e-9);
     println!("\nOur vs best file system: {ratio:.2}x (paper: ≥1.4x)");
     report.push(Entry::new("Our", "speedup_vs_best_fs", "x", ratio, true));
+    // Price of the integrity ladder's read-side check (verify_reads):
+    // fraction of baseline hot-read throughput retained with SHA-256
+    // verification on every get.
+    let retained = our_verify_rate / our_rate.max(1e-9);
+    println!(
+        "Our.verify retains {:.0}% of Our hot-read throughput",
+        retained * 100.0
+    );
+    report.push(Entry::new(
+        "Our.verify",
+        "verify_read_retained_throughput",
+        "frac",
+        retained,
+        true,
+    ));
 }

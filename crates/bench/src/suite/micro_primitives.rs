@@ -126,6 +126,7 @@ pub(crate) fn run(report: &mut Report) {
                 alias: None,
                 io_threads: 1,
                 batched_faults: true,
+                io_retries: 3,
             },
             lobster_metrics::new_metrics(),
         );

@@ -29,6 +29,7 @@ mod tests {
                 alias: None,
                 io_threads: 1,
                 batched_faults: true,
+                io_retries: 3,
             },
             lobster_metrics::new_metrics(),
         );

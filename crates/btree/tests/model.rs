@@ -20,6 +20,7 @@ fn tree(frames: u64, node_pages: u64) -> BTree {
             alias: None,
             io_threads: 1,
             batched_faults: true,
+            io_retries: 3,
         },
         lobster_metrics::new_metrics(),
     );
@@ -145,7 +146,7 @@ proptest! {
         let pool = ExtentPool::new(
             dev,
             Geometry::new(4096),
-            PoolConfig { frames: 512, alias: None, io_threads: 1, batched_faults: true },
+            PoolConfig { frames: 512, alias: None, io_threads: 1, batched_faults: true, io_retries: 3 },
             lobster_metrics::new_metrics(),
         );
         let table = Arc::new(TierTable::new(TierPolicy::default()));

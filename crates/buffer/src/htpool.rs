@@ -10,10 +10,10 @@
 use lobster_extent::ExtentSpec;
 use lobster_metrics::Metrics;
 use lobster_storage::{AsyncIo, BatchHandle, Device, IoKind, IoReq};
-use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use lobster_sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use lobster_sync::audit::LatchLedger;
 use lobster_sync::{Arc, Mutex, RwLock};
-use lobster_types::{Error, Geometry, Pid, Result};
+use lobster_types::{Error, Geometry, Pid, Result, RetryPolicy};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -73,6 +73,8 @@ pub struct HashTablePool {
     pages: AtomicU64,
     io: AsyncIo,
     batched_faults: AtomicBool,
+    /// Transient-read retry budget (plumbed like `batched_faults`).
+    io_retries: AtomicU32,
     metrics: Metrics,
     /// Debug-only pin ledger (per-page `prevent_evict` shadow).
     audit: LatchLedger,
@@ -93,6 +95,7 @@ impl HashTablePool {
             pages: AtomicU64::new(0),
             io: AsyncIo::new(device, 2),
             batched_faults: AtomicBool::new(true),
+            io_retries: AtomicU32::new(3),
             metrics,
             audit: LatchLedger::new(),
         })
@@ -102,6 +105,17 @@ impl HashTablePool {
     /// engine configuration; on by default).
     pub fn set_batched_faults(&self, on: bool) {
         self.batched_faults.store(on, Ordering::Relaxed);
+    }
+
+    /// Set the transient-read retry budget (plumbed from the engine
+    /// configuration; `0` restores fail-fast).
+    pub fn set_io_retries(&self, n: u32) {
+        self.io_retries.store(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn retry(&self) -> RetryPolicy {
+        RetryPolicy::new(self.io_retries.load(Ordering::Relaxed))
     }
 
     pub fn pages_in_use(&self) -> u64 {
@@ -187,8 +201,12 @@ impl HashTablePool {
         let p = self.geo.page_size();
         let mut scratch = vec![0u8; (spec.pages as usize) * p];
         let t = self.metrics.latencies.timer();
-        self.device
-            .read_at(&mut scratch, self.geo.offset_of(spec.start))?;
+        let (res, stats) = self.retry().run(|| {
+            self.device
+                .read_at(&mut scratch, self.geo.offset_of(spec.start))
+        });
+        self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+        res?;
         self.metrics.latencies.pool_fault.record_timer(t);
         self.metrics
             .pages_read
@@ -252,7 +270,41 @@ impl HashTablePool {
         let t = self.metrics.latencies.timer();
         // SAFETY: `bufs` outlives the blocking wait and is not touched until
         // the batch completes.
-        unsafe { self.io.submit_and_wait(reqs)? };
+        if let Err(err) = unsafe { self.io.submit_and_wait(reqs) } {
+            // The engine reports only the first error per batch. With
+            // retries enabled, fall back to serial re-reads into the same
+            // owned buffers: each extent runs under the retry policy,
+            // successes distribute into page frames, and the first extent
+            // that exhausts its budget surfaces its error (its pages stay
+            // cold for the caller's serial path to report consistently).
+            let retry = self.retry();
+            if retry.max_retries == 0 {
+                return Err(err);
+            }
+            let mut first_err: Option<Error> = None;
+            for (spec, buf) in missing.iter().zip(bufs.iter_mut()) {
+                let (res, stats) =
+                    retry.run(|| self.device.read_at(buf, self.geo.offset_of(spec.start)));
+                self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+                match res {
+                    Ok(()) => {
+                        self.metrics
+                            .pages_read
+                            .fetch_add(spec.pages, Ordering::Relaxed);
+                        self.distribute(*spec, buf);
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
         self.metrics.latencies.pool_fault.record_timer(t);
         let total: u64 = missing.iter().map(|s| s.pages).sum();
         self.metrics.pages_read.fetch_add(total, Ordering::Relaxed);

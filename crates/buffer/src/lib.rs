@@ -49,6 +49,7 @@ mod tests {
             }),
             io_threads: 2,
             batched_faults: true,
+            io_retries: 3,
         };
         ExtentPool::new(
             dev,
@@ -201,6 +202,7 @@ mod tests {
                     alias: None,
                     io_threads: 1,
                     batched_faults: true,
+                    io_retries: 3,
                 },
                 m.clone(),
             )),

@@ -25,7 +25,7 @@ use lobster_sync::atomic::{AtomicU64, Ordering};
 use lobster_sync::audit::LatchLedger;
 use lobster_sync::hint::spin_loop;
 use lobster_sync::{Arc, Mutex};
-use lobster_types::{Error, Geometry, Pid, Result};
+use lobster_types::{Error, Geometry, Pid, Result, RetryPolicy};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
@@ -140,6 +140,9 @@ pub struct PoolConfig {
     /// I/O submission instead of one blocking read per extent (§V cold
     /// reads). `false` reproduces the serial per-extent fault path.
     pub batched_faults: bool,
+    /// Transient-I/O retry budget for device reads on the fault path
+    /// (see [`RetryPolicy`]); `0` restores fail-fast.
+    pub io_retries: u32,
 }
 
 impl Default for PoolConfig {
@@ -149,6 +152,7 @@ impl Default for PoolConfig {
             alias: None,
             io_threads: 4,
             batched_faults: true,
+            io_retries: 3,
         }
     }
 }
@@ -231,6 +235,8 @@ pub struct ExtentPool {
     metrics: Metrics,
     frame_count: u64,
     batched_faults: bool,
+    /// Transient-read retry policy for the fault paths.
+    retry: RetryPolicy,
     /// Readahead batches not yet reaped.
     inflight: Mutex<Vec<PrefetchBatch>>,
     /// Prefetched extents no foreground read has consumed yet (tracks the
@@ -272,6 +278,7 @@ impl ExtentPool {
             metrics,
             frame_count: cfg.frames,
             batched_faults: cfg.batched_faults,
+            retry: RetryPolicy::new(cfg.io_retries),
             inflight: Mutex::new(Vec::new()),
             prefetched: Mutex::new(HashSet::new()),
             prefetched_live: AtomicU64::new(0),
@@ -582,7 +589,16 @@ impl ExtentPool {
             // SAFETY: we own this frame range exclusively until the entry is
             // published.
             let buf = unsafe { self.arena.frame_slice_mut(off, len) };
-            self.device.read_at(buf, self.geo.offset_of(spec.start))?;
+            let (res, stats) = self
+                .retry
+                .run(|| self.device.read_at(buf, self.geo.offset_of(spec.start)));
+            self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+            if let Err(err) = res {
+                // The caller rolls the page-table entry back; the frames
+                // are ours to return.
+                self.frames.free(frame, spec.pages);
+                return Err(err);
+            }
             self.metrics.latencies.pool_fault.record_timer(t);
             self.metrics
                 .pages_read
@@ -744,8 +760,17 @@ impl ExtentPool {
         let t = self.metrics.latencies.timer();
         // SAFETY: the frames stay reserved until the wait returns.
         if let Err(err) = unsafe { self.io.submit_and_wait(reqs) } {
-            rollback(&claimed, claimed.len());
-            return Err(err);
+            // The I/O engine reports only the *first* error per batch, with
+            // no per-request attribution. With retries enabled, keep every
+            // claim and frame and fall back to serial re-reads (reads are
+            // idempotent into frames we own exclusively): each extent runs
+            // under the retry policy, successes publish as usual, and only
+            // the extents that exhaust their budget roll back.
+            if self.retry.max_retries == 0 {
+                rollback(&claimed, claimed.len());
+                return Err(err);
+            }
+            return self.fault_many_serial_fallback(&claimed, rollback, err);
         }
         // One record per batch: the whole overlapped round trip is the
         // fault latency a foreground read observes.
@@ -763,6 +788,61 @@ impl ExtentPool {
             .fetch_add(total_pages * p as u64, Ordering::Relaxed);
         self.publish_loaded(&claimed);
         Ok(())
+    }
+
+    /// Recovery path for a failed [`ExtentPool::fault_many`] batch: re-read
+    /// every claimed extent serially under the retry policy. Claims and
+    /// frames are preserved across the fallback (the CAS-claim/rollback
+    /// invariants of `fault_many` hold unchanged); extents that still fail
+    /// after retries are rolled back to `EVICTED` and the first such error
+    /// is returned.
+    fn fault_many_serial_fallback(
+        &self,
+        claimed: &[(ExtentSpec, u64)],
+        rollback: impl Fn(&[(ExtentSpec, u64)], usize),
+        batch_err: Error,
+    ) -> Result<()> {
+        let p = self.geo.page_size();
+        let mut ok: Vec<(ExtentSpec, u64)> = Vec::new();
+        let mut failed: Vec<(ExtentSpec, u64)> = Vec::new();
+        let mut first_err: Option<Error> = None;
+        for &(spec, frame) in claimed {
+            let len = (spec.pages as usize) * p;
+            // SAFETY: the frame range stays exclusively ours until the
+            // extent is published or rolled back below.
+            let buf = unsafe { self.arena.frame_slice_mut((frame as usize) * p, len) };
+            let (res, stats) = self
+                .retry
+                .run(|| self.device.read_at(buf, self.geo.offset_of(spec.start)));
+            self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+            match res {
+                Ok(()) => ok.push((spec, frame)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    failed.push((spec, frame));
+                }
+            }
+        }
+        let ok_pages: u64 = ok.iter().map(|(s, _)| s.pages).sum();
+        self.metrics
+            .pages_read
+            .fetch_add(ok_pages, Ordering::Relaxed);
+        self.metrics
+            .bytes_read
+            .fetch_add(ok_pages * p as u64, Ordering::Relaxed);
+        self.publish_loaded(&ok);
+        rollback(&failed, failed.len());
+        match first_err {
+            Some(e) => Err(e),
+            // Every extent recovered on the serial pass; the batch error
+            // was a transient the policy absorbed.
+            None => {
+                drop(batch_err);
+                Ok(())
+            }
+        }
     }
 
     /// Publish batch-loaded extents as resident and unlatched (shared

@@ -20,6 +20,7 @@ fn vm_pool(frames: u64, batched: bool) -> Arc<ExtentPool> {
             alias: None,
             io_threads: 2,
             batched_faults: batched,
+            io_retries: 3,
         },
         lobster_metrics::new_metrics(),
     )

@@ -15,7 +15,7 @@ use lobster_sync::RwLock;
 use lobster_types::{read_u32, read_u64, Error, Geometry, Pid, Result};
 use lobster_wal::{LogRecord, Wal};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -96,6 +96,17 @@ pub struct Config {
     /// fsyncs the next group. `1` reproduces the serial
     /// fsync→flush→recycle committer (the fig. 6 ablation baseline).
     pub commit_inflight_flushes: usize,
+    /// Transient-I/O retry budget at the device choke points (buffer-pool
+    /// faulting, WAL append/fsync, commit flush): how many times a
+    /// transiently failing operation is re-attempted with exponential
+    /// backoff before its error surfaces. `0` restores fail-fast (the
+    /// ablation knob for the fault-sweep experiments).
+    pub io_retries: u32,
+    /// Verify BLOB content against the Blob State SHA-256 on every
+    /// `get_blob`: a mismatch re-reads the extents once from the device
+    /// (a transient device lie clears; real rot does not), then
+    /// quarantines the blob and returns `Error::Corruption`.
+    pub verify_reads: bool,
 }
 
 impl Default for Config {
@@ -123,6 +134,8 @@ impl Default for Config {
             batched_faults: true,
             readahead_extents: 4,
             commit_inflight_flushes: 2,
+            io_retries: 3,
+            verify_reads: false,
         }
     }
 }
@@ -172,6 +185,12 @@ pub struct Database {
     pub(crate) committer: GroupCommitter,
     /// Comparator factories consulted when recovery reattaches relations.
     cmp_factories: HashMap<String, ComparatorFactory>,
+    /// `(relation name, key)` of every BLOB whose content failed
+    /// verify-on-read twice this run. Their extents are fenced in the
+    /// allocator ([`ExtentAllocator::quarantine_extent`]) so nothing
+    /// recycles the evidence; the set itself is runtime-lifetime —
+    /// recovery's SHA fixpoint re-detects persistent rot on reopen.
+    quarantined: Mutex<HashSet<(String, Vec<u8>)>>,
     ddl_lock: Mutex<()>,
 }
 
@@ -194,6 +213,7 @@ impl Database {
         ));
         let (node_pool, blob_pool) = Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
         let wal = Wal::create(wal_device, metrics.clone())?;
+        wal.set_io_retries(cfg.io_retries);
         let catalog_tree = BTree::create(
             node_pool.clone(),
             alloc.clone(),
@@ -210,6 +230,7 @@ impl Database {
             cfg.page_size as u64,
             cfg.pool_frames * cfg.page_size as u64 / 4,
             cfg.commit_inflight_flushes,
+            cfg.io_retries,
         );
         let db = Arc::new(Database {
             geo,
@@ -228,6 +249,7 @@ impl Database {
             ckpt_gate,
             committer,
             cmp_factories: HashMap::new(),
+            quarantined: Mutex::new(HashSet::new()),
             ddl_lock: Mutex::new(()),
             cfg,
         });
@@ -293,6 +315,7 @@ impl Database {
         ));
         let (node_pool, blob_pool) = Self::build_pools(&cfg, device.clone(), geo, metrics.clone());
         let wal = Wal::open(wal_device, metrics.clone())?;
+        wal.set_io_retries(cfg.io_retries);
         let catalog_tree = BTree::open(
             node_pool.clone(),
             alloc.clone(),
@@ -310,6 +333,7 @@ impl Database {
             cfg.page_size as u64,
             cfg.pool_frames * cfg.page_size as u64 / 4,
             cfg.commit_inflight_flushes,
+            cfg.io_retries,
         );
         let db = Arc::new(Database {
             geo,
@@ -328,6 +352,7 @@ impl Database {
             ckpt_gate,
             committer,
             cmp_factories: comparators,
+            quarantined: Mutex::new(HashSet::new()),
             ddl_lock: Mutex::new(()),
             cfg,
         });
@@ -356,6 +381,7 @@ impl Database {
                         alias,
                         io_threads: cfg.io_threads,
                         batched_faults: cfg.batched_faults,
+                        io_retries: cfg.io_retries,
                     },
                     metrics,
                 );
@@ -373,11 +399,13 @@ impl Database {
                         alias: None,
                         io_threads: cfg.io_threads,
                         batched_faults: cfg.batched_faults,
+                        io_retries: cfg.io_retries,
                     },
                     metrics.clone(),
                 );
                 let ht = HashTablePool::new(device, geo, cfg.pool_frames, metrics);
                 ht.set_batched_faults(cfg.batched_faults);
+                ht.set_io_retries(cfg.io_retries);
                 (node_pool, BlobPool::Ht(ht))
             }
         }
@@ -480,6 +508,37 @@ impl Database {
     /// Storage utilization of the page space (drives Figure 11).
     pub fn utilization(&self) -> f64 {
         self.alloc.utilization()
+    }
+
+    /// Quarantine a BLOB whose content failed verification: fence each of
+    /// its extents in the allocator (a later `free_extent` parks instead of
+    /// recycling, so the corrupt evidence survives for forensics) and
+    /// record the `(relation, key)` identity. Idempotent per blob.
+    pub(crate) fn quarantine_blob(&self, rel: &Relation, key: &[u8], specs: &[ExtentSpec]) {
+        for spec in specs {
+            self.alloc.quarantine_extent(*spec);
+        }
+        let mut q = self.quarantined.lock();
+        if q.insert((rel.name.clone(), key.to_vec())) {
+            self.metrics
+                .quarantined_blobs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(relation, key)` of every BLOB quarantined by verify-on-read since
+    /// this handle was opened.
+    pub fn quarantined_blobs(&self) -> Vec<(String, Vec<u8>)> {
+        let mut v: Vec<_> = self.quarantined.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether verify-on-read has quarantined the given BLOB.
+    pub fn is_blob_quarantined(&self, relation: &str, key: &[u8]) -> bool {
+        self.quarantined
+            .lock()
+            .contains(&(relation.to_string(), key.to_vec()))
     }
 
     // -------------------------------------------------------------- DDL ---

@@ -35,7 +35,7 @@ use lobster_metrics::Metrics;
 use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use lobster_sync::thread::JoinHandle;
 use lobster_sync::{thread, Arc, Condvar, Mutex, RwLock};
-use lobster_types::{Error, Result};
+use lobster_types::{Error, Result, RetryPolicy};
 use lobster_wal::{LogRecord, Wal};
 use std::collections::{BTreeSet, HashSet};
 use std::time::Duration;
@@ -231,9 +231,35 @@ struct StageCtx {
     progress: Arc<Progress>,
     budget: Arc<PinBudget>,
     page_size: u64,
+    /// Transient-I/O retry budget for flush-stage device errors: the
+    /// sticky fail-stop is the *last* resort, entered only once a
+    /// transient error survives this budget (permanent errors fail-stop
+    /// immediately).
+    retry: RetryPolicy,
 }
 
 impl StageCtx {
+    /// A flush attempt failed with `err`: if the error is transient and a
+    /// retry budget exists, re-run the batch synchronously under backoff —
+    /// extent flushes are idempotent (same frames, same offsets) — before
+    /// letting the error reach the sticky fail-stop. The failed attempt
+    /// counts against the budget as the first retry.
+    fn flush_retry(&self, items: &[FlushItem], err: Error) -> Result<()> {
+        if !err.is_transient_io() {
+            return Err(err);
+        }
+        if self.retry.max_retries == 0 {
+            self.metrics.bump_io_retry(0, true);
+            return Err(err);
+        }
+        std::thread::sleep(Duration::from_micros(self.retry.backoff_us(0)));
+        let mut policy = self.retry;
+        policy.max_retries -= 1;
+        let (res, stats) = policy.run(|| self.blob_pool.flush_extents(items));
+        self.metrics.bump_io_retry(1 + stats.retries, stats.gave_up);
+        res
+    }
+
     /// Retire a durable group once its extent flush completed (or failed):
     /// recycle its freed extents, release its pin budget, and advance the
     /// durability frontier. This is the pipeline's *only* completion point
@@ -266,6 +292,10 @@ pub(crate) struct GroupCommitter {
     progress: Arc<Progress>,
     budget: Arc<PinBudget>,
     page_size: u64,
+    /// Set (before the channel disconnect) when the committer is being
+    /// dropped, so the flush stage's poll loop exits on its next timeout
+    /// tick instead of spinning until the disconnect propagates.
+    shutdown: Arc<AtomicBool>,
     wal_handle: Option<JoinHandle<()>>,
     flush_handle: Option<JoinHandle<()>>,
 }
@@ -281,6 +311,7 @@ impl GroupCommitter {
         page_size: u64,
         pinned_limit_bytes: u64,
         inflight_flushes: usize,
+        io_retries: u32,
     ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<(u64, CommitBatch)>();
         // Backpressure by *bytes*: submitters block while the pipeline pins
@@ -292,6 +323,7 @@ impl GroupCommitter {
             limit: pinned_limit_bytes.max(page_size),
         });
         let progress = Arc::new(Progress::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
         let ctx = StageCtx {
             blob_pool,
             alloc,
@@ -299,6 +331,7 @@ impl GroupCommitter {
             progress: progress.clone(),
             budget: budget.clone(),
             page_size,
+            retry: RetryPolicy::new(io_retries),
         };
 
         // Flush stage — only spawned when pipelining. With a limit of 1 the
@@ -307,9 +340,10 @@ impl GroupCommitter {
         let (flush_handle, forward) = if limit > 1 {
             let (gtx, grx) = crossbeam::channel::unbounded::<DurableGroup>();
             let fctx = ctx.clone();
+            let fshutdown = shutdown.clone();
             let handle = thread::Builder::new()
                 .name("lobster-commit-flush".into())
-                .spawn(move || flush_stage(grx, fctx, limit))
+                .spawn(move || flush_stage(grx, fctx, limit, fshutdown))
                 .expect("spawn commit flush stage");
             (Some(handle), Some(gtx))
         } else {
@@ -326,6 +360,7 @@ impl GroupCommitter {
             progress,
             budget,
             page_size,
+            shutdown,
             wal_handle: Some(wal_handle),
             flush_handle,
         }
@@ -379,6 +414,10 @@ impl Drop for GroupCommitter {
     fn drop(&mut self) {
         // Best effort: a sticky error was already surfaced to callers.
         let _ = self.drain();
+        // Flag first, then disconnect: the flush stage observes one of the
+        // two on its next poll tick even if the disconnect is slow to
+        // propagate through the WAL stage.
+        self.shutdown.store(true, Ordering::Release);
         self.tx.take(); // disconnect: the WAL stage exits, then the flush stage
         if let Some(h) = self.wal_handle.take() {
             let _ = h.join();
@@ -446,7 +485,9 @@ fn wal_stage(
                         ctx.metrics
                             .commit_flush_batches
                             .fetch_add(1, Ordering::Relaxed);
-                        ctx.blob_pool.flush_extents(&group.items)
+                        ctx.blob_pool
+                            .flush_extents(&group.items)
+                            .or_else(|e| ctx.flush_retry(&group.items, e))
                     };
                     ctx.retire(group, result);
                 }
@@ -466,8 +507,15 @@ struct InflightFlush {
 }
 
 /// Stage 2: keep up to `limit` extent-flush batches in flight, reaping
-/// completions and retiring their groups.
-fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, limit: usize) {
+/// completions and retiring their groups. `shutdown` is the committer's
+/// drop flag: the poll loop must not keep spinning through its timeout
+/// tick once the committer is being torn down.
+fn flush_stage(
+    grx: crossbeam::channel::Receiver<DurableGroup>,
+    ctx: StageCtx,
+    limit: usize,
+    shutdown: Arc<AtomicBool>,
+) {
     let mut inflight: Vec<InflightFlush> = Vec::new();
     loop {
         // Reap whatever has completed (non-blocking).
@@ -476,6 +524,7 @@ fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, l
             match inflight[i].ticket.poll() {
                 Some(result) => {
                     let f = inflight.swap_remove(i);
+                    let result = result.or_else(|e| ctx.flush_retry(&f.group.items, e));
                     ctx.retire(f.group, result);
                 }
                 None => i += 1,
@@ -492,7 +541,15 @@ fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, l
             // Batches in flight: keep polling between short channel waits.
             match grx.recv_timeout(POLL_TICK) {
                 Ok(g) => g,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // The committer is shutting down: stop polling for new
+                    // groups (drain() already retired everything queued) and
+                    // fall through to land the remaining flights.
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
             }
         };
@@ -521,6 +578,7 @@ fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, l
             ctx.metrics.commit_stalls.fetch_add(1, Ordering::Relaxed);
             let f = inflight.remove(victim);
             let result = f.ticket.wait();
+            let result = result.or_else(|e| ctx.flush_retry(&f.group.items, e));
             ctx.retire(f.group, result);
         }
 
@@ -539,12 +597,16 @@ fn flush_stage(grx: crossbeam::channel::Receiver<DurableGroup>, ctx: StageCtx, l
                     .commit_inflight_peak
                     .fetch_max(inflight.len() as u64, Ordering::Relaxed);
             }
-            Err(e) => ctx.retire(group, Err(e)),
+            Err(e) => {
+                let result = ctx.flush_retry(&group.items, e);
+                ctx.retire(group, result);
+            }
         }
     }
     // Shutdown: land every remaining flight.
     for f in inflight.drain(..) {
         let result = f.ticket.wait();
+        let result = result.or_else(|e| ctx.flush_retry(&f.group.items, e));
         ctx.retire(f.group, result);
     }
 }

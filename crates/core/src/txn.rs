@@ -337,12 +337,79 @@ impl Txn {
         let state = self.require_state(rel, key)?;
         if state.size <= PREFIX_LEN as u64 {
             // Inline (or prefix-covered) content: no extent access at all.
+            if self.db.cfg.verify_reads {
+                let mut hasher = Sha256::new();
+                hasher.update(&state.prefix[..state.size as usize]);
+                if hasher.finalize() != state.sha256 {
+                    // Inline content lives in the Blob State itself, not in
+                    // extents — nothing to re-read or quarantine.
+                    self.db
+                        .metrics
+                        .corruption_detected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::Corruption(format!(
+                        "inline BLOB hash mismatch in relation '{}'",
+                        rel.name
+                    )));
+                }
+            }
             return Ok(f(&state.prefix[..state.size as usize]));
         }
         let specs = state.extent_specs(&self.db.table);
+        if !self.db.cfg.verify_reads {
+            return self
+                .db
+                .blob_pool
+                .read_blob(self.worker, &specs, state.size, f);
+        }
+        self.verified_read(rel, key, &state, &specs, f)
+    }
+
+    /// `Config::verify_reads` read path: hash the mapped view against the
+    /// Blob State SHA-256 and invoke `f` only on a match. A mismatch may be
+    /// a device lie that a fresh read clears (cached frame served a
+    /// transiently garbled load), so the pool's copies are dropped and the
+    /// extents re-read once from the device; a second mismatch is treated
+    /// as real rot — the blob is quarantined and corruption surfaces.
+    fn verified_read<R>(
+        &self,
+        rel: &Relation,
+        key: &[u8],
+        state: &BlobState,
+        specs: &[ExtentSpec],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let mut f = Some(f);
+        for attempt in 0..2 {
+            let out = self
+                .db
+                .blob_pool
+                .read_blob(self.worker, specs, state.size, |view| {
+                    let mut hasher = Sha256::new();
+                    hasher.update(view);
+                    if hasher.finalize() == state.sha256 {
+                        Some((f.take().expect("verified read consumes f once"))(view))
+                    } else {
+                        None
+                    }
+                })?;
+            if let Some(r) = out {
+                return Ok(r);
+            }
+            if attempt == 0 {
+                // Drop every cached copy so the retry faults from the device.
+                self.db.blob_pool.drop_extents(specs);
+            }
+        }
         self.db
-            .blob_pool
-            .read_blob(self.worker, &specs, state.size, f)
+            .metrics
+            .corruption_detected
+            .fetch_add(1, Ordering::Relaxed);
+        self.db.quarantine_blob(rel, key, specs);
+        Err(Error::Corruption(format!(
+            "BLOB hash mismatch in relation '{}' survived a device re-read; blob quarantined",
+            rel.name
+        )))
     }
 
     /// Read `buf.len()` bytes starting at `offset`; returns bytes read

@@ -170,6 +170,86 @@ fn crash_across_later_writes() {
     );
 }
 
+/// Like [`run_scenario`], but the controller *dies* instead of silently
+/// dropping writes: every post-crash write and sync returns an error
+/// (`CrashDevice::set_fail_after_crash`). The engine surfaces those as
+/// clean commit failures, and recovery from the surviving bytes must still
+/// land on a SHA-validated state.
+fn run_dead_controller_scenario(crash_after: u64) {
+    const CAP: usize = 96 << 20;
+    let data_dev = Arc::new(CrashDevice::new(MemDevice::new(CAP)));
+    data_dev.set_fail_after_crash(true);
+    let wal_dev = Arc::new(MemDevice::new(32 << 20));
+
+    let stable = pattern(150_000, 11);
+    let late = pattern(70_000, 12);
+
+    let db = Database::create(data_dev.clone(), wal_dev.clone(), cfg()).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"stable", &stable).unwrap();
+        t.commit().unwrap();
+    }
+    db.checkpoint().unwrap();
+
+    data_dev.arm_after_writes(crash_after, 128);
+    // Post-crash commits now *error* (dead controller) rather than being
+    // silently absorbed; either way the process must not panic or hang.
+    let _ = (|| -> lobster_types::Result<()> {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"late", &late)?;
+        t.commit()?;
+        let mut t = db.begin();
+        t.append_blob(&rel, b"late", &stable)?;
+        t.commit()?;
+        Ok(())
+    })();
+    std::mem::forget(db);
+
+    // Recover from what physically reached the medium before the crash.
+    let survivor = copy_device(data_dev.inner(), CAP);
+    let (db2, _report) = Database::open(survivor, wal_dev, cfg()).unwrap();
+    let rel2 = db2.relation("b").expect("relation survives the checkpoint");
+
+    let mut t = db2.begin();
+    let got = t.get_blob(&rel2, b"stable", |b| b.to_vec()).unwrap();
+    assert_eq!(
+        got, stable,
+        "crash_after={crash_after}: checkpointed blob damaged by a dead controller"
+    );
+    // SHA validation: any visible version of `late` is a committed one.
+    let mut late_full = late.clone();
+    late_full.extend_from_slice(&stable);
+    if t.blob_state(&rel2, b"late").unwrap().is_some() {
+        let got = t.get_blob(&rel2, b"late", |b| b.to_vec()).unwrap();
+        assert!(
+            got == late || got == late_full,
+            "crash_after={crash_after}: late is a torn mixture after dead-controller crash"
+        );
+    }
+    t.commit().unwrap();
+
+    // The recovered database is fully writable.
+    let post = pattern(25_000, 13);
+    let mut t = db2.begin();
+    t.put_blob(&rel2, b"post", &post).unwrap();
+    t.commit().unwrap();
+    let mut t = db2.begin();
+    assert_eq!(t.get_blob(&rel2, b"post", |b| b.to_vec()).unwrap(), post);
+    t.commit().unwrap();
+}
+
+#[test]
+fn dead_controller_crash_sweep() {
+    // Sweep crash points where post-crash writes *error* instead of being
+    // dropped: commit failures must surface cleanly, and recovery must
+    // still land on the SHA-validated state.
+    for crash_after in (0..20 * torture_mult()).step_by(3) {
+        run_dead_controller_scenario(crash_after);
+    }
+}
+
 #[test]
 fn torn_wal_write_rolls_back_cleanly() {
     // Crash on the WAL device instead: the commit record is half-written,

@@ -1,0 +1,416 @@
+//! Transient-fault torture sweep: run a blob workload against data and WAL
+//! devices wrapped in [`FaultDevice`], sweeping injection seeds × fault
+//! kinds, and assert every run lands in exactly one of three states:
+//!
+//! 1. **success** — the operation completed and returned exactly the
+//!    committed bytes;
+//! 2. **clean retryable error** — a typed `Err` the caller can handle
+//!    (retry budget exhausted, sticky committer fail-stop, …);
+//! 3. **detected-and-quarantined corruption** — `Error::Corruption` with
+//!    the blob's extents fenced against re-allocation.
+//!
+//! Never a panic, a hang, or a silent wrong read.
+//!
+//! Knobs (see EXPERIMENTS.md): `LOBSTER_FAULT_SEED` re-bases the sweep's
+//! seed schedule; `LOBSTER_TORTURE_MULT` widens the sweep for the nightly
+//! torture job.
+
+use lobster_core::{Config, Database, Relation, RelationKind};
+use lobster_storage::{FaultConfig, FaultDevice, FaultKind, MemDevice};
+use lobster_types::Error;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Sweep-width multiplier for the nightly torture CI job
+/// (`LOBSTER_TORTURE_MULT=10`); unset or invalid means 1.
+fn torture_mult() -> u64 {
+    std::env::var("LOBSTER_TORTURE_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1)
+}
+
+/// Base seed for the injection schedules; override with
+/// `LOBSTER_FAULT_SEED` to replay a different (or a failing) schedule.
+fn base_seed() -> u64 {
+    std::env::var("LOBSTER_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xFA17)
+}
+
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    let mut state = seed | 1;
+    for b in &mut out {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = state as u8;
+    }
+    out
+}
+
+fn cfg(io_retries: u32, verify_reads: bool, batched_faults: bool) -> Config {
+    Config {
+        pool_frames: 2048,
+        io_retries,
+        verify_reads,
+        batched_faults,
+        // Keep the device-op schedule exactly the foreground workload's:
+        // speculative prefetch reads would consume injection slots.
+        readahead_extents: 0,
+        ..Config::default()
+    }
+}
+
+type FaultyMem = FaultDevice<MemDevice>;
+
+fn faulty(cap: usize, seed: u64, per_mille: u32, kind: FaultKind, max: u64) -> Arc<FaultyMem> {
+    let mut fc = FaultConfig::new(seed, per_mille, &[kind]);
+    fc.max_injections = max;
+    Arc::new(FaultDevice::new(MemDevice::new(cap), fc))
+}
+
+/// Evict a blob's extents from the pool so the next read faults from the
+/// (possibly lying) device.
+fn evict_blob(db: &Arc<Database>, rel: &Relation, key: &[u8]) {
+    let mut t = db.begin();
+    if let Ok(Some(state)) = t.blob_state(rel, key) {
+        let specs = state.extent_specs(db.tier_table());
+        db.blob_pool().drop_extents(&specs);
+    }
+}
+
+/// One seed × kind case. Returns `(clean_successes, clean_errors,
+/// detected_corruptions)` over the armed phase; panics (failing the sweep)
+/// on any silent wrong read or unquarantined verify-detected corruption.
+fn sweep_case(seed: u64, kind: FaultKind) -> (u64, u64, u64) {
+    let data = faulty(48 << 20, seed, 150, kind, 4);
+    let wal = faulty(8 << 20, seed ^ 0x5EED, 150, kind, 2);
+    let db = Database::create(data.clone(), wal.clone(), cfg(3, true, true)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+
+    let mut expected: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for i in 0u64..6 {
+        let key = format!("blob-{i}").into_bytes();
+        let content = pattern(96_000, seed.wrapping_add(i));
+        let mut t = db.begin();
+        t.put_blob(&rel, &key, &content).unwrap();
+        t.commit().unwrap();
+        expected.insert(key, content);
+    }
+    db.checkpoint().unwrap();
+
+    data.arm();
+    wal.arm();
+
+    let (mut ok, mut clean, mut corrupt) = (0u64, 0u64, 0u64);
+
+    // Armed reads: every get_blob must return exact bytes, a typed error,
+    // or detected corruption.
+    for (key, content) in &expected {
+        evict_blob(&db, &rel, key);
+        let mut t = db.begin();
+        match t.get_blob(&rel, key, |b| b.to_vec()) {
+            Ok(got) => {
+                assert_eq!(
+                    got,
+                    *content,
+                    "seed {seed} kind {kind:?}: silent wrong read of {:?}",
+                    String::from_utf8_lossy(key)
+                );
+                ok += 1;
+            }
+            Err(Error::Corruption(_)) => {
+                // Verify-on-read detected rot that survived a device
+                // re-read. Bit rot is injected on the read path, so the
+                // detection must also have quarantined the blob.
+                if kind == FaultKind::BitRotRead {
+                    assert!(
+                        db.is_blob_quarantined("b", key),
+                        "seed {seed}: corruption surfaced without quarantine"
+                    );
+                }
+                corrupt += 1;
+            }
+            Err(_) => clean += 1,
+        }
+    }
+
+    // Armed writes: commits may fail, but only cleanly.
+    for i in 0u64..2 {
+        let key = format!("armed-{i}").into_bytes();
+        let content = pattern(48_000, seed ^ (0xA0 + i));
+        let mut t = db.begin();
+        let res = t.put_blob(&rel, &key, &content).and_then(|()| t.commit());
+        match res {
+            Ok(()) => {
+                ok += 1;
+                expected.insert(key, content);
+            }
+            Err(_) => clean += 1,
+        }
+    }
+
+    data.disarm();
+    wal.disarm();
+
+    // Honest-device epilogue: every blob either reads back exactly, or the
+    // damage was *detected* (quarantined corruption / a clean error from
+    // the sticky committer fail-stop). Never a silent wrong read.
+    for (key, content) in &expected {
+        evict_blob(&db, &rel, key);
+        let mut t = db.begin();
+        match t.get_blob(&rel, key, |b| b.to_vec()) {
+            Ok(got) => assert_eq!(
+                got, *content,
+                "seed {seed} kind {kind:?}: wrong bytes after disarm"
+            ),
+            Err(Error::Corruption(_)) => {
+                assert!(
+                    kind.is_silent() || kind == FaultKind::ShortWrite,
+                    "seed {seed} kind {kind:?}: non-silent fault left persistent corruption"
+                );
+                corrupt += 1;
+            }
+            Err(_) => clean += 1,
+        }
+    }
+
+    (ok, clean, corrupt)
+}
+
+#[test]
+fn fault_sweep_tristate_outcomes() {
+    // ≥ 200 seed × kind combos at smoke scale (9 kinds × 24 seeds = 216);
+    // the torture multiplier widens the seed range.
+    let seeds_per_kind = 24 * torture_mult();
+    let mut combos = 0u64;
+    let mut totals = (0u64, 0u64, 0u64);
+    for kind in FaultKind::ALL {
+        for i in 0..seeds_per_kind {
+            let seed = base_seed() ^ (i.wrapping_mul(0x9E37_79B9)) ^ ((kind as u64) << 56);
+            let (ok, clean, corrupt) = sweep_case(seed, kind);
+            totals.0 += ok;
+            totals.1 += clean;
+            totals.2 += corrupt;
+            combos += 1;
+        }
+    }
+    assert!(combos >= 200, "sweep too narrow: {combos} combos");
+    // Sanity on the sweep itself: the injection rate is low enough that
+    // plenty of operations succeed, and high enough that faults were hit.
+    assert!(totals.0 > 0, "no operation ever succeeded");
+    assert!(
+        totals.1 + totals.2 > 0,
+        "no fault ever surfaced — injection misconfigured"
+    );
+}
+
+#[test]
+fn bit_rot_is_always_caught_on_get_blob() {
+    // Permanent rot: every device read garbles one bit, so the one-shot
+    // re-read cannot clear the mismatch. Every read of every blob must
+    // surface Corruption and quarantine — 100% detection, zero wrong bytes.
+    let seed = base_seed() ^ 0xB17;
+    let data = faulty(48 << 20, seed, 1000, FaultKind::BitRotRead, u64::MAX);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(3, true, true)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+
+    let mut keys = Vec::new();
+    for i in 0u64..4 {
+        let key = format!("rot-{i}").into_bytes();
+        let mut t = db.begin();
+        t.put_blob(&rel, &key, &pattern(64_000, seed + i)).unwrap();
+        t.commit().unwrap();
+        keys.push(key);
+    }
+    data.arm();
+    for key in &keys {
+        evict_blob(&db, &rel, key);
+        let mut t = db.begin();
+        match t.get_blob(&rel, key, |b| b.to_vec()) {
+            Err(Error::Corruption(_)) => {}
+            Ok(_) => panic!("bit rot served silently"),
+            Err(e) => panic!("expected Corruption, got {e:?}"),
+        }
+        assert!(db.is_blob_quarantined("b", key));
+    }
+    data.disarm();
+    let m = db.metrics();
+    assert_eq!(
+        m.corruption_detected.load(Ordering::Relaxed),
+        keys.len() as u64
+    );
+    assert_eq!(
+        m.quarantined_blobs.load(Ordering::Relaxed),
+        keys.len() as u64
+    );
+    assert_eq!(db.quarantined_blobs().len(), keys.len());
+}
+
+#[test]
+fn single_bit_rot_clears_on_reread() {
+    // One transient device lie: the first read garbles, the verify
+    // mismatch drops the cached frames, and the re-read returns clean
+    // bytes — the caller sees a plain success, nothing is quarantined.
+    let seed = base_seed() ^ 0x1B17;
+    let data = faulty(48 << 20, seed, 1000, FaultKind::BitRotRead, 1);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(3, true, true)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let content = pattern(64_000, seed);
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"lie", &content).unwrap();
+        t.commit().unwrap();
+    }
+    evict_blob(&db, &rel, b"lie");
+    data.arm();
+    let mut t = db.begin();
+    let got = t.get_blob(&rel, b"lie", |b| b.to_vec()).unwrap();
+    assert_eq!(got, content);
+    data.disarm();
+    assert_eq!(data.injections(), 1, "the lie must actually have fired");
+    assert_eq!(db.metrics().quarantined_blobs.load(Ordering::Relaxed), 0);
+    assert!(db.quarantined_blobs().is_empty());
+}
+
+#[test]
+fn verify_off_ablation_serves_unverified_bytes() {
+    // The ablation control: with `verify_reads = false` the same bit rot
+    // is served to the caller — this is exactly the silent wrong read the
+    // tentpole exists to prevent, demonstrated under the knob's off state.
+    let seed = base_seed() ^ 0xAB1A;
+    // Unlimited injections: every extent read is garbled, so the flip
+    // cannot hide in the final extent's tail slack.
+    let data = faulty(48 << 20, seed, 1000, FaultKind::BitRotRead, u64::MAX);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(3, false, true)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let content = pattern(64_000, seed);
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"x", &content).unwrap();
+        t.commit().unwrap();
+    }
+    evict_blob(&db, &rel, b"x");
+    data.arm();
+    let mut t = db.begin();
+    let got = t.get_blob(&rel, b"x", |b| b.to_vec()).unwrap();
+    data.disarm();
+    assert!(data.injections() > 0);
+    assert_ne!(got, content, "rot reached the caller — the knob is off");
+    assert_eq!(db.metrics().corruption_detected.load(Ordering::Relaxed), 0);
+    assert!(db.quarantined_blobs().is_empty());
+}
+
+/// Satellite: `io_retries`/`io_giveups` move in lockstep with the fault
+/// device's injection log. Every transient injection observed at a retried
+/// choke point is either absorbed (one `io_retries` tick) or the op's
+/// final attempt (one `io_giveups` tick per op), so:
+/// `io_retries == transient injections − io_giveups` exactly.
+#[test]
+fn retry_counters_match_injection_log() {
+    // Absorbed case: at most 2 injections against a budget of 3, serial
+    // (unbatched) faulting so each extent read is its own retried op.
+    let seed = base_seed() ^ 0xC0;
+    let data = faulty(48 << 20, seed, 300, FaultKind::TransientRead, 2);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(3, false, false)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let mut blobs = Vec::new();
+    for i in 0u64..4 {
+        let key = format!("k{i}").into_bytes();
+        let content = pattern(80_000, seed + i);
+        let mut t = db.begin();
+        t.put_blob(&rel, &key, &content).unwrap();
+        t.commit().unwrap();
+        blobs.push((key, content));
+    }
+    for (key, _) in &blobs {
+        evict_blob(&db, &rel, key);
+    }
+    data.arm();
+    for (key, content) in &blobs {
+        let mut t = db.begin();
+        let got = t.get_blob(&rel, key, |b| b.to_vec()).unwrap();
+        assert_eq!(&got, content);
+    }
+    data.disarm();
+    let transient = data
+        .injection_log()
+        .iter()
+        .filter(|i| i.kind.is_transient())
+        .count() as u64;
+    assert!(transient > 0, "schedule never fired — widen per_mille");
+    let m = db.metrics();
+    assert_eq!(m.io_retries.load(Ordering::Relaxed), transient);
+    assert_eq!(m.io_giveups.load(Ordering::Relaxed), 0);
+
+    // Give-up case: every read fails, budget 2 → per failing op the log
+    // gains 3 transient injections, the counters gain 2 retries + 1 giveup.
+    let seed = base_seed() ^ 0xC1;
+    let data = faulty(48 << 20, seed, 1000, FaultKind::TransientRead, u64::MAX);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(2, false, false)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let content = pattern(80_000, seed);
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"doomed", &content).unwrap();
+        t.commit().unwrap();
+    }
+    evict_blob(&db, &rel, b"doomed");
+    data.arm();
+    {
+        let mut t = db.begin();
+        assert!(t.get_blob(&rel, b"doomed", |b| b.to_vec()).is_err());
+    }
+    data.disarm();
+    let transient = data
+        .injection_log()
+        .iter()
+        .filter(|i| i.kind.is_transient())
+        .count() as u64;
+    let m = db.metrics();
+    let retries = m.io_retries.load(Ordering::Relaxed);
+    let giveups = m.io_giveups.load(Ordering::Relaxed);
+    assert_eq!(giveups, 1, "exactly the first extent's read gives up");
+    assert_eq!(retries, transient - giveups);
+    assert_eq!(retries, 2, "budget of 2 means exactly 2 retries");
+}
+
+/// Ablation: `io_retries = 0` restores fail-fast — a single transient
+/// fault surfaces as an error instead of being absorbed.
+#[test]
+fn zero_retry_budget_is_fail_fast() {
+    let seed = base_seed() ^ 0xFF;
+    let data = faulty(48 << 20, seed, 1000, FaultKind::TransientRead, 1);
+    let wal = Arc::new(MemDevice::new(8 << 20));
+    let db = Database::create(data.clone(), wal, cfg(0, false, false)).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+    let content = pattern(64_000, seed);
+    {
+        let mut t = db.begin();
+        t.put_blob(&rel, b"x", &content).unwrap();
+        t.commit().unwrap();
+    }
+    evict_blob(&db, &rel, b"x");
+    data.arm();
+    {
+        let mut t = db.begin();
+        assert!(t.get_blob(&rel, b"x", |b| b.to_vec()).is_err());
+    }
+    data.disarm();
+    let m = db.metrics();
+    assert_eq!(m.io_retries.load(Ordering::Relaxed), 0);
+    assert_eq!(m.io_giveups.load(Ordering::Relaxed), 1);
+    // The fault was one transient hiccup: the very next read succeeds.
+    let mut t = db.begin();
+    assert_eq!(t.get_blob(&rel, b"x", |b| b.to_vec()).unwrap(), content);
+}

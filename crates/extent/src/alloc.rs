@@ -1,7 +1,7 @@
 use crate::{ExtentSpec, TierTable};
 use lobster_types::{Error, Pid, Result};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Contiguous-range allocator with segregated (exact-size) free lists,
@@ -145,6 +145,10 @@ pub struct ExtentAllocator {
     table: Arc<TierTable>,
     ranges: RangeAllocator,
     base: u64,
+    /// Start pids of quarantined extents: a `free_extent` on one of these
+    /// parks the extent instead of returning it to the free lists, so
+    /// storage under corruption investigation is never re-allocated.
+    quarantined: Mutex<HashSet<u64>>,
 }
 
 impl ExtentAllocator {
@@ -154,6 +158,7 @@ impl ExtentAllocator {
             table,
             ranges: RangeAllocator::new(page_capacity - base.raw()),
             base: base.raw(),
+            quarantined: Mutex::new(HashSet::new()),
         }
     }
 
@@ -178,9 +183,39 @@ impl ExtentAllocator {
     /// Release an extent (tier or tail) back to the free lists. Callers do
     /// this at transaction commit, after moving extents from the
     /// transaction's temporary list (§III-D "BLOB deletion").
+    ///
+    /// Quarantined extents are parked instead: they stay accounted as
+    /// in-use and are never handed out again until
+    /// [`ExtentAllocator::release_quarantine`] lifts the fence.
     pub fn free_extent(&self, extent: ExtentSpec) {
+        if self.quarantined.lock().contains(&extent.start.raw()) {
+            return;
+        }
         self.ranges
             .free(extent.start.raw() - self.base, extent.pages);
+    }
+
+    /// Fence an extent from re-allocation: once its current owner frees
+    /// it, the pages are parked rather than recycled (verify-on-read
+    /// corruption quarantine).
+    pub fn quarantine_extent(&self, extent: ExtentSpec) {
+        self.quarantined.lock().insert(extent.start.raw());
+    }
+
+    /// Lift the fence on a quarantined extent *without* freeing it; the
+    /// owner (or an operator tool) frees it explicitly afterwards.
+    pub fn release_quarantine(&self, extent: ExtentSpec) {
+        self.quarantined.lock().remove(&extent.start.raw());
+    }
+
+    /// Is this extent currently fenced from re-allocation?
+    pub fn is_quarantined(&self, extent: &ExtentSpec) -> bool {
+        self.quarantined.lock().contains(&extent.start.raw())
+    }
+
+    /// Number of extents currently fenced.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().len()
     }
 
     /// Rebuild allocation state from the set of live extents (recovery).
@@ -274,6 +309,30 @@ mod tests {
         alloc.free_extent(e1);
         let e1b = alloc.allocate_tier(1).unwrap();
         assert_eq!(e1b.start, e1.start, "tier extent recycled exactly");
+    }
+
+    #[test]
+    fn quarantined_extent_is_never_recycled() {
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(0), 1000);
+        let e = alloc.allocate_tier(1).unwrap();
+        let in_use = alloc.pages_in_use();
+        alloc.quarantine_extent(e);
+        assert!(alloc.is_quarantined(&e));
+        assert_eq!(alloc.quarantined_count(), 1);
+        alloc.free_extent(e); // parked, not recycled
+        assert_eq!(
+            alloc.pages_in_use(),
+            in_use,
+            "quarantined pages stay in use"
+        );
+        let e2 = alloc.allocate_tier(1).unwrap();
+        assert_ne!(e2.start, e.start, "fenced extent must not be handed out");
+        // Lifting the fence makes an explicit free effective again.
+        alloc.release_quarantine(e);
+        alloc.free_extent(e);
+        let e3 = alloc.allocate_tier(1).unwrap();
+        assert_eq!(e3.start, e.start);
     }
 
     #[test]

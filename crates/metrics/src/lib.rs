@@ -148,6 +148,18 @@ counters! {
     /// Group-committer I/O failures. Sticky: asynchronously acknowledged
     /// commits were lost, and every later drain/commit keeps erroring.
     commit_errors,
+    /// Transient I/O errors absorbed by the retry policy (one per retried
+    /// attempt, not per eventually-successful operation).
+    io_retries,
+    /// I/O operations that exhausted the retry budget and surfaced their
+    /// error to the caller.
+    io_giveups,
+    /// Content-hash mismatches detected on the read path (verify-on-read)
+    /// or by recovery/scrub.
+    corruption_detected,
+    /// Blobs quarantined after verify-on-read confirmed rot: their extents
+    /// are fenced from re-allocation until the blob is deleted.
+    quarantined_blobs,
 }
 
 /// Shared handle to a counter set.
@@ -167,6 +179,19 @@ impl Counters {
     #[inline]
     pub fn bump_syscall(&self) {
         self.syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge a retry-policy outcome: `retries` transient failures were
+    /// absorbed, and `gave_up` says whether the operation still surfaced
+    /// a transient error after exhausting its budget.
+    #[inline]
+    pub fn bump_io_retry(&self, retries: u64, gave_up: bool) {
+        if retries > 0 {
+            self.io_retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if gave_up {
+            self.io_giveups.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     #[inline]

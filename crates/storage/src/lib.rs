@@ -13,6 +13,9 @@
 //!   I/O-bound comparisons reproduce on any host (DESIGN.md substitution 1).
 //! * [`CrashDevice`] — fault injection for recovery tests: drops or truncates
 //!   writes after an armed trigger point.
+//! * [`FaultDevice`] — deterministic, seed-driven transient-fault injection
+//!   (transient/permanent EIO, short writes, bit rot, misdirected writes)
+//!   with an injection log for test assertions.
 //! * [`OutOfPlaceDevice`] — the paper's §VI future-work proposal: a
 //!   translation layer that writes every logical block out of place to a
 //!   sequential frontier, with greedy garbage collection (an anti-aging
@@ -27,6 +30,7 @@
 mod async_io;
 mod crash;
 mod device;
+mod fault;
 mod file;
 mod mem;
 mod out_of_place;
@@ -35,6 +39,7 @@ mod throttle;
 pub use async_io::{AsyncIo, BatchHandle, IoKind, IoReq};
 pub use crash::CrashDevice;
 pub use device::{Device, DeviceExt};
+pub use fault::{permanent_eio, transient_eio, FaultConfig, FaultDevice, FaultKind, Injection};
 pub use file::FileDevice;
 pub use mem::MemDevice;
 pub use out_of_place::{GcStats, OutOfPlaceDevice};

@@ -70,7 +70,25 @@ impl Error {
     /// Errors that leave the transaction usable (caller mistakes) versus
     /// errors that poison it.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::TxnConflict | Error::BufferFull)
+        matches!(self, Error::TxnConflict | Error::BufferFull) || self.is_transient_io()
+    }
+
+    /// Transient device failures worth retrying at the I/O boundary.
+    ///
+    /// Classification follows the `io::ErrorKind` convention used across
+    /// the storage layer: `Interrupted`, `TimedOut`, and `WouldBlock` are
+    /// momentary conditions (EINTR, controller hiccup, queue pressure)
+    /// that a bounded-backoff retry is expected to clear, while every
+    /// other kind (`Other` in particular, which fault injection uses for
+    /// permanent EIO) is treated as a hard fault and surfaced immediately.
+    pub fn is_transient_io(&self) -> bool {
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
     }
 }
 
@@ -103,6 +121,19 @@ mod tests {
         assert!(Error::TxnConflict.is_retryable());
         assert!(Error::BufferFull.is_retryable());
         assert!(!Error::KeyNotFound.is_retryable());
+    }
+
+    #[test]
+    fn transient_io_classification() {
+        let transient: Error = io::Error::new(io::ErrorKind::Interrupted, "eintr").into();
+        assert!(transient.is_transient_io());
+        assert!(transient.is_retryable());
+        let timed_out: Error = io::Error::new(io::ErrorKind::TimedOut, "slow").into();
+        assert!(timed_out.is_transient_io());
+        let permanent: Error = io::Error::other("dead controller").into();
+        assert!(!permanent.is_transient_io());
+        assert!(!permanent.is_retryable());
+        assert!(!Error::Corruption("rot".into()).is_transient_io());
     }
 
     #[test]

@@ -10,11 +10,13 @@ mod crc32;
 mod error;
 mod geometry;
 mod pid;
+mod retry;
 
 pub use crc32::crc32;
 pub use error::{Error, Result};
 pub use geometry::Geometry;
 pub use pid::{Pid, INVALID_PID};
+pub use retry::{RetryPolicy, RetryStats};
 
 /// Default page size in bytes (4 KiB), matching the paper's assumption of a
 /// buffer cache with fixed-size pages in the 4–64 KiB range.

@@ -10,7 +10,7 @@
 use crate::record::{frame_record, parse_frame, LogRecord, FRAME_HEADER};
 use lobster_metrics::Metrics;
 use lobster_storage::Device;
-use lobster_types::{Error, Result};
+use lobster_types::{Error, Result, RetryPolicy};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -59,6 +59,9 @@ pub struct Wal {
     flushed: AtomicU64,
     flushed_cv: Condvar,
     flushed_cv_mutex: Mutex<()>,
+    /// Transient-I/O retry budget for the append/fsync choke point
+    /// ([`Wal::commit_to`] and header rewrites). `0` is fail-fast.
+    io_retries: AtomicU32,
     metrics: Metrics,
 }
 
@@ -76,6 +79,7 @@ impl Wal {
             flushed: AtomicU64::new(WAL_HEADER),
             flushed_cv: Condvar::new(),
             flushed_cv_mutex: Mutex::new(()),
+            io_retries: AtomicU32::new(3),
             metrics,
         });
         wal.write_header()?;
@@ -84,13 +88,26 @@ impl Wal {
 
     /// Open an existing log, reading its epoch from the header.
     pub fn open(device: Arc<dyn Device>, metrics: Metrics) -> Result<Arc<Self>> {
+        if device.capacity() < WAL_HEADER {
+            // A log file shorter than its header block cannot hold a valid
+            // header; surface corruption rather than reading out of bounds.
+            return Err(Error::Corruption("truncated WAL header".into()));
+        }
         let mut header = [0u8; 16];
         device.read_at(&mut header, 0)?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let magic = u32::from_le_bytes(
+            header[0..4]
+                .try_into()
+                .map_err(|_| Error::Corruption("truncated WAL header".into()))?,
+        );
         if magic != WAL_MAGIC {
             return Err(Error::Corruption("bad WAL magic".into()));
         }
-        let epoch = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let epoch = u32::from_le_bytes(
+            header[4..8]
+                .try_into()
+                .map_err(|_| Error::Corruption("truncated WAL header".into()))?,
+        );
         // Find the end of the valid log so new appends go after it.
         let end = Self::scan_end(&device, epoch)?;
         Ok(Arc::new(Wal {
@@ -104,16 +121,31 @@ impl Wal {
             flushed: AtomicU64::new(end),
             flushed_cv: Condvar::new(),
             flushed_cv_mutex: Mutex::new(()),
+            io_retries: AtomicU32::new(3),
             metrics,
         }))
+    }
+
+    /// Set the transient-I/O retry budget (`Config::io_retries`; `0`
+    /// restores fail-fast).
+    pub fn set_io_retries(&self, n: u32) {
+        self.io_retries.store(n, Ordering::Relaxed);
+    }
+
+    fn retry(&self) -> RetryPolicy {
+        RetryPolicy::new(self.io_retries.load(Ordering::Relaxed))
     }
 
     fn write_header(&self) -> Result<()> {
         let mut header = vec![0u8; WAL_HEADER as usize];
         header[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
         header[4..8].copy_from_slice(&self.epoch.load(Ordering::SeqCst).to_le_bytes());
-        self.device.write_at(&header, 0)?;
-        self.device.sync()?;
+        let (res, stats) = self.retry().run(|| {
+            self.device.write_at(&header, 0)?;
+            self.device.sync()
+        });
+        self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+        res?;
         self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -196,8 +228,15 @@ impl Wal {
                 };
                 if !buf.is_empty() {
                     let t = self.metrics.latencies.timer();
-                    self.device.write_at(&buf, base)?;
-                    self.device.sync()?;
+                    // Re-run the write along with the fsync on retry: the
+                    // write is idempotent, and after a failed fsync the
+                    // device may not have the data.
+                    let (res, stats) = self.retry().run(|| {
+                        self.device.write_at(&buf, base)?;
+                        self.device.sync()
+                    });
+                    self.metrics.bump_io_retry(stats.retries, stats.gave_up);
+                    res?;
                     self.metrics.latencies.wal_flush.record_timer(t);
                     self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
                     self.metrics
@@ -442,6 +481,69 @@ mod tests {
         assert_eq!(a.chunks, 1);
         assert_eq!(a.content_bytes, 5000);
         assert!(a.bytes > 5100);
+    }
+
+    #[test]
+    fn truncated_header_is_corruption_not_panic() {
+        // A log file shorter than the header block must surface
+        // Error::Corruption instead of panicking in the header parse.
+        for cap in [0usize, 8, 15, WAL_HEADER as usize - 1] {
+            let dev: Arc<dyn Device> = Arc::new(MemDevice::new(cap));
+            match Wal::open(dev, lobster_metrics::new_metrics()) {
+                Err(Error::Corruption(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+                Err(other) => panic!("cap {cap}: expected corruption, got {other:?}"),
+                Ok(_) => panic!("cap {cap}: open of a truncated log succeeded"),
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_header_is_bad_magic() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new(WAL_HEADER as usize));
+        assert!(matches!(
+            Wal::open(dev, lobster_metrics::new_metrics()),
+            Err(Error::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn commit_retries_through_transient_write_faults() {
+        use lobster_storage::{FaultConfig, FaultDevice, FaultKind};
+        let mem = MemDevice::new(8 << 20);
+        let mut cfg = FaultConfig::new(7, 1000, &[FaultKind::TransientWrite]);
+        cfg.max_injections = 2;
+        let fdev = Arc::new(FaultDevice::new(mem, cfg));
+        let dev: Arc<dyn Device> = fdev.clone();
+        let wal = Wal::create(dev, lobster_metrics::new_metrics()).unwrap();
+        fdev.arm();
+        wal.append_and_commit(&[LogRecord::TxnCommit { txn: 1 }])
+            .unwrap();
+        fdev.disarm();
+        assert_eq!(
+            wal.read_all().unwrap(),
+            vec![LogRecord::TxnCommit { txn: 1 }]
+        );
+        let retried = wal.metrics.io_retries.load(Ordering::Relaxed);
+        assert_eq!(retried, fdev.injections());
+        assert_eq!(wal.metrics.io_giveups.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn disabled_retries_fail_fast_on_transient_fault() {
+        use lobster_storage::{FaultConfig, FaultDevice, FaultKind};
+        let mem = MemDevice::new(8 << 20);
+        let mut cfg = FaultConfig::new(7, 1000, &[FaultKind::TransientWrite]);
+        cfg.max_injections = 1;
+        let fdev = Arc::new(FaultDevice::new(mem, cfg));
+        let dev: Arc<dyn Device> = fdev.clone();
+        let wal = Wal::create(dev, lobster_metrics::new_metrics()).unwrap();
+        wal.set_io_retries(0);
+        fdev.arm();
+        let res = wal.append_and_commit(&[LogRecord::TxnCommit { txn: 1 }]);
+        fdev.disarm();
+        assert!(res.is_err());
+        assert_eq!(wal.metrics.io_retries.load(Ordering::Relaxed), 0);
+        assert_eq!(wal.metrics.io_giveups.load(Ordering::Relaxed), 1);
     }
 
     #[test]
