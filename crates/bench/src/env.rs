@@ -17,6 +17,11 @@ pub struct BenchEnv {
     /// Directory to drop `BENCH_<name>.json` into (`LOBSTER_BENCH_JSON_DIR`);
     /// `None` disables emission from standalone `cargo bench` targets.
     pub json_dir: Option<PathBuf>,
+    /// Ceiling of the `threads = 1..N` scalability axis
+    /// (`LOBSTER_BENCH_THREADS`, default 4, clamped to `1..=64` — the
+    /// sharded engine's `MAX_SHARDS`). The axis runs powers of two up to
+    /// this value, so `1` collapses it to the single-shard row.
+    pub threads: usize,
     /// Route freshly built devices through the NVMe throttle model. Mutable
     /// because the I/O-bound experiments opt in per bench; reset between
     /// suite runs by [`crate::suite::run_spec`].
@@ -31,6 +36,11 @@ impl BenchEnv {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1.0),
             json_dir: std::env::var_os("LOBSTER_BENCH_JSON_DIR").map(PathBuf::from),
+            threads: std::env::var("LOBSTER_BENCH_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4)
+                .clamp(1, 64),
             throttled: AtomicBool::new(false),
         }
     }
@@ -52,6 +62,7 @@ impl BenchEnv {
     pub fn params(&self) -> Vec<(String, String)> {
         vec![
             ("scale".into(), format!("{}", self.scale)),
+            ("threads".into(), format!("{}", self.threads)),
             ("throttled_devices".into(), format!("{}", self.throttled())),
         ]
     }

@@ -1,13 +1,25 @@
 //! Figure 5: YCSB with normal payload size (120 B), 50 % reads,
-//! single-threaded.
+//! single-threaded — plus the `threads = 1..N` scalability axis over the
+//! sharded engine.
 //!
 //! Paper shape: all file systems and SQLite beat PostgreSQL and MySQL
 //! (which pay socket + serialization per statement); **Our ≥ 3.5× everyone
 //! else** because a point operation is a pure in-process B-Tree op with no
 //! kernel crossing at all.
+//!
+//! The threads axis runs the same workload against [`ShardedDatabase`]
+//! with `t` shards driven by `t` closed-loop clients
+//! (`LOBSTER_BENCH_THREADS` caps the axis, default 4). Each thread-count
+//! gets its own gated throughput row (`threads=t` in the entry key) and
+//! the whole axis is additionally emitted as
+//! `BENCH_fig5_small_payload.json` with the 4-shard speedup recorded.
 
 use crate::*;
 use lobster_baselines::LobsterMode;
+use lobster_core::{RelationKind, ShardDevices, ShardedDatabase};
+use lobster_types::Error;
+use lobster_workloads::driver::{run_closed_loop, run_virtual_parallel, OpOutcome};
+use lobster_workloads::Op;
 
 pub(crate) fn run(report: &mut Report) {
     banner(
@@ -78,4 +90,204 @@ pub(crate) fn run(report: &mut Report) {
     let ratio = our_rate / best_other.max(1e-9);
     println!("\nOur vs best competitor: {ratio:.1}x (paper: ≥3.5x)");
     report.push(Entry::new("Our", "speedup_vs_best", "x", ratio, true));
+
+    threads_axis(report, records, ops);
+}
+
+/// Accumulates the side report across `--best-of` repeats
+/// (`run_spec_best_of` re-runs the whole bench in-process): each repeat
+/// merges per-key best and rewrites the file, so the emitted axis gets the
+/// same one-sided de-noising as the gated report.
+fn side_sink() -> &'static std::sync::Mutex<Option<Report>> {
+    static SINK: std::sync::OnceLock<std::sync::Mutex<Option<Report>>> = std::sync::OnceLock::new();
+    SINK.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Thread counts for the scalability axis: powers of two up to the
+/// `LOBSTER_BENCH_THREADS` ceiling, plus the ceiling itself.
+fn thread_counts(max_t: usize) -> Vec<usize> {
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_t {
+        counts.push(t);
+        t *= 2;
+    }
+    if *counts.last().unwrap() != max_t {
+        counts.push(max_t);
+    }
+    counts
+}
+
+/// The `threads = 1..N` axis: the sharded engine with `t` hash-partitioned
+/// shards driven by `t` closed-loop clients. Keys route to shards by hash,
+/// so the per-op path is the single-shard (`N = 1` zero-regression)
+/// pipeline; the batched load phase commits through the cross-shard group
+/// path. Wait-die conflict aborts are retried by the driver and reported.
+fn threads_axis(report: &mut Report, records: u64, ops: usize) {
+    let max_t = crate::env().threads;
+    println!("\nSharded engine, threads = 1..{max_t} (closed-loop clients):");
+
+    let spec = suite::find("fig5").expect("fig5 registered");
+    let mut side = Report::new("fig5_small_payload", spec.title, spec.paper_ref);
+
+    let mut table = Table::new(&[
+        "threads", "driver", "txn/s", "p50", "p95", "p99", "retries", "speedup",
+    ]);
+    let mut base_rate = 0.0f64;
+    let mut last_speedup = 0.0f64;
+    for t in thread_counts(max_t) {
+        let parts = (0..t)
+            .map(|_| ShardDevices {
+                data: mem_device(512 << 20),
+                wal: mem_device(128 << 20),
+            })
+            .collect();
+        let mut cfg = our_config(t);
+        // Constant total buffer-pool budget across the axis: per-shard
+        // frames shrink as shards multiply, so speedups measure CPU
+        // scaling rather than extra cache.
+        cfg.pool_frames = (128 * 1024 / t as u64).max(4096);
+        let sdb = ShardedDatabase::create(parts, cfg).expect("create sharded db");
+        let rel = sdb
+            .create_relation("ycsb", RelationKind::Kv)
+            .expect("create relation");
+
+        // Batched load: 256 keys per transaction spans shards, committing
+        // through the cross-shard epoch path.
+        let payload = make_payload(120, 0x10AD);
+        let keys: Vec<u64> = (0..records).collect();
+        for chunk in keys.chunks(256) {
+            let mut txn = sdb.begin();
+            for &key in chunk {
+                txn.put_kv(&rel, &YcsbGenerator::key_bytes(key), &payload)
+                    .expect("load put");
+            }
+            txn.commit().expect("load commit");
+        }
+
+        // Deterministic per-worker op streams, pre-generated so the
+        // measured loop pays engine costs only. Client `w` keeps only keys
+        // homed on shard `w` (the worker → shard affinity contract): the
+        // shared-nothing configuration scalability experiments measure.
+        // Cross-shard commits are exercised by the batched load phase.
+        let ycfg = YcsbConfig {
+            records,
+            read_ratio: 0.5,
+            payload: PayloadDist::Fixed(120),
+            zipf_theta: 0.99,
+            seed: 42,
+        };
+        // Weak scaling: constant work per client, so warm-up is the same
+        // fraction of every row and speedup isolates engine scaling.
+        let per_thread = ops.max(500) as u64;
+        let streams: Vec<Vec<Op>> = (0..t)
+            .map(|w| {
+                let mut g = YcsbGenerator::for_worker(&ycfg, w);
+                let mut v: Vec<Op> = Vec::with_capacity(per_thread as usize);
+                while v.len() < per_thread as usize {
+                    let op = g.next_op();
+                    let (Op::Read { key } | Op::Update { key, .. }) = op;
+                    if sdb.shard_for_key(&YcsbGenerator::key_bytes(key)) == w {
+                        v.push(op);
+                    }
+                }
+                v
+            })
+            .collect();
+
+        let upd = make_payload(120, 0xF00D);
+        let exec = |w: usize, i: u64| {
+            let mut txn = sdb.begin_with_worker(w);
+            let r = match &streams[w][i as usize] {
+                Op::Read { key } => txn.get_kv(&rel, &YcsbGenerator::key_bytes(*key)).map(|v| {
+                    std::hint::black_box(v.map(|b| b.len()));
+                }),
+                Op::Update { key, .. } => txn.put_kv(&rel, &YcsbGenerator::key_bytes(*key), &upd),
+            };
+            match r.and_then(|()| txn.commit()) {
+                Ok(()) => OpOutcome::Done,
+                Err(Error::TxnConflict) => OpOutcome::Retry,
+                Err(e) => panic!("sharded op failed: {e}"),
+            }
+        };
+        // Real OS threads when the host has a core per client; otherwise
+        // the serial virtual-parallel model (see its docs) — timeshared
+        // threads on an undersized host measure scheduler interference,
+        // not engine scaling.
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let (run, mode) = if hw >= t {
+            (run_closed_loop(t, per_thread, exec), "threads")
+        } else {
+            (run_virtual_parallel(t, per_thread, exec), "modeled")
+        };
+        sdb.wait_for_durability().expect("quiesce");
+        sdb.shutdown().expect("shutdown");
+
+        let rate = run.ops_per_sec();
+        if t == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate.max(1e-9);
+        last_speedup = speedup;
+        let s = run.latency.summary();
+        table.row(&[
+            format!("{t}"),
+            mode.to_string(),
+            fmt_rate(rate),
+            lobster_metrics::fmt_ns(s.p50_ns),
+            lobster_metrics::fmt_ns(s.p95_ns),
+            lobster_metrics::fmt_ns(s.p99_ns),
+            format!("{}", run.retries),
+            format!("{speedup:.2}x"),
+        ]);
+
+        report.push(
+            Entry::throughput("Our.sharded", rate)
+                .param("payload", "120B")
+                .param("read_ratio", "0.5")
+                .param("threads", t)
+                .latency("op", s),
+        );
+        // The side report is informational, so its rows use non-gated
+        // metric names; best-of merging happens in `side_sink`.
+        side.push(
+            Entry::new("Our.sharded", "ops_per_s", "ops/s", rate, true)
+                .param("payload", "120B")
+                .param("read_ratio", "0.5")
+                .param("threads", t)
+                .latency("op", s),
+        );
+        side.push(
+            Entry::new(
+                "Our.sharded",
+                "conflict_retries",
+                "ops",
+                run.retries as f64,
+                false,
+            )
+            .param("threads", t)
+            .param("driver", mode),
+        );
+        side.push(
+            Entry::new("Our.sharded", "speedup_vs_1thread", "x", speedup, true).param("threads", t),
+        );
+    }
+    table.print();
+    println!("Sharded speedup at {max_t} threads: {last_speedup:.2}x (target ≥2.5x)");
+
+    let mut sink = side_sink().lock().unwrap();
+    match sink.as_mut() {
+        Some(acc) => acc.merge_best(side),
+        None => *sink = Some(side),
+    }
+    if let Some(dir) = &crate::env().json_dir {
+        let merged = sink.as_ref().unwrap();
+        let path = dir.join(merged.file_name());
+        merged
+            .write_to(&path)
+            .expect("write fig5_small_payload json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -140,6 +140,22 @@ impl Default for Config {
     }
 }
 
+/// How recovery decides the fate of [`lobster_wal::LogRecord::TxnCrossCommit`]
+/// markers found in the log (the sharded engine's cross-shard commit
+/// protocol; see `crates/core/src/shard.rs` and DESIGN.md).
+#[derive(Clone)]
+pub enum CrossCommitPolicy {
+    /// Standalone database: a surviving marker is treated as a commit. A
+    /// single log stream has no other participants to consult, and the
+    /// marker is only appended after every local prerequisite of the
+    /// commit protocol, so this is exact for non-sharded deployments.
+    TrustLocal,
+    /// Sharded engine: only global transactions in this set — computed by
+    /// pre-scanning *every* shard's log and header watermark before any
+    /// shard recovers — are committed; all other markers roll back.
+    Decided(Arc<HashSet<u64>>),
+}
+
 /// Outcome of [`Database::scrub`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -158,7 +174,7 @@ impl ScrubReport {
     }
 }
 
-const DB_MAGIC: u32 = 0x4C42_4442; // "LBDB"
+pub(crate) const DB_MAGIC: u32 = 0x4C42_4442; // "LBDB"
 const CATALOG_REL_ID: u32 = 0;
 
 /// The database engine.
@@ -183,6 +199,16 @@ pub struct Database {
     /// checkpoint never truncates records of a commit in flight.
     pub(crate) ckpt_gate: Arc<RwLock<()>>,
     pub(crate) committer: GroupCommitter,
+    /// Cross-shard commit decision policy consulted by recovery when it
+    /// meets a `TxnCrossCommit` marker.
+    pub(crate) cross_commit: CrossCommitPolicy,
+    /// Highest global transaction id known globally durable when this
+    /// database's header was last written. Persisted in the header *before*
+    /// each checkpoint truncates the log, so a marker truncated on this
+    /// shard can still be decided committed by peers that kept theirs:
+    /// `gtxn <= watermark` proves every participant's stage-1 fsync
+    /// covered it.
+    pub(crate) xcommit_watermark: AtomicU64,
     /// Comparator factories consulted when recovery reattaches relations.
     cmp_factories: HashMap<String, ComparatorFactory>,
     /// `(relation name, key)` of every BLOB whose content failed
@@ -248,6 +274,8 @@ impl Database {
             metrics,
             ckpt_gate,
             committer,
+            cross_commit: CrossCommitPolicy::TrustLocal,
+            xcommit_watermark: AtomicU64::new(0),
             cmp_factories: HashMap::new(),
             quarantined: Mutex::new(HashSet::new()),
             ddl_lock: Mutex::new(()),
@@ -277,8 +305,28 @@ impl Database {
     pub fn open_with_comparators(
         device: Arc<dyn Device>,
         wal_device: Arc<dyn Device>,
+        cfg: Config,
+        comparators: HashMap<String, ComparatorFactory>,
+    ) -> Result<(Arc<Self>, RecoveryReport)> {
+        Self::open_with_policy(
+            device,
+            wal_device,
+            cfg,
+            comparators,
+            CrossCommitPolicy::TrustLocal,
+        )
+    }
+
+    /// Open with an explicit cross-shard commit decision policy. The
+    /// sharded engine pre-scans every shard's log for `TxnCrossCommit`
+    /// markers, decides each global transaction, and opens every shard
+    /// with the decided set so all shards recover the same outcome.
+    pub fn open_with_policy(
+        device: Arc<dyn Device>,
+        wal_device: Arc<dyn Device>,
         mut cfg: Config,
         comparators: HashMap<String, ComparatorFactory>,
+        cross_commit: CrossCommitPolicy,
     ) -> Result<(Arc<Self>, RecoveryReport)> {
         let metrics = new_metrics();
         // Read the header: the on-disk format parameters override the
@@ -304,6 +352,7 @@ impl Database {
         cfg.use_tail_extents = header[21] != 0;
         let catalog_root = Pid::new(read_u64(&header[22..]));
         cfg.node_pages = read_u64(&header[30..]);
+        let xcommit_watermark = read_u64(&header[38..]);
 
         let geo = Geometry::new(cfg.page_size);
         let table = Arc::new(TierTable::new(cfg.tier_policy));
@@ -351,6 +400,8 @@ impl Database {
             metrics,
             ckpt_gate,
             committer,
+            cross_commit,
+            xcommit_watermark: AtomicU64::new(xcommit_watermark),
             cmp_factories: comparators,
             quarantined: Mutex::new(HashSet::new()),
             ddl_lock: Mutex::new(()),
@@ -430,8 +481,32 @@ impl Database {
         header[21] = self.cfg.use_tail_extents as u8;
         header[22..30].copy_from_slice(&self.catalog_tree.root().raw().to_le_bytes());
         header[30..38].copy_from_slice(&self.cfg.node_pages.to_le_bytes());
+        header[38..46]
+            .copy_from_slice(&self.xcommit_watermark.load(Ordering::SeqCst).to_le_bytes());
         self.device.write_at(&header, 0)?;
         Ok(())
+    }
+
+    /// Whether recovery should treat a `TxnCrossCommit` marker for `gtxn`
+    /// as a commit: either the header watermark proves every participant's
+    /// fsync covered it, or the pre-scan decided it committed.
+    pub(crate) fn cross_commit_decided(&self, gtxn: u64) -> bool {
+        if gtxn <= self.xcommit_watermark.load(Ordering::SeqCst) {
+            return true;
+        }
+        match &self.cross_commit {
+            CrossCommitPolicy::TrustLocal => true,
+            CrossCommitPolicy::Decided(set) => set.contains(&gtxn),
+        }
+    }
+
+    /// Raise the cross-commit watermark; persisted at the next header
+    /// write. The sharded layer calls this *before* checkpointing the
+    /// shard, and `checkpoint_locked` writes + syncs the header before the
+    /// log is truncated — so the durable proof always precedes the loss of
+    /// the markers it replaces.
+    pub(crate) fn set_cross_commit_watermark(&self, w: u64) {
+        self.xcommit_watermark.fetch_max(w, Ordering::SeqCst);
     }
 
     pub fn config(&self) -> &Config {
@@ -738,6 +813,26 @@ impl Database {
 
     /// Begin a transaction bound to worker `worker` (the worker id selects
     /// the worker-local aliasing area).
+    ///
+    /// # Worker → shard affinity contract
+    ///
+    /// Under the sharded engine ([`crate::ShardedDatabase`]) worker ids
+    /// are the unit of placement:
+    ///
+    /// * [`crate::ShardedDatabase::begin_with_worker`] passes the *same*
+    ///   worker id to every per-shard `begin_with_worker`, so a client
+    ///   thread always lands in the same worker-local aliasing area of
+    ///   every shard it touches (ids are taken modulo [`Config::workers`],
+    ///   which sizes those areas).
+    /// * The worker's *home shard* is `worker % num_shards`: operations
+    ///   that are not keyed to a specific shard (and closed-loop bench
+    ///   clients that pin one thread per shard) route there, so running
+    ///   `threads == num_shards` clients gives each shard exactly one
+    ///   affine worker and the engine scales without cross-shard
+    ///   interference.
+    /// * Keyed operations ignore affinity: the hash of the key alone picks
+    ///   the shard, so placement is stable across restarts and
+    ///   independent of which worker issues the operation.
     pub fn begin_with_worker(self: &Arc<Self>, worker: usize) -> Txn {
         let id = self.next_txn.fetch_add(1, Ordering::SeqCst);
         Txn::new(self.clone(), id, worker)

@@ -46,17 +46,20 @@ mod group_commit;
 mod index;
 mod lock;
 mod recovery;
+mod shard;
 mod txn;
 
 pub use blob_state::{BlobState, PREFIX_LEN};
 pub use catalog::{Relation, RelationKind};
 pub use db::{
-    BlobLogging, ComparatorFactory, Config, Database, PoolVariant, ScrubReport, UpdatePolicy,
+    BlobLogging, ComparatorFactory, Config, CrossCommitPolicy, Database, PoolVariant, ScrubReport,
+    UpdatePolicy,
 };
 pub use dedup::{DedupStats, DedupStore};
 pub use index::{BlobIndex, BlobStateCmp, ExpressionIndex, Udf};
 pub use lock::{LockManager, LockMode};
 pub use recovery::RecoveryReport;
+pub use shard::{ShardDevices, ShardedDatabase, ShardedRelation, ShardedTxn, MAX_SHARDS};
 pub use txn::Txn;
 
 // Re-exports that appear in the public API surface.

@@ -85,6 +85,15 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
         if let LogRecord::TxnCommit { txn } = rec {
             committed.insert(*txn);
         }
+        // A cross-shard commit marker counts as a commit only if the
+        // configured policy decides the *global* transaction durable —
+        // i.e. a marker for `gtxn` survived in every shard of its mask,
+        // or some shard's header watermark proves it once had.
+        if let LogRecord::TxnCrossCommit { txn, gtxn, .. } = rec {
+            if db.cross_commit_decided(*gtxn) {
+                committed.insert(*txn);
+            }
+        }
     }
 
     // Conservative allocator state: everything reachable from the

@@ -1052,6 +1052,51 @@ impl Txn {
         Ok(())
     }
 
+    /// Whether this transaction staged anything that needs the commit
+    /// pipeline (log records, extent flushes, or recycling). Read-only
+    /// participants of a cross-shard transaction commit locally and are
+    /// excluded from the participant mask.
+    pub(crate) fn has_writes(&self) -> bool {
+        !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty()
+    }
+
+    /// Commit this transaction as one shard's slice of a cross-shard
+    /// global transaction `gtxn`: a [`LogRecord::TxnCrossCommit`] marker
+    /// (never a local `TxnCommit`) is appended and the batch is handed to
+    /// this shard's group committer. Returns the shard's durability epoch
+    /// *without waiting on it* — the sharded layer collects every
+    /// participant's epoch and the global transaction is durable iff every
+    /// shard's stage-1 WAL fsync covers its epoch.
+    ///
+    /// Locks are released at submission, exactly like the asynchronous
+    /// local commit path; recovery's all-or-nothing decision rests on the
+    /// marker set, not on runtime lock state.
+    pub(crate) fn commit_cross(mut self, gtxn: u64, shard: u32, mask: u64) -> Result<u64> {
+        self.check_active()?;
+        let db = self.db.clone();
+        db.metrics
+            .extent_allocs
+            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed);
+        // The marker rides even when only flushes/frees are staged: every
+        // participant named in `mask` must be able to produce it on
+        // recovery, or the global transaction is decided aborted.
+        self.records.push(LogRecord::TxnCrossCommit {
+            txn: self.id,
+            gtxn,
+            shard,
+            mask,
+        });
+        let epoch = db.committer.submit(crate::group_commit::CommitBatch {
+            records: std::mem::take(&mut self.records),
+            toflush: std::mem::take(&mut self.toflush),
+            freed: std::mem::take(&mut self.freed),
+        })?;
+        db.locks.release_all(self.id);
+        db.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
+        self.state = TxnState::Committed;
+        Ok(epoch)
+    }
+
     /// Roll back every change of this transaction.
     pub fn abort(mut self) {
         self.rollback();

@@ -100,6 +100,25 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's buckets into this one. Bucket-lossless:
+    /// every bucket count, the total count, and the sum add exactly; `max`
+    /// takes the larger side. Used by [`crate::Counters::merge_from`] to
+    /// build a global view over per-shard metrics.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.counts.iter().zip(other.counts.iter()) {
+            let c = src.load(Ordering::Relaxed);
+            if c != 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Fold a per-thread recorder's buckets into this histogram.
     pub fn merge_recorder(&self, r: &LocalRecorder) {
         for (i, &c) in r.counts.iter().enumerate() {
@@ -341,6 +360,12 @@ macro_rules! latencies {
 
             pub fn reset(&self) {
                 $(self.$name.reset();)+
+            }
+
+            /// Fold every histogram of `other` into this one (see
+            /// [`Histogram::merge_from`]).
+            pub fn merge_from(&self, other: &Latencies) {
+                $(self.$name.merge_from(&other.$name);)+
             }
         }
 

@@ -49,6 +49,20 @@ macro_rules! counters {
                 $(self.$name.store(0, Ordering::Relaxed);)+
                 self.latencies.reset();
             }
+
+            /// Merge another counter set into this one: every counter is
+            /// summed and the latency histograms are merged bucket-wise,
+            /// so a multi-instance aggregate (e.g. the sharded engine's
+            /// global view) is lossless at histogram-bucket granularity.
+            /// Order-insensitive: merging any permutation of the same
+            /// sets yields identical totals and buckets.
+            pub fn merge_from(&self, other: &Counters) {
+                $(self.$name.fetch_add(
+                    other.$name.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );)+
+                self.latencies.merge_from(&other.latencies);
+            }
         }
 
         impl Snapshot {

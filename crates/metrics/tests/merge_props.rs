@@ -1,0 +1,137 @@
+//! Property tests for `Counters::merge_from` / `Latencies::merge_from`.
+//!
+//! The sharded engine builds its global metrics view by merging every
+//! shard's `Counters` into a fresh instance, so the merge must be
+//! order-insensitive (any permutation of shards yields the same view) and
+//! lossless at histogram-bucket granularity (no value ever changes bucket
+//! or disappears when aggregated).
+
+use lobster_metrics::{Counters, Histogram};
+use proptest::prelude::*;
+
+/// One synthetic shard's worth of activity: a few counter bumps plus a
+/// latency sample set.
+#[derive(Clone, Debug)]
+struct ShardLoad {
+    commits: u64,
+    fsyncs: u64,
+    wal_bytes: u64,
+    commit_lat: Vec<u64>,
+    fault_lat: Vec<u64>,
+}
+
+fn shard_load() -> impl Strategy<Value = ShardLoad> {
+    (
+        (0u64..10_000, 0u64..10_000, 0u64..1 << 40),
+        (
+            proptest::collection::vec(0u64..u64::MAX, 0..60),
+            proptest::collection::vec(0u64..u64::MAX, 0..60),
+        ),
+    )
+        .prop_map(
+            |((commits, fsyncs, wal_bytes), (commit_lat, fault_lat))| ShardLoad {
+                commits,
+                fsyncs,
+                wal_bytes,
+                commit_lat,
+                fault_lat,
+            },
+        )
+}
+
+fn apply(c: &Counters, load: &ShardLoad) {
+    use lobster_sync::atomic::Ordering;
+    c.txn_commits.fetch_add(load.commits, Ordering::Relaxed);
+    c.fsyncs.fetch_add(load.fsyncs, Ordering::Relaxed);
+    c.wal_bytes.fetch_add(load.wal_bytes, Ordering::Relaxed);
+    for &v in &load.commit_lat {
+        c.latencies.commit.record(v);
+    }
+    for &v in &load.fault_lat {
+        c.latencies.pool_fault.record(v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging shards in any order yields identical counter totals and
+    /// identical histogram snapshots (bucket-for-bucket).
+    #[test]
+    fn merge_is_order_insensitive(
+        loads in proptest::collection::vec(shard_load(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let shards: Vec<Counters> = loads
+            .iter()
+            .map(|l| {
+                let c = Counters::default();
+                apply(&c, l);
+                c
+            })
+            .collect();
+
+        let forward = Counters::default();
+        for s in &shards {
+            forward.merge_from(s);
+        }
+
+        // A seeded permutation of the same shard set.
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        let mut x = seed | 1;
+        for i in (1..order.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            order.swap(i, (x as usize) % (i + 1));
+        }
+        let permuted = Counters::default();
+        for &i in &order {
+            permuted.merge_from(&shards[i]);
+        }
+
+        prop_assert_eq!(forward.snapshot(), permuted.snapshot());
+        prop_assert_eq!(
+            forward.latencies.snapshot(),
+            permuted.latencies.snapshot()
+        );
+    }
+
+    /// The merged view is bucket-lossless: it equals recording every value
+    /// of every shard directly into one histogram, and counter totals are
+    /// exact sums.
+    #[test]
+    fn merge_is_bucket_lossless(loads in proptest::collection::vec(shard_load(), 1..6)) {
+        let merged = Counters::default();
+        let direct_commit = Histogram::new();
+        let direct_fault = Histogram::new();
+        let mut commits = 0u64;
+        let mut fsyncs = 0u64;
+
+        for l in &loads {
+            let shard = Counters::default();
+            apply(&shard, l);
+            merged.merge_from(&shard);
+            for &v in &l.commit_lat {
+                direct_commit.record(v);
+            }
+            for &v in &l.fault_lat {
+                direct_fault.record(v);
+            }
+            commits += l.commits;
+            fsyncs += l.fsyncs;
+        }
+
+        let snap = merged.snapshot();
+        prop_assert_eq!(snap.txn_commits, commits);
+        prop_assert_eq!(snap.fsyncs, fsyncs);
+        prop_assert_eq!(
+            merged.latencies.commit.snapshot(),
+            direct_commit.snapshot()
+        );
+        prop_assert_eq!(
+            merged.latencies.pool_fault.snapshot(),
+            direct_fault.snapshot()
+        );
+    }
+}

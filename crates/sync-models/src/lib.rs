@@ -20,6 +20,11 @@
 //!    extent writes, and the contiguous durable-epoch frontier.
 //! 4. [`pins`] — `prevent_evict` pins released exactly once, pin budget
 //!    never going negative, eviction never observing a pinned extent.
+//! 5. [`xshard`] — the sharded engine's cross-shard commit epoch
+//!    (`crates/core/src/shard.rs`): a multi-shard transaction is durable
+//!    iff *every* participant's stage-1 WAL fsync covers the epoch its
+//!    marker landed in, and the global epoch is the minimum over shard
+//!    frontiers — never ahead of any shard's disk.
 //!
 //! Every model keeps spin loops *bounded* (a give-up path instead of an
 //! unbounded retry) so the exhaustive explorer terminates; invariants are
@@ -527,5 +532,139 @@ pub mod pins {
 
     pub fn check_pin_release_exactly_once() {
         lobster_sync::model(run);
+    }
+}
+
+pub mod xshard {
+    //! Core 5: the cross-shard commit epoch from `ShardedDatabase`.
+    //!
+    //! Each shard runs an independent group-commit pipeline whose stage-1
+    //! fsync advances a *local* durable-epoch frontier. A cross-shard
+    //! transaction appends a commit marker to every participant's WAL (all
+    //! landing in the same commit epoch here) and is durable only once the
+    //! *global* epoch — the minimum over participant frontiers — covers
+    //! that epoch. The model separates what a shard has *persisted* (the
+    //! crash image) from what it *advertises* as durable, so the checked
+    //! invariant is the real one: when the coordinator declares the
+    //! transaction durable, a crash at that instant still finds the marker
+    //! on every participant's disk.
+    //!
+    //! Broken canaries: advancing the global epoch from one shard's
+    //! frontier only, and covering a stale epoch (off by one) — both must
+    //! be caught under loom.
+
+    use lobster_sync::atomic::{AtomicU64, Ordering};
+    use lobster_sync::{hint, thread, Arc};
+
+    const SHARDS: usize = 2;
+    /// Epoch 1 on each shard carries an unrelated single-shard commit; the
+    /// cross-shard marker lands in epoch 2. A stale-epoch coordinator is
+    /// satisfied by the first fsync alone.
+    const MARKER_EPOCH: u64 = 2;
+
+    #[derive(Clone, Copy)]
+    enum Variant {
+        /// Global epoch = min over all participant frontiers.
+        Correct,
+        /// Global epoch advanced from shard 0's frontier only.
+        OneShard,
+        /// All shards consulted, but against `MARKER_EPOCH - 1`.
+        StaleEpoch,
+    }
+
+    struct Shard {
+        /// Highest epoch whose records are physically on disk (the image a
+        /// crash would recover from).
+        persisted: AtomicU64,
+        /// Highest epoch whose stage-1 fsync completion was published to
+        /// the coordinator. Always stored *after* `persisted`.
+        durable: AtomicU64,
+    }
+
+    fn shard_pipeline(sh: &Shard) {
+        // Two group-commit rounds: the local txn's epoch, then the epoch
+        // holding the cross-shard marker. Each round persists before it
+        // publishes — the per-shard stage-1 contract.
+        for e in 1..=MARKER_EPOCH {
+            sh.persisted.store(e, Ordering::Release);
+            sh.durable.store(e, Ordering::Release);
+        }
+    }
+
+    fn coordinator(shards: &[Shard; SHARDS], variant: Variant) {
+        let mut prev_global = 0u64;
+        // Bounded wait, as everywhere in these models: give up rather than
+        // spin forever so the explorer terminates. Invariants fire only on
+        // schedules where the decision was actually reached.
+        for _ in 0..8 {
+            let global = match variant {
+                Variant::Correct | Variant::StaleEpoch => (0..SHARDS)
+                    .map(|s| shards[s].durable.load(Ordering::Acquire))
+                    .min()
+                    .unwrap(),
+                Variant::OneShard => shards[0].durable.load(Ordering::Acquire),
+            };
+            assert!(global >= prev_global, "global epoch moved backwards");
+            prev_global = global;
+            let needed = match variant {
+                Variant::StaleEpoch => MARKER_EPOCH - 1,
+                _ => MARKER_EPOCH,
+            };
+            if global >= needed {
+                // Durability declared: a crash now must still recover the
+                // marker on every participant.
+                for (s, sh) in shards.iter().enumerate() {
+                    let img = sh.persisted.load(Ordering::Acquire);
+                    assert!(
+                        img >= MARKER_EPOCH,
+                        "gtxn declared durable but shard {s} only persisted \
+                         epoch {img} < {MARKER_EPOCH}"
+                    );
+                }
+                return;
+            }
+            hint::spin_loop();
+        }
+    }
+
+    fn run(variant: Variant) {
+        let shards = Arc::new([
+            Shard {
+                persisted: AtomicU64::new(0),
+                durable: AtomicU64::new(0),
+            },
+            Shard {
+                persisted: AtomicU64::new(0),
+                durable: AtomicU64::new(0),
+            },
+        ]);
+        let mut hs = Vec::new();
+        for s in 0..SHARDS {
+            let sh = Arc::clone(&shards);
+            hs.push(thread::spawn(move || shard_pipeline(&sh[s])));
+        }
+        let sh = Arc::clone(&shards);
+        hs.push(thread::spawn(move || coordinator(&sh, variant)));
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    /// The correct protocol: min-over-frontiers, marker epoch required.
+    pub fn check_epoch_covers_all_participants() {
+        lobster_sync::model(|| run(Variant::Correct));
+    }
+
+    /// Broken canary 1: the global epoch follows one shard's frontier;
+    /// the checker must find the schedule where the other shard's marker
+    /// is not yet on disk.
+    pub fn run_broken_single_shard_epoch() {
+        lobster_sync::model(|| run(Variant::OneShard));
+    }
+
+    /// Broken canary 2: every shard is consulted but against a stale
+    /// epoch; the first fsync satisfies it before the marker persists.
+    pub fn run_broken_stale_epoch() {
+        lobster_sync::model(|| run(Variant::StaleEpoch));
     }
 }

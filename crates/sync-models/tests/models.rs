@@ -6,7 +6,7 @@
 //! protocol variants and require the checker to find the violation — they
 //! only assert under loom, where detection is deterministic.
 
-use lobster_sync_models::{claim, frontier, latch, pins};
+use lobster_sync_models::{claim, frontier, latch, pins, xshard};
 
 #[test]
 fn latch_mutual_exclusion() {
@@ -34,6 +34,11 @@ fn pin_release_exactly_once() {
 }
 
 #[test]
+fn xshard_epoch_covers_all_participants() {
+    xshard::check_epoch_covers_all_participants();
+}
+
+#[test]
 fn broken_latch_is_caught() {
     if !lobster_sync::is_loom() {
         return; // real-thread smoke runs cannot reliably hit the race
@@ -58,4 +63,28 @@ fn broken_commit_ordering_is_caught() {
     }
     let r = std::panic::catch_unwind(frontier::run_broken_ordering);
     assert!(r.is_err(), "checker missed the WAL-after-extents schedule");
+}
+
+#[test]
+fn broken_xshard_single_shard_epoch_is_caught() {
+    if !lobster_sync::is_loom() {
+        return;
+    }
+    let r = std::panic::catch_unwind(xshard::run_broken_single_shard_epoch);
+    assert!(
+        r.is_err(),
+        "checker missed the one-shard global-epoch advance"
+    );
+}
+
+#[test]
+fn broken_xshard_stale_epoch_is_caught() {
+    if !lobster_sync::is_loom() {
+        return;
+    }
+    let r = std::panic::catch_unwind(xshard::run_broken_stale_epoch);
+    assert!(
+        r.is_err(),
+        "checker missed the stale-epoch durability decision"
+    );
 }

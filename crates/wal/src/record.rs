@@ -65,6 +65,19 @@ pub enum LogRecord {
         byte_offset: u64,
         data: Vec<u8>,
     },
+    /// Commit marker for one shard's slice of a cross-shard (global)
+    /// transaction. `gtxn` is the global transaction id, `shard` the index
+    /// of the shard this log stream belongs to, and `mask` the bitmask of
+    /// all participating shards. Recovery treats the local transaction as
+    /// committed only if the configured cross-commit policy decides the
+    /// global transaction durable — i.e. a marker for `gtxn` survived in
+    /// *every* shard named by `mask`.
+    TxnCrossCommit {
+        txn: u64,
+        gtxn: u64,
+        shard: u32,
+        mask: u64,
+    },
     /// Checkpoint marker: everything before it is durable in the database.
     Checkpoint,
     /// Full image of a page, journaled before a checkpoint writes it in
@@ -84,7 +97,8 @@ impl LogRecord {
             | LogRecord::Update { txn, .. }
             | LogRecord::Delete { txn, .. }
             | LogRecord::BlobDelta { txn, .. }
-            | LogRecord::BlobChunk { txn, .. } => Some(*txn),
+            | LogRecord::BlobChunk { txn, .. }
+            | LogRecord::TxnCrossCommit { txn, .. } => Some(*txn),
             LogRecord::Checkpoint | LogRecord::PageImage { .. } => None,
         }
     }
@@ -101,6 +115,7 @@ impl LogRecord {
             LogRecord::BlobChunk { .. } => 8,
             LogRecord::Checkpoint => 9,
             LogRecord::PageImage { .. } => 10,
+            LogRecord::TxnCrossCommit { .. } => 11,
         }
     }
 
@@ -181,6 +196,17 @@ impl LogRecord {
                 out.extend_from_slice(&pid.to_le_bytes());
                 put_bytes(out, data);
             }
+            LogRecord::TxnCrossCommit {
+                txn,
+                gtxn,
+                shard,
+                mask,
+            } => {
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&gtxn.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&mask.to_le_bytes());
+            }
         }
     }
 
@@ -230,6 +256,12 @@ impl LogRecord {
             10 => LogRecord::PageImage {
                 pid: c.u64()?,
                 data: c.bytes()?,
+            },
+            11 => LogRecord::TxnCrossCommit {
+                txn: c.u64()?,
+                gtxn: c.u64()?,
+                shard: c.u32()?,
+                mask: c.u64()?,
             },
             t => {
                 return Err(Error::Corruption(format!("unknown log record tag {t}")));
@@ -383,6 +415,12 @@ mod tests {
             LogRecord::PageImage {
                 pid: 17,
                 data: vec![3; 4096],
+            },
+            LogRecord::TxnCrossCommit {
+                txn: 12,
+                gtxn: 0x8000_0000_0000_0003,
+                shard: 2,
+                mask: 0b1101,
             },
         ]
     }

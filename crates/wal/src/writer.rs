@@ -302,7 +302,7 @@ impl Wal {
             a.bytes += payload.len() as u64 + crate::record::FRAME_HEADER as u64;
             match rec {
                 LogRecord::TxnBegin { .. } => a.begins += 1,
-                LogRecord::TxnCommit { .. } => a.commits += 1,
+                LogRecord::TxnCommit { .. } | LogRecord::TxnCrossCommit { .. } => a.commits += 1,
                 LogRecord::TxnAbort { .. } => a.aborts += 1,
                 LogRecord::Insert { .. } => a.inserts += 1,
                 LogRecord::Update { .. } => a.updates += 1,
@@ -323,6 +323,24 @@ impl Wal {
             }
         }
         Ok(a)
+    }
+
+    /// Scan a WAL device *without* opening it: read the epoch from the
+    /// header and return every valid record. Used by the sharded engine to
+    /// pre-scan all shard logs for cross-shard commit markers before any
+    /// shard runs recovery.
+    pub fn scan_records(device: &Arc<dyn Device>) -> Result<Vec<LogRecord>> {
+        if device.capacity() < WAL_HEADER {
+            return Err(Error::Corruption("truncated WAL header".into()));
+        }
+        let mut header = [0u8; 8];
+        device.read_at(&mut header, 0)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != WAL_MAGIC {
+            return Err(Error::Corruption("bad WAL magic".into()));
+        }
+        let epoch = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        Self::read_records(device, epoch)
     }
 
     /// Scan `device` for all valid records of `epoch`.

@@ -1,0 +1,249 @@
+//! Closed-loop multi-client driver for the `threads = 1..N` scalability
+//! axis.
+//!
+//! Each client thread issues one operation at a time and waits for it to
+//! finish before issuing the next (a *closed loop*: offered load scales
+//! with completion rate, so the driver measures engine capacity rather
+//! than queueing artifacts). Operations that lose a wait-die conflict are
+//! retried immediately under the same latency timer — the reported per-op
+//! latency is the user-visible time to *success*, retries included.
+//!
+//! The driver is engine-agnostic: callers supply an `exec(worker, op)`
+//! closure that maps an operation index to one attempt against whatever
+//! store is under test and reports [`OpOutcome::Retry`] for
+//! conflict-abort (`Error::TxnConflict`) so the loop re-runs it. All
+//! threads start together behind a barrier; wall-clock covers the
+//! barrier-release-to-last-finish window, so `ops_per_sec` is the
+//! aggregate closed-loop throughput across clients.
+
+use lobster_metrics::{HistSnapshot, Histogram, LocalRecorder};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Result of one attempt at an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The operation completed; move on to the next one.
+    Done,
+    /// The attempt lost a conflict (e.g. a wait-die abort) and should be
+    /// re-executed. The op's latency timer keeps running across retries.
+    Retry,
+}
+
+/// Aggregate result of one closed-loop run.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// Number of client threads that ran.
+    pub threads: usize,
+    /// Successfully completed operations across all threads.
+    pub total_ops: u64,
+    /// Conflict retries across all threads (not counted in `total_ops`).
+    pub retries: u64,
+    /// Barrier release to last thread finish.
+    pub elapsed: Duration,
+    /// Per-op success latency (retries folded in), merged over threads.
+    pub latency: HistSnapshot,
+}
+
+impl DriverReport {
+    /// Aggregate closed-loop throughput.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / secs
+        }
+    }
+}
+
+/// Run `ops_per_thread` operations on each of `threads` closed-loop
+/// clients, one OS thread per client. `exec(worker, op_index)` performs
+/// one attempt; `op_index` counts `0..ops_per_thread` per worker, so a
+/// deterministic generator forked per worker (e.g.
+/// [`crate::YcsbGenerator::for_worker`]) yields a reproducible schedule.
+///
+/// Requires at least `threads` hardware cores to measure scaling — on a
+/// smaller host the clients timeshare and per-op latencies absorb other
+/// clients' work. Use [`run_virtual_parallel`] there.
+pub fn run_closed_loop<F>(threads: usize, ops_per_thread: u64, exec: F) -> DriverReport
+where
+    F: Fn(usize, u64) -> OpOutcome + Sync,
+{
+    let threads = threads.max(1);
+    let barrier = Barrier::new(threads + 1);
+    let merged = Histogram::new();
+
+    let exec = &exec;
+    let barrier = &barrier;
+    let merged_ref = &merged;
+    let (retries, elapsed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut rec = LocalRecorder::new();
+                    let mut my_retries = 0u64;
+                    barrier.wait();
+                    for op in 0..ops_per_thread {
+                        let t = Instant::now();
+                        while exec(w, op) == OpOutcome::Retry {
+                            my_retries += 1;
+                        }
+                        rec.record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    }
+                    merged_ref.merge_recorder(&rec);
+                    my_retries
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let retries: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .sum();
+        (retries, start.elapsed())
+    });
+
+    DriverReport {
+        threads,
+        total_ops: threads as u64 * ops_per_thread,
+        retries,
+        elapsed,
+        latency: merged.snapshot(),
+    }
+}
+
+/// Deterministic single-core model of [`run_closed_loop`]: the clients
+/// run *serially*, each alone on the CPU, and the modeled parallel wall
+/// clock is the slowest client's wall. This follows the repo's cost-model
+/// substitution rule (see `lobster-metrics`): when the container has fewer
+/// cores than clients, measured timesharing says nothing about scaling,
+/// while the serial model is exact for independent clients — which
+/// hash-partitioned shards are, up to cross-client lock conflicts (wait-die
+/// retries between concurrent clients cannot manifest serially, so the
+/// model is optimistic by that sliver).
+///
+/// `total_ops` spans all clients and `ops_per_sec` divides it by the
+/// modeled wall, so reports read identically to the threaded driver.
+pub fn run_virtual_parallel<F>(threads: usize, ops_per_thread: u64, exec: F) -> DriverReport
+where
+    F: Fn(usize, u64) -> OpOutcome,
+{
+    let threads = threads.max(1);
+    let merged = Histogram::new();
+    let mut retries = 0u64;
+    let mut slowest = Duration::ZERO;
+    for w in 0..threads {
+        let mut rec = LocalRecorder::new();
+        let t0 = Instant::now();
+        for op in 0..ops_per_thread {
+            let t = Instant::now();
+            while exec(w, op) == OpOutcome::Retry {
+                retries += 1;
+            }
+            rec.record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        slowest = slowest.max(t0.elapsed());
+        merged.merge_recorder(&rec);
+    }
+    DriverReport {
+        threads,
+        total_ops: threads as u64 * ops_per_thread,
+        retries,
+        elapsed: slowest,
+        latency: merged.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn completes_every_op_once() {
+        let executed = AtomicU64::new(0);
+        let r = run_closed_loop(4, 25, |_, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            OpOutcome::Done
+        });
+        assert_eq!(r.total_ops, 100);
+        assert_eq!(executed.load(Ordering::Relaxed), 100);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.latency.count(), 100);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn retries_rerun_and_are_counted() {
+        // Every op fails exactly twice before succeeding.
+        let attempts = AtomicU64::new(0);
+        let r = run_closed_loop(2, 10, |_, _| {
+            if attempts.fetch_add(1, Ordering::Relaxed) % 3 < 2 {
+                OpOutcome::Retry
+            } else {
+                OpOutcome::Done
+            }
+        });
+        assert_eq!(r.total_ops, 20);
+        assert_eq!(r.retries, 40);
+        assert_eq!(attempts.load(Ordering::Relaxed), 60);
+        assert_eq!(r.latency.count(), 20);
+    }
+
+    #[test]
+    fn worker_and_op_indices_cover_the_grid() {
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        run_closed_loop(3, 5, |w, op| {
+            seen.lock().unwrap().insert((w, op));
+            OpOutcome::Done
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 15);
+        assert!((0..3).all(|w| (0..5).all(|op| seen.contains(&(w, op)))));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let r = run_closed_loop(0, 3, |_, _| OpOutcome::Done);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.total_ops, 3);
+    }
+
+    #[test]
+    fn virtual_parallel_matches_threaded_accounting() {
+        let attempts = AtomicU64::new(0);
+        let r = run_virtual_parallel(4, 25, |_, _| {
+            if attempts.fetch_add(1, Ordering::Relaxed).is_multiple_of(5) {
+                OpOutcome::Retry
+            } else {
+                OpOutcome::Done
+            }
+        });
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.total_ops, 100);
+        assert_eq!(r.latency.count(), 100);
+        assert_eq!(
+            r.retries,
+            attempts.load(Ordering::Relaxed) - r.total_ops,
+            "every non-final attempt is a retry"
+        );
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn virtual_parallel_covers_the_grid_serially() {
+        let order = std::sync::Mutex::new(Vec::new());
+        run_virtual_parallel(3, 2, |w, op| {
+            order.lock().unwrap().push((w, op));
+            OpOutcome::Done
+        });
+        // Serial execution: each client's ops complete before the next
+        // client starts.
+        assert_eq!(
+            order.into_inner().unwrap(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+        );
+    }
+}

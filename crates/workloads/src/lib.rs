@@ -12,15 +12,20 @@
 //!   creations + metadata operations), standing in for the paper's traced
 //!   `git clone --depth 1 linux` workload (§V-I).
 //! * [`zipf`] — the zipfian generator underlying both.
+//! * [`driver`] — a closed-loop multi-client driver for the
+//!   `threads = 1..N` scalability axis (retry-on-conflict, merged per-op
+//!   latency histograms).
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
 pub mod gitclone;
 pub mod payload;
 pub mod wiki;
 pub mod ycsb;
 pub mod zipf;
 
+pub use driver::{run_closed_loop, run_virtual_parallel, DriverReport, OpOutcome};
 pub use gitclone::{GitCloneTrace, TraceOp};
 pub use payload::PayloadDist;
 pub use wiki::{WikiArticle, WikiCorpus};
