@@ -324,9 +324,12 @@ pub fn load_entries(text: &str) -> Result<(String, Vec<LoadedEntry>), String> {
                 .unwrap_or("")
                 .to_string(),
             higher_is_better: matches!(e.get("higher_is_better"), Some(Json::Bool(true))),
-            // The CI gate only fires on throughput rows; everything else
-            // (ratios, byte counts, model-derived figures) is informational.
-            gated: metric == "throughput",
+            // The CI gate fires on throughput rows and on tail-latency
+            // (p99) rows — the serving axis gates both; everything else
+            // (ratios, byte counts, model-derived figures) is
+            // informational. Direction comes from `higher_is_better`, so
+            // a p99 row (false) regresses on *increase*.
+            gated: metric == "throughput" || metric == "p99",
         });
     }
     Ok((bench, out))
@@ -452,6 +455,32 @@ mod tests {
         assert_eq!(bad.regressions, 1, "{:?}", bad.lines);
         // 50% up: improvement, not a failure.
         let up = compare(&base, &mini_report(1500.0), 0.35).unwrap();
+        assert_eq!(up.regressions, 0);
+        assert_eq!(up.improvements, 1);
+    }
+
+    #[test]
+    fn p99_rows_gate_on_increase() {
+        fn rep(p99_ns: f64) -> String {
+            let mut r = Report::new("figY", "t", "p");
+            r.push(Entry::new("Our.served", "p99", "ns", p99_ns, false).param("connections", 4));
+            r.to_json().to_string_pretty()
+        }
+        let base = rep(1_000_000.0);
+        let (_, entries) = load_entries(&base).unwrap();
+        assert!(entries[0].gated, "p99 rows must be gated");
+        // 30% slower: within a 50% threshold.
+        assert_eq!(
+            compare(&base, &rep(1_300_000.0), 0.5).unwrap().regressions,
+            0
+        );
+        // 2x slower: regression (lower-is-better direction).
+        assert_eq!(
+            compare(&base, &rep(2_000_000.0), 0.5).unwrap().regressions,
+            1
+        );
+        // 2x faster: improvement, not a failure.
+        let up = compare(&base, &rep(400_000.0), 0.5).unwrap();
         assert_eq!(up.regressions, 0);
         assert_eq!(up.improvements, 1);
     }

@@ -17,6 +17,7 @@ pub mod fig7_metadata;
 pub mod fig8_hot_read;
 pub mod fig9_cold_read;
 pub mod micro_primitives;
+pub mod serve_curve;
 pub mod table1_survey;
 pub mod table2_shared_area;
 pub mod table3_indexing;
@@ -145,6 +146,13 @@ static SPECS: &[BenchSpec] = &[
         paper_ref: "§III/§IV primitives",
         run: micro_primitives::run,
     },
+    BenchSpec {
+        name: "serve",
+        target: "serve_curve",
+        title: "Serving curve — lobster-serve vs modeled client/server",
+        paper_ref: "§II / §V-B client-server overhead",
+        run: serve_curve::run,
+    },
 ];
 
 pub fn all() -> &'static [BenchSpec] {
@@ -202,7 +210,7 @@ mod tests {
             assert!(find(a.name).is_some());
             assert!(find(a.target).is_some());
         }
-        assert_eq!(all().len(), 16);
+        assert_eq!(all().len(), 17);
         assert!(find("no_such_bench").is_none());
     }
 }

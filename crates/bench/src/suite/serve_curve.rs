@@ -1,0 +1,240 @@
+//! Serving curve: `lobster-serve` over real loopback TCP vs the paper's
+//! modeled client/server overhead, swept over connection counts.
+//!
+//! The paper's PostgreSQL/MySQL baselines *charge* a per-statement
+//! client/server cost (`ClientSideCost::unix_socket()`: a 25 µs round
+//! trip plus 40 ns/KiB serialization, see `lobster-baselines::dbms`) on
+//! top of the store's own work. `lobster-serve` makes that cost real —
+//! a binary protocol served straight out of the buffer pool under
+//! streaming leases — and this bench puts both on the same axis:
+//! closed-loop GETs of 4 KiB payloads at `connections = {1, 4, 16}`.
+//!
+//! The model burns its charge as CPU (`spin_loop`, no yield) rather than
+//! idle wall time: the modeled round trip is dominated by kernel
+//! crossings, socket-stack work, and statement parse/serialize, which a
+//! real single-core server pays serially per statement. Charging it as
+//! sleepable wall time would let an N-connection model overlap N round
+//! trips on one core — parallelism a real client/server DBMS does not
+//! have there — while the served side is measured against real scheduler
+//! and syscall costs. Both sides run the same closed-loop driver with
+//! real OS threads (serve clients are I/O-bound; model clients *are* the
+//! server's statement loop).
+
+use crate::*;
+use lobster_core::{RelationKind, ShardDevices, ShardedDatabase};
+use lobster_serve::{ServeConfig, Server};
+use lobster_workloads::driver::{run_closed_loop, OpOutcome};
+use lobster_workloads::make_payload;
+use lobster_workloads::serve_load::{key_for, populate, run_serve_load, ServeLoad};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Payload size for the sweep: 4 KiB — large enough that a GET streams a
+/// real extent range, small enough that the modeled 25 µs round trip
+/// (not transfer bandwidth) dominates the baseline, mirroring the
+/// paper's point-operation regime.
+const PAYLOAD: usize = 4096;
+
+/// Connection counts; the committed baseline gates each row, so the
+/// axis is fixed rather than host-derived.
+const CONNS: [usize; 3] = [1, 4, 16];
+
+/// Shards (and served worker slots) for the engine under test.
+const SHARDS: usize = 4;
+
+pub(crate) fn run(report: &mut Report) {
+    banner(
+        "Serving curve — lobster-serve vs modeled client/server",
+        "§II / §V-B client-server overhead, served for real",
+    );
+    let nkeys = scaled(2048).max(64);
+    let ops_per_conn = scaled(6000).max(300) as u64;
+    let keys: Vec<Vec<u8>> = (0..nkeys)
+        .map(|i| format!("serve{i:06}").into_bytes())
+        .collect();
+
+    let mut table = Table::new(&[
+        "connections",
+        "system",
+        "ops/s",
+        "p50",
+        "p95",
+        "p99",
+        "busy/retry",
+    ]);
+
+    // ---------------------------------------------- real served side ---
+    let parts = (0..SHARDS)
+        .map(|_| ShardDevices {
+            data: mem_device(256 << 20),
+            wal: mem_device(64 << 20),
+        })
+        .collect();
+    let sdb = ShardedDatabase::create(parts, our_config(SHARDS)).expect("create engine");
+    let rel = sdb
+        .create_relation("blobs", RelationKind::Blob)
+        .expect("create relation");
+    let engine = Arc::clone(&sdb);
+    let handle = Server::start(
+        sdb,
+        rel,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = handle.local_addr().to_string();
+    populate(&addr, &keys, PAYLOAD);
+    engine
+        .wait_for_durability()
+        .expect("quiesce after populate");
+
+    let mut served_rates = Vec::new();
+    for c in CONNS {
+        let before = engine.metrics().snapshot();
+        let run = run_serve_load(&ServeLoad {
+            addr: addr.clone(),
+            connections: c,
+            ops_per_conn,
+            keys: keys.clone(),
+        });
+        let delta = engine.metrics().snapshot() - before;
+        let rate = run.ops_per_sec();
+        let s = run.latency.summary();
+        served_rates.push(rate);
+        table.row(&[
+            format!("{c}"),
+            "Ours.served".into(),
+            fmt_rate(rate),
+            lobster_metrics::fmt_ns(s.p50_ns),
+            lobster_metrics::fmt_ns(s.p95_ns),
+            lobster_metrics::fmt_ns(s.p99_ns),
+            format!("{}", run.retries),
+        ]);
+        report.push(
+            Entry::throughput("Ours.served", rate)
+                .param("payload", "4KiB")
+                .param("connections", c)
+                .latency("op", s)
+                .counters(delta),
+        );
+        report.push(
+            Entry::new("Ours.served", "p99", "ns", s.p99_ns as f64, false)
+                .param("payload", "4KiB")
+                .param("connections", c),
+        );
+    }
+    // The last client sees its final body byte while the server session
+    // is still unwinding its stream (lease release happens on drop a few
+    // microseconds later), so poll instead of asserting instantly.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while handle.pin_gate_in_use() != 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(handle.pin_gate_in_use(), 0, "streaming leases leaked");
+    handle.shutdown().expect("graceful shutdown");
+
+    // ------------------------------------------------- modeled side ---
+    // Same engine configuration, driven in-process with the paper's
+    // client/server charge per statement. One worker id per modeled
+    // connection (a backend per connection, as PostgreSQL would).
+    let parts = (0..SHARDS)
+        .map(|_| ShardDevices {
+            data: mem_device(256 << 20),
+            wal: mem_device(64 << 20),
+        })
+        .collect();
+    let max_c = *CONNS.iter().max().unwrap();
+    let mcfg = our_config(max_c);
+    let msdb = ShardedDatabase::create(parts, mcfg).expect("create model engine");
+    let mrel = msdb
+        .create_relation("blobs", RelationKind::Blob)
+        .expect("create model relation");
+    for chunk in (0..nkeys).collect::<Vec<_>>().chunks(256) {
+        let mut txn = msdb.begin();
+        for &i in chunk {
+            let data = make_payload(PAYLOAD, i as u64 + 1);
+            txn.put_blob(&mrel, &keys[i], &data).expect("model load");
+        }
+        txn.commit().expect("model load commit");
+    }
+    msdb.wait_for_durability().expect("model quiesce");
+
+    // charge() from lobster-baselines::dbms, reproduced here (it is
+    // private): round trip + per-KiB transfer, plus the two
+    // serialization copies — performed for real, not counter-bumped.
+    let overhead =
+        Duration::from_micros(25) + Duration::from_nanos(40) * (PAYLOAD as u32).div_ceil(1024);
+    let scratch: Vec<Mutex<(Vec<u8>, Vec<u8>)>> = (0..max_c)
+        .map(|_| Mutex::new((vec![0u8; PAYLOAD], vec![0u8; PAYLOAD])))
+        .collect();
+
+    let mut model_rates = Vec::new();
+    for c in CONNS {
+        let exec = |w: usize, op: u64| {
+            let mut guard = scratch[w].lock().unwrap();
+            let (wire, resp) = &mut *guard;
+            let key = key_for(&keys, w, op);
+            let mut txn = msdb.begin_with_worker(w);
+            let n = txn.get_blob_range(&mrel, key, 0, wire).expect("model read");
+            txn.commit().expect("model commit");
+            resp[..n].copy_from_slice(&wire[..n]); // the socket-write copy
+            std::hint::black_box(&resp[..n]);
+            burn(overhead);
+            OpOutcome::Done
+        };
+        let run = run_closed_loop(c, ops_per_conn, exec);
+        let rate = run.ops_per_sec();
+        let s = run.latency.summary();
+        model_rates.push(rate);
+        table.row(&[
+            format!("{c}"),
+            "baseline.client_server_model".into(),
+            fmt_rate(rate),
+            lobster_metrics::fmt_ns(s.p50_ns),
+            lobster_metrics::fmt_ns(s.p95_ns),
+            lobster_metrics::fmt_ns(s.p99_ns),
+            format!("{}", run.retries),
+        ]);
+        // Informational (non-gated metric name): the model is a constant,
+        // not a regression-gated artifact of this repo's code.
+        report.push(
+            Entry::new(
+                "baseline.client_server_model",
+                "ops_per_s",
+                "ops/s",
+                rate,
+                true,
+            )
+            .param("payload", "4KiB")
+            .param("connections", c)
+            .latency("op", s),
+        );
+    }
+    msdb.wait_for_durability().expect("model quiesce");
+    msdb.shutdown().expect("model shutdown");
+    table.print();
+
+    let best_served = served_rates.iter().cloned().fold(0.0f64, f64::max);
+    let best_model = model_rates.iter().cloned().fold(0.0f64, f64::max);
+    let ratio = best_served / best_model.max(1e-9);
+    println!("\nServed vs modeled client/server (best over sweep): {ratio:.2}x (target >1x)");
+    report.push(Entry::new(
+        "Ours.served",
+        "speedup_vs_model",
+        "x",
+        ratio,
+        true,
+    ));
+}
+
+/// The model's `spin`, reproduced from `lobster-baselines::dbms` but
+/// burning CPU unconditionally (no yield): see the module docs for why
+/// the charge must serialize on a single-core host.
+fn burn(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}

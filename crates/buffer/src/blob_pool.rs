@@ -196,6 +196,49 @@ impl BlobPool {
         }
     }
 
+    /// Take a streaming lease on one extent: force it resident and pin it
+    /// against eviction while a server streams chunks out of it (see
+    /// [`ExtentPool::lease_extent`]). The hash-table pool has no aliased
+    /// residency to protect — its serving path copies per chunk — so the
+    /// lease is a no-op there.
+    pub fn lease_extent(&self, spec: ExtentSpec) -> Result<()> {
+        match self {
+            BlobPool::Vm(p) => p.lease_extent(spec),
+            BlobPool::Ht(_) => Ok(()),
+        }
+    }
+
+    /// Release a streaming lease taken by [`BlobPool::lease_extent`].
+    pub fn unlease_extent(&self, spec: ExtentSpec) {
+        match self {
+            BlobPool::Vm(p) => p.unlease_extent(spec),
+            BlobPool::Ht(_) => {}
+        }
+    }
+
+    /// Read one chunk (`byte_off .. byte_off + len` within `spec`) under a
+    /// brief shared latch, passing the bytes to `f`. On the vmcache pool
+    /// the slice borrows the pool frame directly (zero-copy); the
+    /// hash-table pool gathers into a scratch buffer first, matching its
+    /// malloc+memcpy read discipline.
+    pub fn read_chunk<R>(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        match self {
+            BlobPool::Vm(p) => p.read_chunk(spec, byte_off, len, f),
+            BlobPool::Ht(p) => {
+                let mut buf = vec![0u8; len];
+                p.read_range(spec, byte_off, &mut buf)?;
+                p.metrics().bump_memcpy(len as u64);
+                Ok(f(&buf))
+            }
+        }
+    }
+
     /// Commit-time flush of dirty extent ranges (the single BLOB write).
     pub fn flush_extents(&self, items: &[FlushItem]) -> Result<()> {
         match self {

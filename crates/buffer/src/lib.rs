@@ -23,12 +23,14 @@ mod arena;
 mod blob_pool;
 mod htpool;
 mod pool;
+mod stream;
 
 pub use alias::{AliasConfig, AliasGuard, AliasStats, AliasingManager};
 pub use arena::{Arena, OS_PAGE};
 pub use blob_pool::{BlobPool, FlushTicket};
 pub use htpool::{HashTablePool, HtFlushBatch};
 pub use pool::{ExtentFlushBatch, ExtentPool, FlushItem, PoolConfig, ShGuard, XGuard};
+pub use stream::PinGate;
 
 #[cfg(test)]
 mod tests {
@@ -139,6 +141,75 @@ mod tests {
         }
         assert!(pool.is_resident(pinned.start), "pinned extent evicted");
         assert!(pool.is_dirty(pinned.start), "pinned extent must stay dirty");
+    }
+
+    #[test]
+    fn streaming_lease_pins_and_unpins() {
+        let pool = vm_pool(8, false);
+        let leased = ExtentSpec::new(Pid::new(0), 4);
+        {
+            let mut g = pool.create_extent(leased).unwrap();
+            g.fill(0x5A);
+            g.mark_dirty();
+        }
+        pool.flush_extents(&[FlushItem::whole(leased)]).unwrap();
+        assert!(!pool.is_dirty(leased.start), "flushed extent must be clean");
+
+        pool.lease_extent(leased).unwrap();
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            pool.audit().leaked_pins(),
+            vec![leased.start.raw()],
+            "lease must register in the pin ledger"
+        );
+
+        // Fill the pool well past capacity; the clean-but-leased extent
+        // must survive every eviction pass.
+        for e in 1..6u64 {
+            let spec = ExtentSpec::new(Pid::new(e * 4), 4);
+            if let Ok(mut g) = pool.create_extent(spec) {
+                g.fill(e as u8);
+                g.mark_dirty();
+            }
+            pool.flush_extents(&[FlushItem::whole(spec)]).ok();
+        }
+        assert!(pool.is_resident(leased.start), "leased extent evicted");
+
+        // Chunk reads see the leased bytes without re-faulting.
+        let before = pool.metrics().snapshot();
+        pool.read_chunk(leased, 4096 + 7, 100, |b| {
+            assert_eq!(b.len(), 100);
+            assert!(b.iter().all(|&x| x == 0x5A));
+        })
+        .unwrap();
+        let delta = pool.metrics().snapshot() - before;
+        assert_eq!(delta.cache_misses, 0, "leased chunk read must be a hit");
+
+        pool.unlease_extent(leased);
+        #[cfg(debug_assertions)]
+        assert!(
+            pool.audit().leaked_pins().is_empty(),
+            "unlease must clear the pin ledger"
+        );
+    }
+
+    #[test]
+    fn read_chunk_refaults_after_eviction() {
+        let pool = vm_pool(8, false);
+        let spec = ExtentSpec::new(Pid::new(0), 2);
+        {
+            let mut g = pool.create_extent(spec).unwrap();
+            g.fill(0xC3);
+            g.mark_dirty();
+        }
+        pool.flush_extents(&[FlushItem::whole(spec)]).unwrap();
+        pool.drop_extent(spec);
+        assert!(!pool.is_resident(spec.start));
+        // A chunk read on a non-resident extent faults it back in — losing
+        // a lease costs a re-read, never an error.
+        pool.read_chunk(spec, 4095, 2, |b| assert_eq!(b, [0xC3, 0xC3]))
+            .unwrap();
+        assert!(pool.is_resident(spec.start));
     }
 
     #[test]

@@ -1382,6 +1382,53 @@ impl ExtentPool {
         }
         Ok(None)
     }
+
+    // ------------------------------------------------- streaming lease ---
+
+    /// Take a *streaming lease* on one extent: force it resident (faulting
+    /// it in if needed) and set its `prevent_evict` pin so the eviction
+    /// scan skips it while a server streams chunks out of it. Pair with
+    /// [`ExtentPool::unlease_extent`].
+    ///
+    /// The lease is an **advisory residency hint**, not a correctness
+    /// primitive: the pin bit is shared with the commit pipeline's flush
+    /// pins, so a concurrent flush completion may clear it early. That is
+    /// benign — every chunk read ([`ExtentPool::read_chunk`]) takes its own
+    /// shared latch and re-faults the extent if it lost residency; losing
+    /// the lease costs a re-read, never a torn read. Conversely, a lease
+    /// left set on a dirty extent is cleared by the committer's
+    /// flush-finish path like any other pin.
+    pub fn lease_extent(&self, spec: ExtentSpec) -> Result<()> {
+        // Force residency under a shared latch, then pin while still
+        // latched so eviction cannot slip between the load and the pin.
+        let _frame = self.fix_shared(spec)?;
+        self.set_prevent_evict(spec.start, true);
+        self.release_shared(spec.start);
+        Ok(())
+    }
+
+    /// Release a streaming lease taken by [`ExtentPool::lease_extent`],
+    /// making the extent evictable again (unless dirty or latched).
+    pub fn unlease_extent(&self, spec: ExtentSpec) {
+        self.set_prevent_evict(spec.start, false);
+    }
+
+    /// Read `len` bytes starting at `byte_off` inside one extent under a
+    /// brief shared latch, passing the borrowed slice to `f`. This is the
+    /// per-chunk read used by the serving path: the latch is held only for
+    /// the duration of `f` (one chunk's socket write), so a slow client
+    /// never holds a latch across requests — only the advisory lease.
+    pub fn read_chunk<R>(
+        &self,
+        spec: ExtentSpec,
+        byte_off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        debug_assert!(byte_off + len <= spec.pages as usize * self.geo.page_size());
+        let g = self.read_extent(spec)?;
+        Ok(f(&g[byte_off..byte_off + len]))
+    }
 }
 
 impl Drop for ExtentPool {

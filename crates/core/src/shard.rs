@@ -446,7 +446,7 @@ impl ShardedDatabase {
 
     /// Checkpoint when any shard's active log exceeds the configured
     /// threshold (per-shard auto-checkpoints are disabled; see
-    /// [`Self::shard_config`]).
+    /// `shard_config`).
     pub fn maybe_checkpoint(&self) -> Result<()> {
         let over = self
             .shards
@@ -521,6 +521,24 @@ impl ShardedTxn {
     ) -> Result<usize> {
         let s = self.route(key);
         self.txn_for(s).get_blob_range(rel.on(s), key, offset, buf)
+    }
+
+    /// Stream a range to `sink` in `chunk`-sized pieces under streaming
+    /// leases (the serving path). See [`crate::Txn::stream_blob_range`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_blob_range(
+        &mut self,
+        rel: &ShardedRelation,
+        key: &[u8],
+        offset: u64,
+        len: u64,
+        chunk: usize,
+        gate: Option<(&lobster_buffer::PinGate, std::time::Duration)>,
+        sink: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<u64> {
+        let s = self.route(key);
+        self.txn_for(s)
+            .stream_blob_range(rel.on(s), key, offset, len, chunk, gate, sink)
     }
 
     pub fn append_blob(&mut self, rel: &ShardedRelation, key: &[u8], data: &[u8]) -> Result<()> {

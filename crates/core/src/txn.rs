@@ -502,6 +502,138 @@ impl Txn {
         Ok(n)
     }
 
+    /// Stream `len` bytes starting at `offset` to `sink` in `chunk`-sized
+    /// pieces read straight out of the buffer pool (the serving path's
+    /// zero-copy range read). Returns the bytes streamed (clamped at the
+    /// BLOB size).
+    ///
+    /// Every extent intersecting the range is held under a *streaming
+    /// lease* (`prevent_evict` pin — see `ExtentPool::lease_extent`) for
+    /// the duration of the stream, so chunks hit resident frames instead
+    /// of re-faulting between socket writes. Each chunk is passed to
+    /// `sink` under a brief shared latch (held for one `sink` call, never
+    /// across calls); the lease itself is advisory, so a slow client
+    /// holds pool *budget*, never a latch. If `gate` is given, the run's
+    /// pinned footprint is acquired from it first — `Error::BufferFull`
+    /// on timeout means the pin budget is exhausted and the caller should
+    /// shed load (BUSY). Leases and gate budget are released when the
+    /// stream ends, **including on an early `sink` error** (client
+    /// disconnect mid-stream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_blob_range(
+        &mut self,
+        rel: &Relation,
+        key: &[u8],
+        offset: u64,
+        len: u64,
+        chunk: usize,
+        gate: Option<(&lobster_buffer::PinGate, std::time::Duration)>,
+        sink: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<u64> {
+        self.check_active()?;
+        self.lock(rel, key, LockMode::Shared)?;
+        let state = self.require_state(rel, key)?;
+        if offset >= state.size || len == 0 {
+            return Ok(0);
+        }
+        let n = len.min(state.size - offset);
+        let chunk = chunk.max(1);
+        // Inline-prefix fast path: the whole range lives in the Blob
+        // State — one sink call, zero content I/O, zero leases.
+        if offset as usize + n as usize <= PREFIX_LEN {
+            sink(&state.prefix[offset as usize..(offset + n) as usize])?;
+            return Ok(n);
+        }
+
+        // Select the covering extent run (same walk as read_state_range).
+        let specs = state.extent_specs(&self.db.table);
+        let page = self.db.geo.page_size() as u64;
+        let end_byte = offset + n;
+        let mut first = 0usize;
+        let mut first_base = 0u64;
+        let mut last = specs.len();
+        let mut base = 0u64;
+        let mut seen_first = false;
+        for (i, spec) in specs.iter().enumerate() {
+            if base >= end_byte {
+                last = i;
+                break;
+            }
+            let next = base + spec.pages * page;
+            if !seen_first && next > offset {
+                first = i;
+                first_base = base;
+                seen_first = true;
+            }
+            base = next;
+        }
+        debug_assert!(seen_first, "offset < size implies a covering extent");
+
+        // Admission: charge the run's pinned footprint against the gate
+        // *before* taking any lease, so rejected streams pin nothing.
+        let run = &specs[first..last];
+        let lease_bytes: u64 = run.iter().map(|s| s.pages * page).sum();
+        if let Some((g, timeout)) = gate {
+            g.acquire(lease_bytes, timeout)?;
+        }
+        // RAII: leases + gate budget release on every exit path below,
+        // including sink errors (client disconnect mid-stream).
+        struct Leases<'a> {
+            pool: &'a lobster_buffer::BlobPool,
+            run: &'a [lobster_extent::ExtentSpec],
+            taken: usize,
+            gate: Option<(&'a lobster_buffer::PinGate, u64)>,
+        }
+        impl Drop for Leases<'_> {
+            fn drop(&mut self) {
+                for spec in &self.run[..self.taken] {
+                    self.pool.unlease_extent(*spec);
+                }
+                if let Some((g, bytes)) = self.gate {
+                    g.release(bytes);
+                }
+            }
+        }
+        let mut leases = Leases {
+            pool: &self.db.blob_pool,
+            run,
+            taken: 0,
+            gate: gate.map(|(g, _)| (g, lease_bytes)),
+        };
+        for spec in run {
+            self.db.blob_pool.lease_extent(*spec)?;
+            leases.taken += 1;
+        }
+        // Sequential-streaming readahead, same hint as get_blob_range.
+        let ra = self.db.cfg.readahead_extents;
+        if ra > 0 && last < specs.len() {
+            self.db
+                .blob_pool
+                .prefetch(&specs[last..specs.len().min(last + ra)]);
+        }
+
+        // Walk the run chunk by chunk. Blob byte x lives at run byte
+        // x - first_base; chunks never span extents (an extent boundary
+        // ends the chunk early).
+        let mut pos = offset;
+        let mut ext_base = first_base;
+        for spec in run {
+            let ext_len = spec.pages * page;
+            let ext_end = ext_base + ext_len;
+            while pos < end_byte.min(ext_end) {
+                let take = (chunk as u64).min(end_byte.min(ext_end) - pos) as usize;
+                let local = (pos - ext_base) as usize;
+                self.db
+                    .blob_pool
+                    .read_chunk(*spec, local, take, |b| sink(b))??;
+                pos += take as u64;
+            }
+            ext_base = ext_end;
+        }
+        debug_assert_eq!(pos, end_byte);
+        Ok(n)
+    }
+
     /// Fetch the Blob State (metadata operation; the `fstat` analogue).
     pub fn blob_state(&mut self, rel: &Relation, key: &[u8]) -> Result<Option<BlobState>> {
         self.check_active()?;

@@ -174,6 +174,16 @@ counters! {
     /// Blobs quarantined after verify-on-read confirmed rot: their extents
     /// are fenced from re-allocation until the blob is deleted.
     quarantined_blobs,
+    /// Requests completed by the serving front end (`lobster-serve`), all
+    /// opcodes, success or error-reply.
+    serve_requests,
+    /// Payload bytes streamed to clients by get/get_range responses.
+    serve_bytes_streamed,
+    /// Requests shed by admission control or the pin-gate (BUSY replies).
+    serve_rejects,
+    /// Client connections that ended abnormally (mid-frame EOF, I/O error,
+    /// or disconnect during a streamed response).
+    serve_disconnects,
 }
 
 /// Shared handle to a counter set.

@@ -1,0 +1,89 @@
+//! Closed-loop many-client load generator for `lobster-serve`.
+//!
+//! Reuses [`crate::driver::run_closed_loop`] with one persistent TCP
+//! connection per client thread: each client issues one request, waits
+//! for the full response (header + streamed body), and immediately
+//! issues the next — a closed loop, so offered load tracks the server's
+//! completion rate and the sweep measures serving capacity per
+//! connection count rather than queueing artifacts. `BUSY` responses
+//! (admission control, worker-slot or pin-gate backpressure) are counted
+//! as retries on the same latency timer, mirroring how the engine-level
+//! driver folds wait-die conflict retries into user-visible latency.
+//!
+//! Unlike the engine-level `threads` axis, client threads here are
+//! I/O-bound (they spend their time in blocking socket reads), so
+//! connection counts far above the core count are the realistic serving
+//! scenario, not an oversubscription artifact.
+
+use crate::driver::{run_closed_loop, DriverReport, OpOutcome};
+use lobster_serve::{Client, Status};
+use std::sync::Mutex;
+
+/// A GET-heavy closed-loop workload over `connections` TCP clients.
+#[derive(Clone, Debug)]
+pub struct ServeLoad {
+    /// Server address, e.g. `"127.0.0.1:7878"`.
+    pub addr: String,
+    /// Concurrent client connections (one thread + one socket each).
+    pub connections: usize,
+    /// Requests per connection.
+    pub ops_per_conn: u64,
+    /// Key set to read (hot set; requests cycle it deterministically).
+    pub keys: Vec<Vec<u8>>,
+}
+
+/// Upload `keys[i] -> payload(i)` through one connection; returns the
+/// total bytes stored. Panics on any non-OK reply (population is test
+/// setup, not measurement).
+pub fn populate(addr: &str, keys: &[Vec<u8>], payload_len: usize) -> u64 {
+    let mut c = Client::connect(addr).expect("populate: connect");
+    let mut total = 0u64;
+    for (i, key) in keys.iter().enumerate() {
+        let data = crate::make_payload(payload_len, i as u64 + 1);
+        let status = c.put(key, &data).expect("populate: put");
+        assert_eq!(status, Status::Ok, "populate: PUT {i} got {status:?}");
+        total += data.len() as u64;
+    }
+    total
+}
+
+/// Deterministic key schedule: client `w`'s `op`-th request touches
+/// `keys[(w * 31 + op * 17) % keys.len()]` — spread over the whole hot
+/// set, different per client, reproducible across runs.
+pub fn key_for(keys: &[Vec<u8>], worker: usize, op: u64) -> &[u8] {
+    &keys[((worker as u64).wrapping_mul(31) + op.wrapping_mul(17)) as usize % keys.len()]
+}
+
+/// Run the closed-loop GET workload and return the merged driver report
+/// (throughput + per-op latency histogram across all connections).
+///
+/// Each client thread owns one pre-connected [`Client`]; a `BUSY` reply
+/// re-runs the op as a retry, any other non-OK reply or transport error
+/// panics (the sweep measures a healthy server, not error paths).
+pub fn run_serve_load(load: &ServeLoad) -> DriverReport {
+    let clients: Vec<Mutex<Client>> = (0..load.connections.max(1))
+        .map(|_| Mutex::new(Client::connect(&load.addr).expect("serve_load: connect")))
+        .collect();
+    let keys = &load.keys;
+    run_closed_loop(load.connections, load.ops_per_conn, |w, op| {
+        let mut c = clients[w].lock().unwrap();
+        let key = key_for(keys, w, op);
+        match c.get(key) {
+            Ok(resp) => match resp.status {
+                Status::Ok => {
+                    assert!(!resp.body.is_empty(), "serve_load: empty GET body");
+                    OpOutcome::Done
+                }
+                Status::Busy => OpOutcome::Retry,
+                other => panic!("serve_load: GET returned {other:?}"),
+            },
+            Err(e) => panic!("serve_load: transport error: {e}"),
+        }
+    })
+}
+
+/// Total payload bytes a full run will stream (for MB/s reporting):
+/// every op fetches one whole payload.
+pub fn bytes_per_run(load: &ServeLoad, payload_len: usize) -> u64 {
+    load.connections.max(1) as u64 * load.ops_per_conn * payload_len as u64
+}

@@ -41,8 +41,21 @@ pub const SYS_memfd_create: c_long = 319;
 #[cfg(target_arch = "aarch64")]
 pub const SYS_memfd_create: c_long = 279;
 
+// Signals (asm-generic/signal.h) — used by lobster-serve's graceful
+// shutdown handler.
+pub const SIGINT: c_int = 2;
+pub const SIGTERM: c_int = 15;
+
+/// Signal disposition: a handler function pointer or SIG_DFL/SIG_IGN.
+pub type sighandler_t = usize;
+pub const SIG_DFL: sighandler_t = 0;
+pub const SIG_IGN: sighandler_t = 1;
+pub const SIG_ERR: sighandler_t = !0;
+
 extern "C" {
     pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn raise(signum: c_int) -> c_int;
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
     pub fn close(fd: c_int) -> c_int;
     pub fn mmap(
@@ -59,6 +72,25 @@ extern "C" {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn signal_handler_installs_and_fires() {
+        use std::sync::atomic::{AtomicI32, Ordering};
+        static CAUGHT: AtomicI32 = AtomicI32::new(0);
+        extern "C" fn on_sig(sig: c_int) {
+            // Async-signal-safe: a single atomic store.
+            CAUGHT.store(sig, Ordering::SeqCst);
+        }
+        // SAFETY: the handler only performs an atomic store; the previous
+        // disposition is restored before the test exits.
+        unsafe {
+            let prev = signal(SIGTERM, on_sig as *const () as sighandler_t);
+            assert_ne!(prev, SIG_ERR);
+            assert_eq!(raise(SIGTERM), 0);
+            assert_eq!(CAUGHT.load(Ordering::SeqCst), SIGTERM);
+            signal(SIGTERM, prev);
+        }
+    }
 
     #[test]
     fn anonymous_mapping_roundtrip() {

@@ -316,7 +316,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::*;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`](crate::collection::vec).
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }
