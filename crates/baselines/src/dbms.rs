@@ -8,6 +8,7 @@
 //! MySQL additionally charge a client/server cost (socket round trip +
 //! serialization copies), which §V-B identifies as their dominant overhead
 //! for small objects.
+// lint-allow-file(ordering-audit): baseline cost-model bookkeeping (op/tuple/byte counters); Relaxed by design, nothing synchronizes on these atomics.
 
 use crate::fskit::PageCache;
 use crate::store::{snapshot_of, ObjectStore, StoreStats};

@@ -18,6 +18,7 @@
 //! * **allocation strategies** — best-effort largest-contiguous for
 //!   ext4/XFS/BtrFS degrades near-full (Figure 11), while F2FS's
 //!   fixed-size log-structured segments stay O(1).
+// lint-allow-file(ordering-audit): baseline cost-model bookkeeping (block/byte counters, fd ids); Relaxed by design, nothing synchronizes on these atomics.
 
 use crate::store::{snapshot_of, ObjectStore, StoreStats};
 use lobster_extent::RangeAllocator;

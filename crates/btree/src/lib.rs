@@ -16,8 +16,8 @@ mod tests {
     use lobster_buffer::{ExtentPool, PoolConfig};
     use lobster_extent::{ExtentAllocator, TierPolicy, TierTable};
     use lobster_storage::{Device, MemDevice};
+    use lobster_sync::Arc;
     use lobster_types::{Error, Geometry, Pid};
-    use std::sync::Arc;
 
     fn setup(frames: u64) -> (Arc<ExtentPool>, Arc<ExtentAllocator>) {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new(64 << 20));

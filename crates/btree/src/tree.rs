@@ -18,10 +18,10 @@
 use crate::node::{Node, HEADER, KIND_INNER, KIND_LEAF, SLOT};
 use lobster_buffer::{ExtentPool, ShGuard, XGuard};
 use lobster_extent::{ExtentAllocator, ExtentSpec};
+use lobster_sync::atomic::Ordering as AtomicOrdering;
+use lobster_sync::Arc;
 use lobster_types::{Error, Pid, Result, INVALID_PID};
 use std::cmp::Ordering;
-use std::sync::atomic::Ordering as AtomicOrdering;
-use std::sync::Arc;
 
 /// Key comparator for a tree.
 pub trait KeyCmp: Send + Sync {
@@ -135,7 +135,7 @@ impl BTree {
         self.pool
             .metrics()
             .btree_node_accesses
-            .fetch_add(1, AtomicOrdering::Relaxed);
+            .fetch_add(1, AtomicOrdering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
     }
 
     // ----------------------------------------------------- comparisons ---

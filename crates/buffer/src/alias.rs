@@ -7,9 +7,9 @@
 
 use crate::arena::{Arena, OS_PAGE};
 use lobster_metrics::Metrics;
+use lobster_sync::atomic::{AtomicU64, Ordering};
 use lobster_types::{Error, Result};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sizing of the aliasing areas.
 #[derive(Clone, Copy, Debug)]
@@ -73,9 +73,9 @@ impl AliasingManager {
 
     pub fn stats(&self) -> AliasStats {
         AliasStats {
-            local_uses: self.local_uses.load(Ordering::Relaxed),
+            local_uses: self.local_uses.load(Ordering::Relaxed), // ordering: Relaxed; stats snapshot, counters may be mutually torn
             shared_uses: self.shared_uses.load(Ordering::Relaxed),
-            reservation_retries: self.retries.load(Ordering::Relaxed),
+            reservation_retries: self.retries.load(Ordering::Relaxed), // ordering: Relaxed; stats snapshot, counters may be mutually torn
         }
     }
 
@@ -100,6 +100,7 @@ impl AliasingManager {
         let total: usize = parts.iter().map(|&(_, len)| len).sum();
         let (base, blocks) = if total <= self.cfg.worker_local_bytes {
             // Case 1: the worker-local area suffices; no synchronization.
+            // ordering: Relaxed usage counter; read only by stats()
             self.local_uses.fetch_add(1, Ordering::Relaxed);
             (worker * self.cfg.worker_local_bytes, None)
         } else {
@@ -107,6 +108,7 @@ impl AliasingManager {
             // area via the bitmap range lock.
             let nblocks = total.div_ceil(self.cfg.worker_local_bytes);
             let range = self.reserve_blocks(nblocks).ok_or(Error::BufferFull)?;
+            // ordering: Relaxed usage counter; read only by stats()
             self.shared_uses.fetch_add(1, Ordering::Relaxed);
             let base = self.cfg.workers * self.cfg.worker_local_bytes
                 + range.start * self.cfg.worker_local_bytes;
@@ -128,7 +130,7 @@ impl AliasingManager {
         }
         metrics
             .alias_ops
-            .fetch_add(parts.len() as u64, Ordering::Relaxed);
+            .fetch_add(parts.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
 
         Ok(AliasGuard {
             arena,
@@ -173,6 +175,7 @@ impl AliasingManager {
                     for j in start..i {
                         self.clear_bit(j);
                     }
+                    // ordering: Relaxed retry counter; read only by stats()
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     continue 'outer;
                 }
@@ -189,16 +192,19 @@ impl AliasingManager {
     }
 
     fn bit(&self, i: usize) -> bool {
+        // ordering: Acquire; pairs with the AcqRel bit ops, a set bit implies the holder's writes are visible
         self.bitmap[i / 64].load(Ordering::Acquire) & (1 << (i % 64)) != 0
     }
 
     fn try_set_bit(&self, i: usize) -> bool {
         let word = &self.bitmap[i / 64];
         let mask = 1u64 << (i % 64);
+        // ordering: AcqRel; winning the bit acquires the last holder's release and publishes our claim
         word.fetch_or(mask, Ordering::AcqRel) & mask == 0
     }
 
     fn clear_bit(&self, i: usize) {
+        // ordering: AcqRel; freeing the block publishes our writes to the next fetch_or winner
         self.bitmap[i / 64].fetch_and(!(1 << (i % 64)), Ordering::AcqRel);
     }
 }
@@ -230,6 +236,7 @@ impl Drop for AliasGuard<'_> {
             self.arena.alias_unmap(self.base, self.mapped);
         }
         // Count the shootdown-equivalent unmap.
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.alias_ops.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = self.blocks.take() {
             self.mgr.release_blocks(r);
@@ -254,13 +261,13 @@ mod tests {
     /// back (the bitmap ends empty).
     #[test]
     fn concurrent_reservations_never_overlap() {
-        use std::sync::atomic::AtomicUsize;
+        use lobster_sync::atomic::AtomicUsize;
 
         const BLOCKS: usize = 64 + 17; // straddle a bitmap word boundary
-        let m = std::sync::Arc::new(mgr(1, OS_PAGE, BLOCKS * OS_PAGE));
+        let m = lobster_sync::Arc::new(mgr(1, OS_PAGE, BLOCKS * OS_PAGE));
         // owners[i] = thread id currently holding block i (0 = free).
         let owners: std::sync::Arc<Vec<AtomicUsize>> =
-            std::sync::Arc::new((0..BLOCKS).map(|_| AtomicUsize::new(0)).collect());
+            lobster_sync::Arc::new((0..BLOCKS).map(|_| AtomicUsize::new(0)).collect());
 
         std::thread::scope(|s| {
             for tid in 1..=8usize {
@@ -335,7 +342,7 @@ mod tests {
 
     #[test]
     fn concurrent_reservations_do_not_overlap() {
-        let m = std::sync::Arc::new(mgr(1, OS_PAGE, OS_PAGE * 64));
+        let m = lobster_sync::Arc::new(mgr(1, OS_PAGE, OS_PAGE * 64));
         let mut handles = Vec::new();
         for _ in 0..8 {
             let m = m.clone();

@@ -104,21 +104,25 @@ impl HashTablePool {
     /// Enable or disable the batched cold-read fault path (plumbed from the
     /// engine configuration; on by default).
     pub fn set_batched_faults(&self, on: bool) {
+        // ordering: Relaxed; config knob, a worker may lag a toggle by one fault
         self.batched_faults.store(on, Ordering::Relaxed);
     }
 
     /// Set the transient-read retry budget (plumbed from the engine
     /// configuration; `0` restores fail-fast).
     pub fn set_io_retries(&self, n: u32) {
+        // ordering: Relaxed; config knob, any recent value is acceptable
         self.io_retries.store(n, Ordering::Relaxed);
     }
 
     #[inline]
     fn retry(&self) -> RetryPolicy {
+        // ordering: Relaxed; config knob read (see set_io_retries)
         RetryPolicy::new(self.io_retries.load(Ordering::Relaxed))
     }
 
     pub fn pages_in_use(&self) -> u64 {
+        // ordering: Relaxed; occupancy gauge for tests and diagnostics
         self.pages.load(Ordering::Relaxed)
     }
 
@@ -149,17 +153,20 @@ impl HashTablePool {
     }
 
     fn lookup(&self, pid: Pid) -> Option<Arc<PageFrame>> {
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.translations.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .latch_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.shard(pid).lock().get(&pid.raw()).cloned()
     }
 
     fn insert(&self, pid: Pid, frame: Arc<PageFrame>) {
         if self.shard(pid).lock().insert(pid.raw(), frame).is_none() {
+            // ordering: Relaxed occupancy counter; the shard mutexes order the maps themselves
             self.pages.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: Relaxed; pressure check tolerates a stale count by a page or two
         while self.pages.load(Ordering::Relaxed) > self.max_pages {
             if !self.evict_one() {
                 break;
@@ -183,10 +190,12 @@ impl HashTablePool {
             let Some((pid, frame)) = victim else { continue };
             // No-steal: dirty or pinned pages stay resident until the
             // commit flush or a checkpoint cleans them.
+            // ordering: Acquire; pairs with writers' Release stores, clean+unpinned implies no unflushed bytes
             if frame.prevent_evict.load(Ordering::Acquire) || frame.dirty.load(Ordering::Acquire) {
                 continue;
             }
             if self.shards[idx].lock().remove(&pid).is_some() {
+                // ordering: Relaxed occupancy counter; the shard mutex ordered the remove
                 let prev = self.pages.fetch_sub(1, Ordering::Relaxed);
                 debug_assert!(prev > 0, "page counter underflow on eviction");
                 return true;
@@ -210,7 +219,7 @@ impl HashTablePool {
         self.metrics.latencies.pool_fault.record_timer(t);
         self.metrics
             .pages_read
-            .fetch_add(spec.pages, Ordering::Relaxed);
+            .fetch_add(spec.pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.distribute(spec, &scratch);
         Ok(())
     }
@@ -290,7 +299,7 @@ impl HashTablePool {
                     Ok(()) => {
                         self.metrics
                             .pages_read
-                            .fetch_add(spec.pages, Ordering::Relaxed);
+                            .fetch_add(spec.pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         self.distribute(*spec, buf);
                     }
                     Err(e) => {
@@ -307,16 +316,16 @@ impl HashTablePool {
         }
         self.metrics.latencies.pool_fault.record_timer(t);
         let total: u64 = missing.iter().map(|s| s.pages).sum();
-        self.metrics.pages_read.fetch_add(total, Ordering::Relaxed);
+        self.metrics.pages_read.fetch_add(total, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.fault_batches.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .pages_faulted_batched
-            .fetch_add(total, Ordering::Relaxed);
-        // One miss per cold extent, matching what the serial path would have
-        // charged via its triggering page.
+            .fetch_add(total, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                                                  // One miss per cold extent, matching what the serial path would have
+                                                  // charged via its triggering page.
         self.metrics
             .cache_misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            .fetch_add(missing.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         for (spec, buf) in missing.iter().zip(&bufs) {
             self.distribute(*spec, buf);
         }
@@ -325,9 +334,11 @@ impl HashTablePool {
 
     fn get_or_load_page(&self, spec: ExtentSpec, pid: Pid) -> Result<Arc<PageFrame>> {
         if let Some(f) = self.lookup(pid) {
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(f);
         }
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
         // Under memory pressure a freshly loaded page can be evicted before
         // we re-find it; retry a few times before giving up.
@@ -381,7 +392,7 @@ impl HashTablePool {
             data[..take].copy_from_slice(&src[off..off + take]);
             self.metrics.bump_memcpy(take as u64);
             digest(&data[..take]);
-            frame.dirty.store(true, Ordering::Release);
+            frame.dirty.store(true, Ordering::Release); // ordering: Release; written bytes are published before the flags the evictor Acquires
             frame.prevent_evict.store(true, Ordering::Release);
             self.audit.pin(pid.raw());
             off += take;
@@ -434,7 +445,7 @@ impl HashTablePool {
             data[copy_start - page_start..copy_end - page_start]
                 .copy_from_slice(&src[copy_start - byte_off..copy_end - byte_off]);
             self.metrics.bump_memcpy((copy_end - copy_start) as u64);
-            frame.dirty.store(true, Ordering::Release);
+            frame.dirty.store(true, Ordering::Release); // ordering: Release; written bytes are published before the flags the evictor Acquires
             frame.prevent_evict.store(true, Ordering::Release);
             self.audit.pin(pid.raw());
         }
@@ -449,6 +460,7 @@ impl HashTablePool {
         len: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
+        // ordering: Relaxed; config knob, a stale read just picks the other fault path
         if self.batched_faults.load(Ordering::Relaxed) && extents.len() > 1 {
             self.fault_many(extents)?;
         }
@@ -531,6 +543,7 @@ impl HashTablePool {
         let result = batch
             .handle
             .try_complete()
+            // lint-allow(no-panic-in-request-path): wait_done() just blocked on this batch; try_complete is then infallible
             .expect("batch complete after wait_done");
         self.flush_extents_finish(&batch, &result);
         result
@@ -590,15 +603,15 @@ impl HashTablePool {
         let total_pages: u64 = batch.items.iter().map(|i| i.dirty_pages).sum();
         self.metrics
             .pages_written
-            .fetch_add(total_pages, Ordering::Relaxed);
+            .fetch_add(total_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics
             .bytes_written
-            .fetch_add(total_pages * p, Ordering::Relaxed);
+            .fetch_add(total_pages * p, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         for item in &batch.items {
             for i in 0..item.spec.pages {
                 let pid = item.spec.start.offset(i);
                 if let Some(frame) = self.lookup(pid) {
-                    frame.dirty.store(false, Ordering::Release);
+                    frame.dirty.store(false, Ordering::Release); // ordering: Release; clean flags are published only after the flush write landed
                     frame.prevent_evict.store(false, Ordering::Release);
                 }
                 self.audit.unpin(pid.raw());
@@ -615,12 +628,15 @@ impl HashTablePool {
                 .map(|(&pid, f)| (pid, f.clone()))
                 .collect();
             for (pid, frame) in entries {
+                // ordering: AcqRel; claim the dirty bit, acquiring the writer's bytes and publishing the clean state
                 if frame.dirty.swap(false, Ordering::AcqRel) {
                     let data = frame.data.read();
                     self.device
                         .write_at(&data, self.geo.offset_of(Pid::new(pid)))?;
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
                 }
+                // ordering: Release; unpin is published only after the page write above
                 frame.prevent_evict.store(false, Ordering::Release);
                 self.audit.unpin(pid);
             }
@@ -635,6 +651,7 @@ impl HashTablePool {
             let mut shard = shard.lock();
             let n = shard.len() as u64;
             shard.clear();
+            // ordering: Relaxed occupancy counter; the shard mutexes ordered the clears
             let prev = self.pages.fetch_sub(n, Ordering::Relaxed);
             debug_assert!(prev >= n, "page counter underflow on drop_all");
         }
@@ -645,6 +662,7 @@ impl HashTablePool {
         for i in 0..spec.pages {
             let pid = spec.start.offset(i);
             if let Some(frame) = self.lookup(pid) {
+                // ordering: Release; unpin on abort-cleanup, pairs with the evictor's Acquire
                 frame.prevent_evict.store(false, Ordering::Release);
             }
             self.audit.unpin(pid.raw());
@@ -656,6 +674,7 @@ impl HashTablePool {
         for i in 0..spec.pages {
             let pid = spec.start.offset(i);
             if self.shard(pid).lock().remove(&pid.raw()).is_some() {
+                // ordering: Relaxed occupancy counter; the shard mutex ordered the remove
                 let prev = self.pages.fetch_sub(1, Ordering::Relaxed);
                 debug_assert!(prev > 0, "page counter underflow on drop_extent");
             }

@@ -37,8 +37,8 @@ mod tests {
     use super::*;
     use lobster_extent::ExtentSpec;
     use lobster_storage::{Device, MemDevice};
+    use lobster_sync::Arc;
     use lobster_types::{Geometry, Pid};
-    use std::sync::Arc;
 
     fn vm_pool(frames: u64, alias: bool) -> Arc<ExtentPool> {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new(16 << 20));

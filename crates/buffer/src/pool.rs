@@ -103,6 +103,7 @@ impl ResidentSet {
 
     fn remove(&mut self, pid: Pid) {
         if let Some(i) = self.pos.remove(&pid.raw()) {
+            // lint-allow(no-panic-in-request-path): pos->vec invariant: an indexed pid implies a non-empty vec; the expect documents it
             let last = self.vec.pop().expect("non-empty");
             if i < self.vec.len() {
                 self.vec[i] = last;
@@ -346,13 +347,15 @@ impl ExtentPool {
     /// for the commit pipeline's in-flight flush batches, which hold their
     /// latches across call frames (a borrow-tied [`ShGuard`] cannot).
     fn fix_shared(&self, spec: ExtentSpec) -> Result<u64> {
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.translations.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .latch_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.audit.check_may_block_shared(spec.start.raw());
         let entry = self.entry(spec.start);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             match tag_of(e) {
                 TAG_EVICTED => {
@@ -360,23 +363,26 @@ impl ExtentPool {
                         .compare_exchange_weak(
                             e,
                             pack(TAG_LOCKED, 0, spec.pages, 0),
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                             Ordering::Acquire,
                         )
                         .is_ok()
                     {
                         self.audit.claim_exclusive(spec.start.raw());
+                        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                         match self.load_extent(spec, spec.pages) {
                             Ok(frame) => {
                                 // Enter shared with count 1 (ledger converts
                                 // before the word republishes the extent).
                                 self.audit.convert_claim_to_shared(spec.start.raw());
+                                // ordering: Release; frame/evicted state is published before the word is visible
                                 entry.store(pack(1, 0, spec.pages, frame), Ordering::Release);
                                 return Ok(frame);
                             }
                             Err(err) => {
                                 self.audit.release_claim(spec.start.raw());
+                                // ordering: Release; frame/evicted state is published before the word is visible
                                 entry.store(EVICTED_ENTRY, Ordering::Release);
                                 return Err(err);
                             }
@@ -400,14 +406,16 @@ impl ExtentPool {
                         .compare_exchange_weak(
                             e,
                             pack(n + 1, flags_of(e), pages_of(e), frame_of(e)),
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                             Ordering::Acquire,
                         )
                         .is_ok()
                     {
                         self.audit.acquire_shared(spec.start.raw());
+                        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if self.note_prefetch_consumed(spec.start) {
+                            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                             self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
                         }
                         return Ok(frame_of(e));
@@ -426,6 +434,7 @@ impl ExtentPool {
         self.audit.release_shared(pid.raw());
         let entry = self.entry(pid);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             let n = tag_of(e);
             debug_assert!((1..=MAX_SHARED).contains(&n));
@@ -433,7 +442,7 @@ impl ExtentPool {
                 .compare_exchange_weak(
                     e,
                     pack(n - 1, flags_of(e), pages_of(e), frame_of(e)),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -471,13 +480,15 @@ impl ExtentPool {
     }
 
     fn fix_exclusive(&self, spec: ExtentSpec, load_pages: u64) -> Result<XGuard<'_>> {
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.translations.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .latch_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.audit.check_may_block_exclusive(spec.start.raw());
         let entry = self.entry(spec.start);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             match tag_of(e) {
                 TAG_EVICTED => {
@@ -485,18 +496,20 @@ impl ExtentPool {
                         .compare_exchange_weak(
                             e,
                             pack(TAG_LOCKED, 0, spec.pages, 0),
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                             Ordering::Acquire,
                         )
                         .is_ok()
                     {
                         self.audit.acquire_exclusive(spec.start.raw());
+                        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                         match self.load_extent(spec, load_pages) {
                             Ok(frame) => {
                                 // Stay locked; the guard releases on drop.
                                 entry.store(
                                     pack(TAG_LOCKED, 0, spec.pages, frame),
+                                    // ordering: Release; frame/evicted state is published before the word is visible
                                     Ordering::Release,
                                 );
                                 return Ok(XGuard {
@@ -508,6 +521,7 @@ impl ExtentPool {
                             }
                             Err(err) => {
                                 self.audit.release_exclusive(spec.start.raw());
+                                // ordering: Release; frame/evicted state is published before the word is visible
                                 entry.store(EVICTED_ENTRY, Ordering::Release);
                                 return Err(err);
                             }
@@ -519,14 +533,16 @@ impl ExtentPool {
                         .compare_exchange_weak(
                             e,
                             pack(TAG_LOCKED, flags_of(e), pages_of(e), frame_of(e)),
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                             Ordering::Acquire,
                         )
                         .is_ok()
                     {
                         self.audit.acquire_exclusive(spec.start.raw());
+                        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if self.note_prefetch_consumed(spec.start) {
+                            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                             self.metrics.readahead_hit.fetch_add(1, Ordering::Relaxed);
                         }
                         return Ok(XGuard {
@@ -561,6 +577,7 @@ impl ExtentPool {
     ) -> Result<()> {
         debug_assert!(byte_off + out.len() <= (spec.pages as usize) * self.geo.page_size());
         let entry = self.entry(spec.start);
+        // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
         if tag_of(entry.load(Ordering::Acquire)) != TAG_EVICTED {
             // Resident (or in flight): go through the latch. If it gets
             // evicted between the check and the fix, read_extent reloads —
@@ -573,10 +590,11 @@ impl ExtentPool {
             .read_at(out, self.geo.offset_of(spec.start) + byte_off as u64)?;
         let pages = ((byte_off + out.len()).div_ceil(self.geo.page_size())
             - byte_off / self.geo.page_size()) as u64;
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.pages_read.fetch_add(pages, Ordering::Relaxed);
         self.metrics
             .bytes_read
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
+            .fetch_add(out.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         Ok(())
     }
 
@@ -602,15 +620,14 @@ impl ExtentPool {
             self.metrics.latencies.pool_fault.record_timer(t);
             self.metrics
                 .pages_read
-                .fetch_add(load_pages, Ordering::Relaxed);
+                .fetch_add(load_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             self.metrics
                 .bytes_read
-                .fetch_add(len as u64, Ordering::Relaxed);
+                .fetch_add(len as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         }
         self.resident.lock().insert(spec.start);
-        // Relaxed: monotonic fairness hint only (see try_evict_one).
         self.max_resident_pages
-            .fetch_max(spec.pages, Ordering::Relaxed);
+            .fetch_max(spec.pages, Ordering::Relaxed); // ordering: Relaxed; monotonic fairness hint only (see try_evict_one)
         Ok(frame)
     }
 
@@ -646,6 +663,7 @@ impl ExtentPool {
         };
         let Some(pid) = victim else { return };
         let entry = self.entry(pid);
+        // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
         let e = entry.load(Ordering::Acquire);
         // No-steal: dirty extents are never evicted. BLOB content becomes
         // clean at the commit flush; B-Tree nodes become clean at
@@ -656,7 +674,7 @@ impl ExtentPool {
         }
         let pages = pages_of(e);
         // Fair eviction: rand(MAX_EXT_SIZE) < extent_size[pid].
-        // Relaxed: a monotonic hint for the fairness dice roll; a stale
+        // ordering: Relaxed; a monotonic hint for the fairness dice roll; a stale
         // value only skews eviction probability, never correctness.
         let max_pages = self.max_resident_pages.load(Ordering::Relaxed).max(1);
         if pages < max_pages && rand::thread_rng().gen_range(0..max_pages) >= pages {
@@ -666,7 +684,7 @@ impl ExtentPool {
             .compare_exchange(
                 e,
                 pack(TAG_LOCKED, flags_of(e), pages, frame_of(e)),
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                 Ordering::Acquire,
             )
             .is_err()
@@ -678,6 +696,7 @@ impl ExtentPool {
         self.frames.free(frame, pages);
         self.resident.lock().remove(pid);
         self.audit.release_claim(pid.raw());
+        // ordering: Release; frame/evicted state is published before the word is visible
         entry.store(EVICTED_ENTRY, Ordering::Release);
         self.note_prefetch_evicted(pid);
     }
@@ -704,11 +723,12 @@ impl ExtentPool {
                 }
                 self.audit.release_claim(spec.start.raw());
                 self.entry(spec.start)
-                    .store(EVICTED_ENTRY, Ordering::Release);
+                    .store(EVICTED_ENTRY, Ordering::Release); // ordering: Release; frame/evicted state is published before the word is visible
             }
         };
         for &spec in specs {
             let entry = self.entry(spec.start);
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             if tag_of(e) != TAG_EVICTED {
                 continue; // resident, or another thread is faulting it
@@ -717,7 +737,7 @@ impl ExtentPool {
                 .compare_exchange(
                     e,
                     pack(TAG_LOCKED, 0, spec.pages, 0),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -731,7 +751,7 @@ impl ExtentPool {
         }
         self.metrics
             .cache_misses
-            .fetch_add(claimed.len() as u64, Ordering::Relaxed);
+            .fetch_add(claimed.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         for i in 0..claimed.len() {
             match self.allocate_frames(claimed[i].0.pages) {
                 Ok(f) => claimed[i].1 = f,
@@ -776,16 +796,17 @@ impl ExtentPool {
         // fault latency a foreground read observes.
         self.metrics.latencies.pool_fault.record_timer(t);
         let total_pages: u64 = claimed.iter().map(|(s, _)| s.pages).sum();
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.fault_batches.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .pages_faulted_batched
-            .fetch_add(total_pages, Ordering::Relaxed);
+            .fetch_add(total_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics
             .pages_read
-            .fetch_add(total_pages, Ordering::Relaxed);
+            .fetch_add(total_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics
             .bytes_read
-            .fetch_add(total_pages * p as u64, Ordering::Relaxed);
+            .fetch_add(total_pages * p as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.publish_loaded(&claimed);
         Ok(())
     }
@@ -828,10 +849,10 @@ impl ExtentPool {
         let ok_pages: u64 = ok.iter().map(|(s, _)| s.pages).sum();
         self.metrics
             .pages_read
-            .fetch_add(ok_pages, Ordering::Relaxed);
+            .fetch_add(ok_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics
             .bytes_read
-            .fetch_add(ok_pages * p as u64, Ordering::Relaxed);
+            .fetch_add(ok_pages * p as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.publish_loaded(&ok);
         rollback(&failed, failed.len());
         match first_err {
@@ -856,10 +877,10 @@ impl ExtentPool {
         }
         for (spec, frame) in claimed {
             self.max_resident_pages
-                .fetch_max(spec.pages, Ordering::Relaxed);
+                .fetch_max(spec.pages, Ordering::Relaxed); // ordering: Relaxed; monotonic fairness hint only (see try_evict_one)
             self.audit.release_claim(spec.start.raw());
             self.entry(spec.start)
-                .store(pack(0, 0, spec.pages, *frame), Ordering::Release);
+                .store(pack(0, 0, spec.pages, *frame), Ordering::Release); // ordering: Release; frame/evicted state is published before the word is visible
         }
     }
 
@@ -875,6 +896,7 @@ impl ExtentPool {
         let mut claimed: Vec<(ExtentSpec, u64)> = Vec::new();
         for &spec in specs {
             let entry = self.entry(spec.start);
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             if tag_of(e) != TAG_EVICTED {
                 continue;
@@ -883,7 +905,7 @@ impl ExtentPool {
                 .compare_exchange(
                     e,
                     pack(TAG_LOCKED, 0, spec.pages, 0),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                     Ordering::Acquire,
                 )
                 .is_err()
@@ -895,6 +917,7 @@ impl ExtentPool {
                 Ok(f) => claimed.push((spec, f)),
                 Err(_) => {
                     self.audit.release_claim(spec.start.raw());
+                    // ordering: Release; frame/evicted state is published before the word is visible
                     entry.store(EVICTED_ENTRY, Ordering::Release);
                 }
             }
@@ -919,9 +942,9 @@ impl ExtentPool {
             .collect();
         self.metrics
             .readahead_issued
-            .fetch_add(claimed.len() as u64, Ordering::Relaxed);
-        // SAFETY: the frames stay reserved (entries locked) until the batch
-        // is reaped; `Drop` drains every batch before the arena goes away.
+            .fetch_add(claimed.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                                                                 // SAFETY: the frames stay reserved (entries locked) until the batch
+                                                                 // is reaped; `Drop` drains every batch before the arena goes away.
         let handle = unsafe { self.io.submit(reqs) };
         self.inflight.lock().push(PrefetchBatch { handle, claimed });
     }
@@ -962,17 +985,18 @@ impl ExtentPool {
         match result {
             Ok(()) => {
                 let total: u64 = claimed.iter().map(|(s, _)| s.pages).sum();
+                // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                 self.metrics.pages_read.fetch_add(total, Ordering::Relaxed);
                 self.metrics
                     .bytes_read
-                    .fetch_add(total * self.geo.page_size() as u64, Ordering::Relaxed);
+                    .fetch_add(total * self.geo.page_size() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                 {
                     let mut set = self.prefetched.lock();
                     for (spec, _) in &claimed {
                         set.insert(spec.start.raw());
                     }
                     self.prefetched_live
-                        .store(set.len() as u64, Ordering::Release);
+                        .store(set.len() as u64, Ordering::Release); // ordering: Release; pairs with the Acquire fast-path gate in note_prefetch_*
                 }
                 self.publish_loaded(&claimed);
             }
@@ -984,7 +1008,7 @@ impl ExtentPool {
                     self.frames.free(*frame, spec.pages);
                     self.audit.release_claim(spec.start.raw());
                     self.entry(spec.start)
-                        .store(EVICTED_ENTRY, Ordering::Release);
+                        .store(EVICTED_ENTRY, Ordering::Release); // ordering: Release; frame/evicted state is published before the word is visible
                 }
             }
         }
@@ -992,19 +1016,21 @@ impl ExtentPool {
 
     /// Whether a foreground read just consumed a prefetched extent.
     fn note_prefetch_consumed(&self, pid: Pid) -> bool {
+        // ordering: Acquire gate; zero means no prefetched extents, the set mutex orders the contents
         if self.prefetched_live.load(Ordering::Acquire) == 0 {
             return false;
         }
         let mut set = self.prefetched.lock();
         let hit = set.remove(&pid.raw());
         self.prefetched_live
-            .store(set.len() as u64, Ordering::Release);
+            .store(set.len() as u64, Ordering::Release); // ordering: Release; pairs with the Acquire fast-path gate in note_prefetch_*
         hit
     }
 
     /// An extent left residency; if it was prefetched and never read, the
     /// readahead was wasted.
     fn note_prefetch_evicted(&self, pid: Pid) {
+        // ordering: Acquire gate; zero means no prefetched extents, the set mutex orders the contents
         if self.prefetched_live.load(Ordering::Acquire) == 0 {
             return;
         }
@@ -1012,10 +1038,10 @@ impl ExtentPool {
         if set.remove(&pid.raw()) {
             self.metrics
                 .readahead_wasted
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         }
         self.prefetched_live
-            .store(set.len() as u64, Ordering::Release);
+            .store(set.len() as u64, Ordering::Release); // ordering: Release; pairs with the Acquire fast-path gate in note_prefetch_*
     }
 
     fn write_frames_to_device(
@@ -1034,10 +1060,10 @@ impl ExtentPool {
             .write_at(buf, self.geo.offset_of(pid.offset(from_page)))?;
         self.metrics
             .pages_written
-            .fetch_add(pages, Ordering::Relaxed);
+            .fetch_add(pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics
             .bytes_written
-            .fetch_add(len as u64, Ordering::Relaxed);
+            .fetch_add(len as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         Ok(())
     }
 
@@ -1048,6 +1074,7 @@ impl ExtentPool {
     pub fn set_prevent_evict(&self, pid: Pid, on: bool) {
         let entry = self.entry(pid);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             if tag_of(e) == TAG_EVICTED {
                 return;
@@ -1058,7 +1085,7 @@ impl ExtentPool {
                 e & !PREVENT_BIT
             };
             if entry
-                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire) // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                 .is_ok()
             {
                 if on {
@@ -1074,13 +1101,14 @@ impl ExtentPool {
     fn set_dirty(&self, pid: Pid, on: bool) {
         let entry = self.entry(pid);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             if tag_of(e) == TAG_EVICTED {
                 return;
             }
             let new = if on { e | DIRTY_BIT } else { e & !DIRTY_BIT };
             if entry
-                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(e, new, Ordering::AcqRel, Ordering::Acquire) // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                 .is_ok()
             {
                 return;
@@ -1090,12 +1118,14 @@ impl ExtentPool {
 
     /// Whether the extent is resident and dirty (test/diagnostic hook).
     pub fn is_dirty(&self, pid: Pid) -> bool {
+        // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
         let e = self.entry(pid).load(Ordering::Acquire);
         tag_of(e) != TAG_EVICTED && e & DIRTY_BIT != 0
     }
 
     /// Whether the extent is resident.
     pub fn is_resident(&self, pid: Pid) -> bool {
+        // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
         tag_of(self.entry(pid).load(Ordering::Acquire)) != TAG_EVICTED
     }
 
@@ -1110,6 +1140,7 @@ impl ExtentPool {
         let result = batch
             .handle
             .try_complete()
+            // lint-allow(no-panic-in-request-path): wait_done() just blocked on this batch; try_complete is then infallible
             .expect("batch complete after wait_done");
         self.flush_extents_finish(&batch, &result);
         result
@@ -1165,10 +1196,10 @@ impl ExtentPool {
             let total_pages: u64 = batch.items.iter().map(|i| i.dirty_pages).sum();
             self.metrics
                 .pages_written
-                .fetch_add(total_pages, Ordering::Relaxed);
+                .fetch_add(total_pages, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             self.metrics
                 .bytes_written
-                .fetch_add(total_pages * p, Ordering::Relaxed);
+                .fetch_add(total_pages * p, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             for item in &batch.items {
                 self.set_dirty(item.spec.start, false);
                 self.set_prevent_evict(item.spec.start, false);
@@ -1188,6 +1219,7 @@ impl ExtentPool {
         let snapshot = self.resident.lock().snapshot();
         let mut scratch: Vec<u8> = Vec::new();
         for pid in snapshot {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = self.entry(pid).load(Ordering::Acquire);
             if tag_of(e) == TAG_EVICTED || e & DIRTY_BIT == 0 {
                 continue;
@@ -1206,6 +1238,7 @@ impl ExtentPool {
     pub fn flush_all_dirty(&self) -> Result<()> {
         let snapshot = self.resident.lock().snapshot();
         for pid in snapshot {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = self.entry(pid).load(Ordering::Acquire);
             if tag_of(e) == TAG_EVICTED || e & DIRTY_BIT == 0 {
                 continue;
@@ -1226,6 +1259,7 @@ impl ExtentPool {
         let snapshot = self.resident.lock().snapshot();
         for pid in snapshot {
             let entry = self.entry(pid);
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             if tag_of(e) != 0 || e & (DIRTY_BIT | PREVENT_BIT) != 0 {
                 continue;
@@ -1234,7 +1268,7 @@ impl ExtentPool {
                 .compare_exchange(
                     e,
                     pack(TAG_LOCKED, flags_of(e), pages_of(e), frame_of(e)),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -1243,6 +1277,7 @@ impl ExtentPool {
                 self.frames.free(frame_of(e), pages_of(e));
                 self.resident.lock().remove(pid);
                 self.audit.release_claim(pid.raw());
+                // ordering: Release; frame/evicted state is published before the word is visible
                 entry.store(EVICTED_ENTRY, Ordering::Release);
                 self.note_prefetch_evicted(pid);
             }
@@ -1254,6 +1289,7 @@ impl ExtentPool {
     pub fn drop_extent(&self, spec: ExtentSpec) {
         let entry = self.entry(spec.start);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             match tag_of(e) {
                 TAG_EVICTED => return,
@@ -1262,7 +1298,7 @@ impl ExtentPool {
                         .compare_exchange(
                             e,
                             pack(TAG_LOCKED, 0, pages_of(e), frame_of(e)),
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                             Ordering::Acquire,
                         )
                         .is_ok()
@@ -1274,6 +1310,7 @@ impl ExtentPool {
                         // that is still pinned; clear the ledger pin too.
                         self.audit.unpin(spec.start.raw());
                         self.audit.release_claim(spec.start.raw());
+                        // ordering: Release; frame/evicted state is published before the word is visible
                         entry.store(EVICTED_ENTRY, Ordering::Release);
                         self.note_prefetch_evicted(spec.start);
                         return;
@@ -1547,13 +1584,14 @@ impl Drop for XGuard<'_> {
         self.pool.audit.release_exclusive(self.spec.start.raw());
         let entry = self.pool.entry(self.spec.start);
         loop {
+            // ordering: Acquire; pairs with the Release publishes of this word, so tag+frame imply visible bytes
             let e = entry.load(Ordering::Acquire);
             debug_assert_eq!(tag_of(e), TAG_LOCKED);
             if entry
                 .compare_exchange_weak(
                     e,
                     pack(0, flags_of(e), pages_of(e), frame_of(e)),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ordering: AcqRel on success (latch handoff), Acquire on failure retry
                     Ordering::Acquire,
                 )
                 .is_ok()

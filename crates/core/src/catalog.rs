@@ -7,9 +7,9 @@
 //! directory (§III-E "Relation as a directory").
 
 use lobster_btree::BTree;
+use lobster_sync::Arc;
 use lobster_types::{read_u32, read_u64, Error, Pid, Result};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// What a relation stores.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

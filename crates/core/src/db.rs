@@ -11,13 +11,13 @@ use lobster_buffer::{AliasConfig, BlobPool, ExtentPool, HashTablePool, PoolConfi
 use lobster_extent::{ExtentAllocator, ExtentSpec, TierPolicy, TierTable};
 use lobster_metrics::{new_metrics, Metrics};
 use lobster_storage::Device;
+use lobster_sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use lobster_sync::Arc;
+use lobster_sync::Mutex;
 use lobster_sync::RwLock;
 use lobster_types::{read_u32, read_u64, Error, Geometry, Pid, Result};
 use lobster_wal::{LogRecord, Wal};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Builds a relation's comparator once the database (whose pools the
@@ -597,7 +597,7 @@ impl Database {
         if q.insert((rel.name.clone(), key.to_vec())) {
             self.metrics
                 .quarantined_blobs
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         }
     }
 

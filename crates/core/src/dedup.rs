@@ -19,8 +19,8 @@ use crate::catalog::{Relation, RelationKind};
 use crate::db::Database;
 use crate::txn::Txn;
 use lobster_sha256::Sha256;
+use lobster_sync::Arc;
 use lobster_types::{Error, Result};
-use std::sync::Arc;
 
 /// A deduplicating object store: logically many keys, physically one copy
 /// per distinct content.
@@ -237,7 +237,7 @@ mod tests {
         let frees_before = db
             .metrics()
             .extent_frees
-            .load(std::sync::atomic::Ordering::Relaxed);
+            .load(lobster_sync::atomic::Ordering::Relaxed);
         let mut t = db.begin();
         assert!(
             !store.delete(&mut t, b"a").unwrap(),
@@ -249,7 +249,7 @@ mod tests {
         assert!(
             db.metrics()
                 .extent_frees
-                .load(std::sync::atomic::Ordering::Relaxed)
+                .load(lobster_sync::atomic::Ordering::Relaxed)
                 > frees_before
         );
 

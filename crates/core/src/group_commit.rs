@@ -139,7 +139,7 @@ impl Progress {
     /// Mark `epochs` complete and advance the contiguous frontier.
     fn complete_epochs(&self, epochs: &[u64]) {
         let mut st = self.state.lock();
-        // Relaxed is sound here: every mutation of `processed` happens under
+        // ordering: Relaxed is sound here: every mutation of `processed` happens under
         // this mutex, so the load observes the latest frontier.
         let mut frontier = self.processed.load(Ordering::Relaxed);
         for &e in epochs {
@@ -153,6 +153,7 @@ impl Progress {
         while st.done_above.remove(&(frontier + 1)) {
             frontier += 1;
         }
+        // ordering: Release; pairs with wait_for's Acquire fast-path loads
         self.processed.store(frontier, Ordering::Release);
         self.cv.notify_all();
     }
@@ -162,12 +163,13 @@ impl Progress {
         if st.error.is_none() {
             st.error = Some(e.to_string());
         }
-        self.failed.store(true, Ordering::Release);
+        self.failed.store(true, Ordering::Release); // ordering: Release; publishes the error recorded under the state mutex above
         metrics.commit_errors.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
     }
 
     fn sticky_error(&self) -> Option<Error> {
+        // ordering: Acquire; pairs with record_error's Release, so true implies the error text is visible
         if !self.failed.load(Ordering::Acquire) {
             return None;
         }
@@ -182,8 +184,10 @@ impl Progress {
     /// sticky error — a failed group still completes its epochs so waiters
     /// terminate, but they must not report durability.
     fn wait_for(&self, epoch: u64) -> Result<()> {
+        // ordering: Acquire fast path; pairs with mark_processed's Release store
         if self.processed.load(Ordering::Acquire) < epoch {
             let mut st = self.state.lock();
+            // ordering: Acquire; re-check under the mutex, paired with the Release in mark_processed
             while self.processed.load(Ordering::Acquire) < epoch {
                 self.cv.wait(&mut st);
             }
@@ -272,6 +276,7 @@ impl StageCtx {
                 self.blob_pool.drop_extents(&group.freed);
                 for spec in &group.freed {
                     self.alloc.free_extent(*spec);
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     self.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -281,6 +286,7 @@ impl StageCtx {
             Err(e) => self.progress.record_error(&e, &self.metrics),
         }
         self.budget.release(group.pinned);
+        // ordering: AcqRel; retire happens-after the group's writes and publishes to flush_quiesce
         let prev = self.progress.inflight_groups.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "in-flight group count underflow on retire");
         self.progress.complete_epochs(&group.epochs);
@@ -344,6 +350,7 @@ impl GroupCommitter {
             let handle = thread::Builder::new()
                 .name("lobster-commit-flush".into())
                 .spawn(move || flush_stage(grx, fctx, limit, fshutdown))
+                // lint-allow(no-panic-in-request-path): engine startup, before any request path; a failed spawn is fatal by design
                 .expect("spawn commit flush stage");
             (Some(handle), Some(gtx))
         } else {
@@ -353,6 +360,7 @@ impl GroupCommitter {
         let wal_handle = thread::Builder::new()
             .name("lobster-group-commit".into())
             .spawn(move || wal_stage(rx, forward, wal, ckpt_gate, ctx))
+            // lint-allow(no-panic-in-request-path): engine startup, before any request path; a failed spawn is fatal by design
             .expect("spawn group committer");
 
         GroupCommitter {
@@ -374,13 +382,24 @@ impl GroupCommitter {
         if let Some(e) = self.progress.sticky_error() {
             return Err(e);
         }
-        self.budget.acquire(batch.pinned_bytes(self.page_size));
+        // Submitting after close() is a caller bug, but the commit path must
+        // degrade to an error, never a panic.
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(Error::Unsupported("commit submitted after close"));
+        };
+        let pinned = batch.pinned_bytes(self.page_size);
+        self.budget.acquire(pinned);
+        // ordering: AcqRel; the epoch order is what drain()'s Acquire read targets
         let epoch = self.progress.enqueued.fetch_add(1, Ordering::AcqRel) + 1;
-        self.tx
-            .as_ref()
-            .expect("committer alive")
-            .send((epoch, batch))
-            .expect("committer thread alive");
+        if tx.send((epoch, batch)).is_err() {
+            // The WAL stage died. Undo the budget so other committers cannot
+            // wedge on a group that will never retire, and surface the loss.
+            self.budget.release(pinned);
+            return Err(self
+                .progress
+                .sticky_error()
+                .unwrap_or_else(|| Error::Io(std::io::Error::other("group commit stage exited"))));
+        }
         Ok(epoch)
     }
 
@@ -393,6 +412,7 @@ impl GroupCommitter {
     /// Wait until everything submitted so far is durable; surfaces the
     /// sticky committer error.
     pub fn drain(&self) -> Result<()> {
+        // ordering: Acquire; pairs with commit()'s AcqRel bump, so the target covers every prior enqueue
         let target = self.progress.enqueued.load(Ordering::Acquire);
         self.progress.wait_for(target)
     }
@@ -404,6 +424,7 @@ impl GroupCommitter {
     /// `flush_all_dirty` must not run concurrently with it.
     pub fn flush_quiesce(&self) {
         let mut st = self.progress.state.lock();
+        // ordering: Acquire; zero pairs with retire's AcqRel decrement, all groups' effects visible
         while self.progress.inflight_groups.load(Ordering::Acquire) > 0 {
             self.progress.cv.wait(&mut st);
         }
@@ -417,6 +438,7 @@ impl Drop for GroupCommitter {
         // Flag first, then disconnect: the flush stage observes one of the
         // two on its next poll tick even if the disconnect is slow to
         // propagate through the WAL stage.
+        // ordering: Release; the stages' Acquire loads see all state written before shutdown
         self.shutdown.store(true, Ordering::Release);
         self.tx.take(); // disconnect: the WAL stage exits, then the flush stage
         if let Some(h) = self.wal_handle.take() {
@@ -461,12 +483,13 @@ fn wal_stage(
         })();
         ctx.metrics
             .commit_wal_groups
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
 
         let group = DurableGroup::collect(batches, ctx.page_size);
         // Counted before the gate drops: checkpoints quiesce on this under
         // the exclusively-held gate, so the count can only fall once they
         // hold it.
+        // ordering: AcqRel; pairs with retire's fetch_sub and flush_quiesce's Acquire load
         ctx.progress.inflight_groups.fetch_add(1, Ordering::AcqRel);
         match fsync {
             // WAL-fsync-first, per group: records that never became durable
@@ -474,8 +497,15 @@ fn wal_stage(
             Err(e) => ctx.retire(group, Err(e)),
             Ok(()) => match &forward {
                 // 2a. Pipelined: hand off; the next group's fsync overlaps
-                // this group's extent writes.
-                Some(gtx) => gtx.send(group).expect("flush stage alive"),
+                // this group's extent writes. If the flush stage exited
+                // early, retire the group as failed so waiters terminate
+                // with the sticky error instead of hanging or panicking.
+                Some(gtx) => {
+                    if let Err(crossbeam::channel::SendError(group)) = gtx.send(group) {
+                        let e = Error::Io(std::io::Error::other("commit flush stage exited"));
+                        ctx.retire(group, Err(e));
+                    }
+                }
                 // 2b. Serial ablation: flush inline under the gate, exactly
                 // the old one-stage committer.
                 None => {
@@ -484,7 +514,7 @@ fn wal_stage(
                     } else {
                         ctx.metrics
                             .commit_flush_batches
-                            .fetch_add(1, Ordering::Relaxed);
+                            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                         ctx.blob_pool
                             .flush_extents(&group.items)
                             .or_else(|e| ctx.flush_retry(&group.items, e))
@@ -545,6 +575,7 @@ fn flush_stage(
                     // The committer is shutting down: stop polling for new
                     // groups (drain() already retired everything queued) and
                     // fall through to land the remaining flights.
+                    // ordering: Acquire; pairs with close()'s Release store
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
@@ -575,6 +606,7 @@ fn flush_stage(
                 None if inflight.len() >= limit => 0,
                 None => break,
             };
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             ctx.metrics.commit_stalls.fetch_add(1, Ordering::Relaxed);
             let f = inflight.remove(victim);
             let result = f.ticket.wait();
@@ -586,7 +618,7 @@ fn flush_stage(
             Ok(ticket) => {
                 ctx.metrics
                     .commit_flush_batches
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                 let starts = ticket.extent_starts().map(|p| p.raw()).collect();
                 inflight.push(InflightFlush {
                     ticket,
@@ -595,7 +627,7 @@ fn flush_stage(
                 });
                 ctx.metrics
                     .commit_inflight_peak
-                    .fetch_max(inflight.len() as u64, Ordering::Relaxed);
+                    .fetch_max(inflight.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             }
             Err(e) => {
                 let result = ctx.flush_retry(&group.items, e);

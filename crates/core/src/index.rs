@@ -24,9 +24,9 @@ use crate::txn::Txn;
 use lobster_btree::KeyCmp;
 use lobster_buffer::BlobPool;
 use lobster_extent::TierTable;
+use lobster_sync::Arc;
 use lobster_types::Result;
 use std::cmp::Ordering;
-use std::sync::Arc;
 
 /// The incremental Blob State comparator.
 pub struct BlobStateCmp {

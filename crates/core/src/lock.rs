@@ -7,8 +7,8 @@
 //! (smaller id) waits for a younger holder, a younger requester aborts
 //! immediately ([`lobster_types::Error::TxnConflict`]).
 
+use lobster_sync::Mutex;
 use lobster_types::{Error, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

@@ -23,10 +23,10 @@ use crate::blob_state::BlobState;
 use crate::catalog::RelationKind;
 use crate::db::{BlobLogging, Database};
 use lobster_sha256::Sha256;
+use lobster_sync::atomic::Ordering;
 use lobster_types::{Error, Result};
 use lobster_wal::LogRecord;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
 
 /// Outcome of a recovery pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -120,7 +120,7 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                         let tree = lobster_btree::BTree::open(
                             db.node_pool.clone(),
                             db.alloc.clone(),
-                            std::sync::Arc::new(lobster_btree::LexCmp),
+                            lobster_sync::Arc::new(lobster_btree::LexCmp),
                             node_pages,
                             root,
                         );
@@ -248,6 +248,7 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                 if !ok {
                     failed.insert(*txn);
                     report.sha_failures += 1;
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     db.metrics.txn_aborts.fetch_add(1, Ordering::Relaxed);
                     changed = true;
                 }

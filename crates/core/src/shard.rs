@@ -45,11 +45,11 @@ use crate::txn::Txn;
 use crate::BlobState;
 use lobster_metrics::{new_metrics, Metrics};
 use lobster_storage::Device;
+use lobster_sync::Arc;
+use lobster_sync::Mutex;
 use lobster_types::{read_u32, read_u64, Error, Result};
 use lobster_wal::{LogRecord, Wal};
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::Arc;
 
 /// The participant bitmask is a `u64`.
 pub const MAX_SHARDS: usize = 64;

@@ -22,10 +22,10 @@ use crate::lock::LockMode;
 use lobster_buffer::FlushItem;
 use lobster_extent::{plan_growth, plan_sequence, ExtentSpec};
 use lobster_sha256::Sha256;
+use lobster_sync::atomic::Ordering;
+use lobster_sync::Arc;
 use lobster_types::{Error, Result};
 use lobster_wal::LogRecord;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TxnState {
@@ -346,7 +346,7 @@ impl Txn {
                     self.db
                         .metrics
                         .corruption_detected
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     return Err(Error::Corruption(format!(
                         "inline BLOB hash mismatch in relation '{}'",
                         rel.name
@@ -404,7 +404,7 @@ impl Txn {
         self.db
             .metrics
             .corruption_detected
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.db.quarantine_blob(rel, key, specs);
         Err(Error::Corruption(format!(
             "BLOB hash mismatch in relation '{}' survived a device re-read; blob quarantined",
@@ -638,6 +638,7 @@ impl Txn {
     pub fn blob_state(&mut self, rel: &Relation, key: &[u8]) -> Result<Option<BlobState>> {
         self.check_active()?;
         self.lock(rel, key, LockMode::Shared)?;
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.db.metrics.metadata_ops.fetch_add(1, Ordering::Relaxed);
         rel.tree.lookup_map(key, BlobState::decode)?.transpose()
     }
@@ -1131,6 +1132,7 @@ impl Txn {
         mut f: impl FnMut(&[u8], &BlobState) -> bool,
     ) -> Result<()> {
         self.check_active()?;
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.db.metrics.metadata_ops.fetch_add(1, Ordering::Relaxed);
         rel.tree.scan_from(from, |k, v| match BlobState::decode(v) {
             Ok(state) => f(k, &state),
@@ -1159,7 +1161,7 @@ impl Txn {
         let db = self.db.clone();
         db.metrics
             .extent_allocs
-            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed);
+            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         if !self.records.is_empty() {
             self.records.push(LogRecord::TxnCommit { txn: self.id });
         }
@@ -1178,6 +1180,7 @@ impl Txn {
             }
         }
         db.locks.release_all(self.id);
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         db.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
         self.state = TxnState::Committed;
         db.maybe_checkpoint()?;
@@ -1208,10 +1211,10 @@ impl Txn {
         let db = self.db.clone();
         db.metrics
             .extent_allocs
-            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed);
-        // The marker rides even when only flushes/frees are staged: every
-        // participant named in `mask` must be able to produce it on
-        // recovery, or the global transaction is decided aborted.
+            .fetch_add(self.allocated.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                                                                        // The marker rides even when only flushes/frees are staged: every
+                                                                        // participant named in `mask` must be able to produce it on
+                                                                        // recovery, or the global transaction is decided aborted.
         self.records.push(LogRecord::TxnCrossCommit {
             txn: self.id,
             gtxn,
@@ -1224,6 +1227,7 @@ impl Txn {
             freed: std::mem::take(&mut self.freed),
         })?;
         db.locks.release_all(self.id);
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         db.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
         self.state = TxnState::Committed;
         Ok(epoch)
@@ -1275,6 +1279,7 @@ impl Txn {
             let _ = db.wal.append_batch(&[LogRecord::TxnAbort { txn: self.id }]);
         }
         db.locks.release_all(self.id);
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         db.metrics.txn_aborts.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -1,8 +1,8 @@
 use crate::{ExtentSpec, TierTable};
+use lobster_sync::Arc;
+use lobster_sync::Mutex;
 use lobster_types::{Error, Pid, Result};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::Arc;
 
 /// Contiguous-range allocator with segregated (exact-size) free lists,
 /// a bump region, and best-fit splitting for arbitrary sizes.

@@ -1,0 +1,104 @@
+//! Diagnostics: the one output type every rule produces, plus the
+//! human (`file:line:col rule: message`) and `--json` renderings.
+
+use std::fmt;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule slug, e.g. `"ordering-audit"` — the same name `lint-allow`
+    /// takes.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// Optional fix-it / context note rendered on a follow-up line.
+    pub note: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )?;
+        if !self.note.is_empty() {
+            write!(f, "\n    note: {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+/// Render diagnostics as a stable JSON array (hand-rolled: the
+/// workspace is offline, no serde). Sorted by (file, line, col, rule)
+/// before rendering so output is snapshot-stable.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {");
+        s.push_str(&format!("\"rule\":{},", json_str(d.rule)));
+        s.push_str(&format!("\"file\":{},", json_str(&d.file)));
+        s.push_str(&format!("\"line\":{},", d.line));
+        s.push_str(&format!("\"col\":{},", d.col));
+        s.push_str(&format!("\"message\":{},", json_str(&d.message)));
+        s.push_str(&format!("\"note\":{}", json_str(&d.note)));
+        s.push('}');
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// Canonical ordering used by both renderers and the tests.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let d = Diagnostic {
+            rule: "ordering-audit",
+            file: "a/b.rs".into(),
+            line: 3,
+            col: 7,
+            message: "needs \"justification\"".into(),
+            note: String::new(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\\\"justification\\\""));
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+    }
+}

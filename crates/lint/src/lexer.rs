@@ -1,0 +1,447 @@
+//! A minimal, line-aware Rust lexer.
+//!
+//! The build environment is fully offline (no registry), so the lint
+//! engine cannot lean on `syn`/`proc-macro2`; every rule in this crate
+//! works off this hand-rolled token stream instead. The lexer handles
+//! exactly the surface the rules need and nothing more:
+//!
+//! * identifiers (with raw-ident `r#` handling) and punctuation, each
+//!   tagged with a 1-based line and column;
+//! * string/char/byte/raw-string literals skipped as opaque `Lit`
+//!   tokens, so a `"std::sync"` inside a string never trips a rule;
+//! * line and block comments (nesting included) collected out-of-band
+//!   with their line spans, which is how `// ordering:` adjacency and
+//!   the `// lint-allow(rule): reason` escape hatch are resolved;
+//! * lifetimes disambiguated from char literals.
+//!
+//! It does **not** build an AST. Rules that need structure (function
+//! extents, guard scopes) re-walk the token stream tracking brace depth,
+//! which is exact for token-level properties because the lexer has
+//! already removed every brace that lives inside a literal or comment.
+
+/// Token kind. Literal payloads are deliberately dropped — no rule
+/// inspects literal contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is in [`Tok::text`].
+    Ident,
+    /// A single punctuation character (`::` arrives as two adjacent `:`).
+    Punct(char),
+    /// String/char/byte/numeric literal, contents opaque.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct so `'a` never looks like
+    /// an unterminated char literal).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Identifier text (empty for non-ident tokens).
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Byte offset of the first character, used for adjacency checks
+    /// (e.g. recognising `::` as two touching `:` tokens).
+    pub off: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its line span (block comments may span many lines).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line_start: u32,
+    pub line_end: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the out-of-band comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if `pred` matches any comment that is *adjacent* to `line`:
+    /// either on the line itself (trailing comment) or ending on the
+    /// line directly above (annotation-on-own-line convention).
+    pub fn adjacent_comment(&self, line: u32, pred: impl Fn(&str) -> bool) -> bool {
+        self.comments.iter().any(|c| {
+            (c.line_end + 1 == line || (c.line_start <= line && line <= c.line_end))
+                && pred(&c.text)
+        })
+    }
+
+    /// True if `pred` matches any comment within the first `n` lines
+    /// (file-level escape hatch).
+    pub fn head_comment(&self, n: u32, pred: impl Fn(&str) -> bool) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line_start <= n && pred(&c.text))
+    }
+}
+
+/// Lex `src`. Never fails: malformed input degrades to best-effort
+/// tokens, which is the right trade for a lint that must not crash on
+/// the one file somebody is mid-edit on.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i] as char;
+        let (tl, tc, to) = (line, col, i);
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                bump!();
+            }
+            out.comments.push(Comment {
+                line_start: tl,
+                line_end: tl,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+
+        // Block comment (nesting).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            out.comments.push(Comment {
+                line_start: tl,
+                line_end: line,
+                text: src[start..i.min(src.len())].to_string(),
+            });
+            continue;
+        }
+
+        // Raw strings r"..." / r#"..."# (and br variants). Must be
+        // checked before identifiers so `r#"` is not read as raw ident.
+        if (c == 'r' || c == 'b') && is_raw_string_start(b, i) {
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            // j at opening quote
+            while i < j {
+                bump!();
+            }
+            bump!(); // opening quote
+            'raw: while i < b.len() {
+                if b[i] == b'"' {
+                    let mut k = i + 1;
+                    let mut h = 0usize;
+                    while k < b.len() && b[k] == b'#' && h < hashes {
+                        h += 1;
+                        k += 1;
+                    }
+                    if h == hashes {
+                        while i < k {
+                            bump!();
+                        }
+                        break 'raw;
+                    }
+                }
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tl,
+                col: tc,
+                off: to,
+            });
+            continue;
+        }
+
+        // Identifier / keyword / raw ident.
+        if c == '_' || c.is_ascii_alphabetic() {
+            let start = i;
+            // raw ident r#ident
+            if (c == 'r' || c == 'b') && i + 1 < b.len() && b[i + 1] == b'#' {
+                // r# raw ident (b# is not a thing, but be permissive)
+                bump!();
+                bump!();
+            }
+            while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                bump!();
+            }
+            let text = src[start..i].trim_start_matches("r#").to_string();
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tl,
+                col: tc,
+                off: to,
+            });
+            continue;
+        }
+
+        // Numeric literal (digits; suffix consumed as part of it).
+        if c.is_ascii_digit() {
+            while i < b.len()
+                && (b[i] == b'_'
+                    || b[i] == b'.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()
+                    || (b[i] as char).is_ascii_alphanumeric())
+            {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tl,
+                col: tc,
+                off: to,
+            });
+            continue;
+        }
+
+        // String literal (incl. b"...").
+        if c == '"' {
+            bump!();
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    bump!();
+                    bump!();
+                } else if b[i] == b'"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tl,
+                col: tc,
+                off: to,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_char_literal(b, i) {
+                bump!(); // opening quote
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                    } else if b[i] == b'\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                    off: to,
+                });
+            } else {
+                // Lifetime: ' followed by ident chars.
+                bump!();
+                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                    off: to,
+                });
+            }
+            continue;
+        }
+
+        // Everything else: single punctuation char.
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line: tl,
+            col: tc,
+            off: to,
+        });
+        bump!();
+    }
+
+    // Merge runs of `//` comments on consecutive lines into one block,
+    // so a multi-line justification counts as a single comment for
+    // adjacency checks (only its first line needs the keyword).
+    let mut merged: Vec<Comment> = Vec::with_capacity(out.comments.len());
+    for c in out.comments.drain(..) {
+        match merged.last_mut() {
+            Some(p)
+                if p.text.starts_with("//")
+                    && c.text.starts_with("//")
+                    && c.line_start == p.line_end + 1 =>
+            {
+                p.line_end = c.line_end;
+                p.text.push('\n');
+                p.text.push_str(&c.text);
+            }
+            _ => merged.push(c),
+        }
+    }
+    out.comments = merged;
+
+    out
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` ...
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Distinguish `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // i points at the opening quote.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'c' where the char after next is a closing quote.
+    if i + 2 < b.len() && b[i + 2] == b'\'' {
+        return true;
+    }
+    false
+}
+
+/// Check whether the two tokens at `idx` and `idx+1` form a `::` path
+/// separator (adjacent colon puncts).
+pub fn is_path_sep(toks: &[Tok], idx: usize) -> bool {
+    idx + 1 < toks.len()
+        && toks[idx].is_punct(':')
+        && toks[idx + 1].is_punct(':')
+        && toks[idx + 1].off == toks[idx].off + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let lx = lex("let a = \"std::sync\"; // use parking_lot\n/* Ordering::Relaxed */ let b;");
+        assert!(lx.toks.iter().all(|t| t.text != "parking_lot"));
+        assert!(lx.toks.iter().all(|t| t.text != "Ordering"));
+        assert_eq!(lx.comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lx = lex("fn f<'a>(x: &'a str) { let s = r#\"un\"closed::Ordering\"#; let c = 'x'; }");
+        assert!(lx.toks.iter().all(|t| t.text != "Ordering"));
+        assert!(lx.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn path_sep_detection() {
+        let lx = lex("std::sync::Arc");
+        let idx: Vec<usize> = (0..lx.toks.len())
+            .filter(|&k| is_path_sep(&lx.toks, k))
+            .collect();
+        assert_eq!(idx.len(), 2);
+        assert!(lx.toks[0].is_ident("std"));
+    }
+
+    #[test]
+    fn adjacency() {
+        let lx = lex("// ordering: counter\nx.fetch_add(1, Ordering::Relaxed);\n");
+        assert!(lx.adjacent_comment(2, |t| t.contains("ordering:")));
+        assert!(!lx.adjacent_comment(1, |t| t.contains("nope")));
+    }
+
+    #[test]
+    fn multi_line_comment_blocks_merge() {
+        let lx = lex(
+            "// ordering: Relaxed is fine here because\n// nothing synchronizes on it\nx.load(Ordering::Relaxed);\n",
+        );
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.adjacent_comment(3, |t| t.contains("ordering:")));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let lx = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.toks.iter().any(|t| t.is_ident("fn")));
+    }
+}

@@ -1,0 +1,158 @@
+//! `lobster-lint` CLI.
+//!
+//! ```text
+//! lobster-lint --workspace [--json]          # lint the whole repo
+//! lobster-lint [--rule R]... [--json] FILE…  # lint explicit files
+//! ```
+//!
+//! Workspace mode applies the repo policy ([`LintConfig::repo_default`])
+//! to `crates/*/src/**` + `src/**`, locating the workspace root by
+//! walking up from the current directory (so `cargo lint` works from
+//! any subdirectory). Explicit-file mode binds *every* rule to the
+//! named files regardless of the path-scoped policy — that is what the
+//! fixture suite runs.
+//!
+//! Exit code: 0 when clean, 1 when any diagnostic fires, 2 on usage or
+//! I/O errors.
+
+use lobster_lint::{diag, lint_paths, workspace_files, LintConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut workspace = false;
+    let mut rules: Vec<String> = Vec::new();
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--rule" => match args.next() {
+                Some(r) => {
+                    if !lobster_lint::all_rules().contains(&r.as_str()) {
+                        eprintln!(
+                            "lobster-lint: unknown rule `{r}` (known: {})",
+                            lobster_lint::all_rules().join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    rules.push(r);
+                }
+                None => return usage(),
+            },
+            "--root" => match args.next() {
+                Some(r) => root_arg = Some(PathBuf::from(r)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(),
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    // Exactly one of --workspace / an explicit file list.
+    if workspace != files.is_empty() {
+        return usage();
+    }
+
+    let (root, paths, cfg) = if workspace {
+        let root = match root_arg.or_else(find_workspace_root) {
+            Some(r) => r,
+            None => {
+                eprintln!("lobster-lint: cannot locate workspace root (no crates/ + Cargo.toml above cwd); pass --root");
+                return ExitCode::from(2);
+            }
+        };
+        let paths = workspace_files(&root);
+        (root, paths, LintConfig::repo_default())
+    } else {
+        // Explicit files: bind all rules to each file.
+        let root = root_arg.unwrap_or_else(|| PathBuf::from("."));
+        let mut cfg = LintConfig::for_explicit_file("");
+        cfg.panic_scopes.clear();
+        for f in &files {
+            let rel = rel_of(&root, f);
+            cfg.panic_scopes.push(lobster_lint::config::PanicScope {
+                path: rel,
+                index: true,
+            });
+        }
+        (root, files, cfg)
+    };
+
+    let diags = match lint_paths(&root, &paths, &cfg, &rules) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lobster-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("lobster-lint: clean ({} files)", paths.len());
+        } else {
+            eprintln!("lobster-lint: {} finding(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn rel_of(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Walk up from cwd to the first directory holding both `Cargo.toml`
+/// and `crates/`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut d = std::env::current_dir().ok()?;
+    loop {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        if !d.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lobster-lint --workspace [--json] [--root DIR]");
+    eprintln!("       lobster-lint [--rule R]... [--json] [--root DIR] FILE...");
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    println!("lobster-lint — static analysis for LOBSTER's concurrency invariants");
+    println!();
+    println!("  --workspace     lint crates/*/src and src/ under the repo policy");
+    println!("  --rule R        restrict to one rule (repeatable); explicit-file");
+    println!("                  mode binds rules to the named files regardless of");
+    println!("                  the path-scoped policy");
+    println!("  --json          machine-readable diagnostics");
+    println!("  --root DIR      workspace root (default: walk up from cwd)");
+    println!();
+    println!("rules: {}", lobster_lint::all_rules().join(", "));
+    println!();
+    println!("escape hatch: `// lint-allow(rule): reason` on the offending line or");
+    println!("the line above; `// lint-allow-file(rule): reason` in the file head.");
+}

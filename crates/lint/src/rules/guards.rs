@@ -1,0 +1,72 @@
+//! **guard-discipline**: raw paired calls — `lease_extent`/
+//! `unlease_extent`, the versioned-latch fix/release ops, pin-gate /
+//! worker-slot `acquire`/`release` — are only legal inside the
+//! allowlisted RAII wrapper modules that own the pairing. Everyone else
+//! goes through the wrapper, whose `Drop` releases on every exit path;
+//! a raw call anywhere else is a leak waiting for an early `?`.
+
+use super::{path_matches, push};
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::{Diagnostic, SourceFile};
+
+const RULE: &str = "guard-discipline";
+
+pub fn check(f: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let toks = &f.lx.toks;
+    for rule in &cfg.guard_rules {
+        if rule.allowed_paths.iter().any(|p| path_matches(&f.rel, p)) {
+            continue;
+        }
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !rule.methods.iter().any(|m| t.is_ident(m)) {
+                continue;
+            }
+            // Must be a call: `name(`.
+            if toks.get(i + 1).map(|n| n.is_punct('(')) != Some(true) {
+                continue;
+            }
+            // Skip definitions (`fn name(...)`) — defining the raw op
+            // is fine anywhere; calling it is what pairs.
+            if i > 0 && toks[i - 1].is_ident("fn") {
+                continue;
+            }
+            if f.in_test_mod(t.line) {
+                continue;
+            }
+            // Receiver hint: `recv.name(` where recv's last segment
+            // contains one of the hints. No resolvable receiver → no
+            // finding (avoids firing on unrelated `acquire` APIs).
+            if !rule.receiver_hints.is_empty() {
+                let recv_ok = i >= 2
+                    && toks[i - 1].is_punct('.')
+                    && toks[i - 2].kind == TokKind::Ident
+                    && rule
+                        .receiver_hints
+                        .iter()
+                        .any(|h| toks[i - 2].text.contains(h));
+                if !recv_ok {
+                    continue;
+                }
+            }
+            push(
+                out,
+                f,
+                cfg,
+                RULE,
+                t.line,
+                t.col,
+                format!(
+                    "raw {} call `{}` outside its RAII wrapper modules",
+                    rule.what, t.text
+                ),
+                format!(
+                    "pair management lives in: {}; go through the wrapper so Drop \
+                     releases on every exit path",
+                    rule.allowed_paths.join(", ")
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! **lock-order**: build a static acquisition-order graph over lock
+//! *classes* and report cycles with the full offending chain — the
+//! static complement to the runtime `LatchLedger`, which can only see
+//! interleavings that actually execute.
+//!
+//! How the graph is built (token-level, deliberately approximate in
+//! the *over*-reporting direction — a miss is worse than a question):
+//!
+//! * an acquisition is a zero-argument `.lock()` / `.read()` /
+//!   `.write()` call (zero-arg keeps `io::Read::read(&mut buf)` out);
+//!   its class is `crate::<receiver's last path segment>` — name-based,
+//!   because a lexer cannot resolve types;
+//! * a `let`-bound guard is held until its block closes (or an explicit
+//!   `drop(binding)`), a temporary until its statement's `;`;
+//! * acquiring B while A is held adds edge A → B with the site as
+//!   witness;
+//! * one level of call graph: calling `f()` while holding A, where some
+//!   workspace `fn f` acquires B, adds A → B (witnessed "via f()").
+//!
+//! A cycle means two code paths can take the same pair of lock classes
+//! in opposite orders — a deadlock that no finite test run is obliged
+//! to find. False pairings from name collisions are expected to be
+//! rare and are silenced at the witness line with
+//! `// lint-allow(lock-order): reason`.
+
+use super::path_matches;
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::{Diagnostic, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const RULE: &str = "lock-order";
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+#[derive(Debug, Clone)]
+struct Witness {
+    file: String,
+    line: u32,
+    func: String,
+    /// Set when the edge came from the one-level call graph.
+    via: Option<String>,
+}
+
+#[derive(Debug)]
+struct Hold {
+    class: u32,
+    depth: u32,
+    let_bound: bool,
+    binding: Option<String>,
+    /// Acquired inside an `if`/`while` condition: per the Reference the
+    /// condition is its own temporary scope, so the guard is dead before
+    /// the block runs.
+    in_cond: bool,
+}
+
+#[derive(Debug)]
+struct PendingCall {
+    held: u32,
+    callee: String,
+    file: String,
+    line: u32,
+    func: String,
+}
+
+/// Should this call site feed the one-level call graph? Only bare
+/// `helper(...)` calls and `self.helper(...)` / `Self::helper(...)`
+/// methods resolve — a method on any other receiver (`map.get(...)`,
+/// `vec.push(...)`) would routinely collide with unrelated workspace
+/// functions of the same name and drown the graph in false edges.
+fn call_is_resolvable(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &toks[i - 1];
+    if prev.is_punct('.') {
+        return i >= 2 && toks[i - 2].is_ident("self");
+    }
+    if prev.is_punct(':') {
+        return i >= 3 && toks[i - 3].is_ident("Self");
+    }
+    true
+}
+
+/// Cross-file state: collect per file, then `finalize` once.
+#[derive(Default)]
+pub struct Collector {
+    classes: Vec<String>,
+    class_ix: HashMap<String, u32>,
+    edges: BTreeMap<(u32, u32), Witness>,
+    fn_acquires: HashMap<String, BTreeSet<u32>>,
+    calls: Vec<PendingCall>,
+}
+
+impl Collector {
+    fn class(&mut self, name: String) -> u32 {
+        if let Some(&ix) = self.class_ix.get(&name) {
+            return ix;
+        }
+        let ix = self.classes.len() as u32;
+        self.classes.push(name.clone());
+        self.class_ix.insert(name, ix);
+        ix
+    }
+
+    pub fn collect(&mut self, f: &SourceFile, cfg: &LintConfig) {
+        if cfg
+            .lock_order_exclude
+            .iter()
+            .any(|p| path_matches(&f.rel, p))
+        {
+            return;
+        }
+        let toks = &f.lx.toks;
+        // Function context stack: (name, brace depth of the body).
+        let mut fns: Vec<(String, u32)> = Vec::new();
+        let mut holds: Vec<Hold> = Vec::new();
+        let mut depth: u32 = 0;
+        // A declared-but-unopened fn ("awaiting body"), with the paren
+        // depth so `fn f(a: impl Fn() -> T)` doesn't confuse the brace.
+        let mut pending_fn: Option<String> = None;
+        let mut paren: i32 = 0;
+        // First `let` binding ident of the current statement.
+        let mut stmt_let: Option<String> = None;
+        let mut stmt_seen_let = false;
+        // Between an `if`/`while` keyword and its `{`.
+        let mut cond_pending = false;
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            match &t.kind {
+                TokKind::Punct('(') => paren += 1,
+                TokKind::Punct(')') => paren -= 1,
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    if pending_fn.is_some() && paren == 0 {
+                        fns.push((pending_fn.take().unwrap(), depth));
+                    }
+                    if cond_pending && paren == 0 {
+                        // Condition temporaries are dead before the
+                        // block body runs.
+                        holds.retain(|h| !h.in_cond);
+                        cond_pending = false;
+                    }
+                    stmt_let = None;
+                    stmt_seen_let = false;
+                }
+                TokKind::Punct('}') => {
+                    holds.retain(|h| h.depth < depth);
+                    depth = depth.saturating_sub(1);
+                    while let Some(&(_, d)) = fns.last() {
+                        if depth < d {
+                            fns.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    stmt_let = None;
+                    stmt_seen_let = false;
+                }
+                TokKind::Punct(';') => {
+                    if pending_fn.is_some() && paren == 0 {
+                        pending_fn = None; // trait method declaration
+                    }
+                    holds.retain(|h| h.let_bound || h.depth < depth);
+                    stmt_let = None;
+                    stmt_seen_let = false;
+                    cond_pending = false;
+                }
+                TokKind::Ident => {
+                    let text = t.text.as_str();
+                    if text == "fn" {
+                        if let Some(n) = toks.get(i + 1) {
+                            if n.kind == TokKind::Ident {
+                                pending_fn = Some(n.text.clone());
+                                paren = 0;
+                            }
+                        }
+                    } else if text == "if" || text == "while" {
+                        cond_pending = true;
+                    } else if text == "let" {
+                        stmt_seen_let = true;
+                        stmt_let = None;
+                    } else if stmt_seen_let && stmt_let.is_none() && text != "mut" {
+                        stmt_let = Some(text.to_string());
+                    }
+
+                    // `drop(binding)` releases a named guard early.
+                    if text == "drop"
+                        && toks.get(i + 1).map(|n| n.is_punct('(')) == Some(true)
+                        && toks.get(i + 3).map(|n| n.is_punct(')')) == Some(true)
+                    {
+                        if let Some(arg) = toks.get(i + 2) {
+                            if arg.kind == TokKind::Ident {
+                                if let Some(pos) = holds
+                                    .iter()
+                                    .rposition(|h| h.binding.as_deref() == Some(&arg.text))
+                                {
+                                    holds.remove(pos);
+                                }
+                            }
+                        }
+                    }
+
+                    let in_fn = !fns.is_empty();
+                    let skip =
+                        f.in_test_mod(t.line) || f.allowed(RULE, t.line, cfg.head_allow_lines);
+
+                    // Zero-arg acquisition `recv.lock()`.
+                    let is_acq = ACQUIRE_METHODS.contains(&text)
+                        && i >= 2
+                        && toks[i - 1].is_punct('.')
+                        && toks[i - 2].kind == TokKind::Ident
+                        && toks.get(i + 1).map(|n| n.is_punct('(')) == Some(true)
+                        && toks.get(i + 2).map(|n| n.is_punct(')')) == Some(true);
+                    if is_acq && in_fn && !skip {
+                        let recv = toks[i - 2].text.clone();
+                        let class = self.class(format!("{}::{}", f.krate, recv));
+                        let func = fns.last().unwrap().0.clone();
+                        for h in &holds {
+                            if h.class != class {
+                                self.edges.entry((h.class, class)).or_insert(Witness {
+                                    file: f.rel.clone(),
+                                    line: t.line,
+                                    func: func.clone(),
+                                    via: None,
+                                });
+                            }
+                        }
+                        self.fn_acquires.entry(func).or_default().insert(class);
+                        // The guard outlives the statement only when the
+                        // lock call *ends* a `let` statement
+                        // (`let g = x.lock();`); mid-chain acquisitions
+                        // (`let v = x.lock().get(k);`) are temporaries.
+                        let holds_guard =
+                            stmt_seen_let && toks.get(i + 3).map(|n| n.is_punct(';')) == Some(true);
+                        holds.push(Hold {
+                            class,
+                            depth,
+                            let_bound: holds_guard,
+                            binding: if holds_guard { stmt_let.clone() } else { None },
+                            in_cond: cond_pending,
+                        });
+                    } else if in_fn
+                        && !skip
+                        && !holds.is_empty()
+                        && text != "drop"
+                        && toks.get(i + 1).map(|n| n.is_punct('(')) == Some(true)
+                        && !ACQUIRE_METHODS.contains(&text)
+                        && call_is_resolvable(toks, i)
+                    {
+                        // A call made while holding a lock: resolved
+                        // against fn_acquires in finalize (names that
+                        // match no workspace fn — `Some(...)`, tuple
+                        // structs — resolve to nothing and vanish).
+                        let func = fns.last().unwrap().0.clone();
+                        for h in &holds {
+                            self.calls.push(PendingCall {
+                                held: h.class,
+                                callee: text.to_string(),
+                                file: f.rel.clone(),
+                                line: t.line,
+                                func: func.clone(),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    pub fn finalize(mut self, out: &mut Vec<Diagnostic>) {
+        // One-level call graph resolution.
+        let calls = std::mem::take(&mut self.calls);
+        for c in calls {
+            let Some(acqs) = self.fn_acquires.get(&c.callee).cloned() else {
+                continue;
+            };
+            for &a in acqs.iter() {
+                if a != c.held {
+                    self.edges.entry((c.held, a)).or_insert(Witness {
+                        file: c.file.clone(),
+                        line: c.line,
+                        func: c.func.clone(),
+                        via: Some(c.callee.clone()),
+                    });
+                }
+            }
+        }
+
+        // Cycle detection (iterative DFS, emit each rotated-normalized
+        // cycle once).
+        let n = self.classes.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in self.edges.keys() {
+            adj[a as usize].push(b);
+        }
+        let mut color = vec![0u8; n]; // 0 new, 1 on stack, 2 done
+        let mut seen_cycles: BTreeSet<Vec<u32>> = BTreeSet::new();
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            // stack of (node, next child index)
+            let mut stack: Vec<(u32, usize)> = vec![(start as u32, 0)];
+            color[start] = 1;
+            while !stack.is_empty() {
+                let (u, next) = {
+                    let top = stack.last_mut().unwrap();
+                    let u = top.0;
+                    if top.1 < adj[u as usize].len() {
+                        let c = top.1;
+                        top.1 += 1;
+                        (u, Some(adj[u as usize][c]))
+                    } else {
+                        (u, None)
+                    }
+                };
+                match next {
+                    None => {
+                        color[u as usize] = 2;
+                        stack.pop();
+                    }
+                    Some(v) => match color[v as usize] {
+                        0 => {
+                            color[v as usize] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            // Back edge: cycle = stack from v..u, then v.
+                            let pos = stack.iter().position(|&(w, _)| w == v).unwrap();
+                            let mut cyc: Vec<u32> = stack[pos..].iter().map(|&(w, _)| w).collect();
+                            // Normalize rotation for dedup.
+                            let min_pos = cyc
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, &w)| w)
+                                .map(|(p, _)| p)
+                                .unwrap();
+                            cyc.rotate_left(min_pos);
+                            if seen_cycles.insert(cyc.clone()) {
+                                self.report_cycle(&cyc, out);
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+            }
+        }
+    }
+
+    fn report_cycle(&self, cyc: &[u32], out: &mut Vec<Diagnostic>) {
+        let name = |c: u32| self.classes[c as usize].clone();
+        let mut chain = String::new();
+        let mut notes = Vec::new();
+        for k in 0..cyc.len() {
+            let a = cyc[k];
+            let b = cyc[(k + 1) % cyc.len()];
+            let w = &self.edges[&(a, b)];
+            if k == 0 {
+                chain.push_str(&name(a));
+            }
+            chain.push_str(" -> ");
+            chain.push_str(&name(b));
+            let via = w
+                .via
+                .as_ref()
+                .map(|v| format!(" via call to {v}()"))
+                .unwrap_or_default();
+            notes.push(format!(
+                "{} -> {} at {}:{} in fn {}{}",
+                name(a),
+                name(b),
+                w.file,
+                w.line,
+                w.func,
+                via
+            ));
+        }
+        let first = &self.edges[&(cyc[0], cyc[1 % cyc.len()])];
+        out.push(Diagnostic {
+            rule: RULE,
+            file: first.file.clone(),
+            line: first.line,
+            col: 1,
+            message: format!("lock-order cycle: {chain}"),
+            note: notes.join("; "),
+        });
+    }
+}

@@ -1,0 +1,68 @@
+//! **ordering-audit**: every non-SeqCst atomic memory ordering
+//! (`Relaxed`, `Acquire`, `Release`, `AcqRel`) must carry an adjacent
+//! `// ordering:` justification — trailing on the same line or on the
+//! line directly above. One annotation covers every ordering token on
+//! its line (a `compare_exchange` names two).
+//!
+//! The point is not ceremony: a relaxed load is a claim that no other
+//! memory depends on observing it, and that claim rots silently when
+//! code moves. The comment pins the claim to the site so review —
+//! human or TSan-triage — has something to falsify.
+
+use super::{path_matches, push};
+use crate::config::LintConfig;
+use crate::lexer::is_path_sep;
+use crate::{Diagnostic, SourceFile};
+
+const RULE: &str = "ordering-audit";
+
+const NON_SEQCST: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+pub fn check(f: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if cfg.ordering_exclude.iter().any(|p| path_matches(&f.rel, p)) {
+        return;
+    }
+    let toks = &f.lx.toks;
+    let mut last_line = 0u32;
+    for i in 2..toks.len() {
+        let t = &toks[i];
+        if !NON_SEQCST.iter().any(|v| t.is_ident(v)) {
+            continue;
+        }
+        // Require a `<...Ordering>::Variant` path so `cmp::Ordering`
+        // variants (`Less`, …) or a stray ident named `Relaxed` can't
+        // collide: the qualifier must *end with* `Ordering` (covers
+        // aliases like `AtomicOrdering`).
+        if !is_path_sep(toks, i - 2) {
+            continue;
+        }
+        let Some(q) = toks.get(i.wrapping_sub(3)) else {
+            continue;
+        };
+        if !q.text.ends_with("Ordering") {
+            continue;
+        }
+        if f.in_test_mod(t.line) || t.line == last_line {
+            continue;
+        }
+        last_line = t.line;
+        if f.lx.adjacent_comment(t.line, |c| c.contains("ordering:")) {
+            continue;
+        }
+        push(
+            out,
+            f,
+            cfg,
+            RULE,
+            t.line,
+            t.col,
+            format!(
+                "non-SeqCst `Ordering::{}` without a `// ordering:` justification",
+                t.text
+            ),
+            "state what this ordering may and may not observe, e.g. \
+             `// ordering: counter; nothing synchronizes on this value`"
+                .into(),
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for **sync-facade**: a facade-bound file reaching
+//! for `std::sync`, `parking_lot` and `loom` directly. Never compiled —
+//! only lexed by `lobster-lint`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+// Tolerated segment: the facade deliberately does not wrap mpsc.
+use std::sync::mpsc::channel;
+
+pub fn locks() {
+    let m = parking_lot::Mutex::new(0u32);
+    let _ = loom::sync::Arc::new(m);
+}

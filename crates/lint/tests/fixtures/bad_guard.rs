@@ -1,0 +1,10 @@
+//! Known-bad fixture for **guard-discipline**: raw paired calls outside
+//! the RAII wrapper modules — a lease taken with no unlease on the early
+//! return, a pin-gate acquire with the release on only one path.
+
+pub fn leaky(pool: &Pool, gate: &PinGate, latch: &Latch) -> bool {
+    pool.lease_extent(7);
+    gate.acquire(4096);
+    latch.fix_shared();
+    true
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture for **lock-order**: two functions acquire the same
+//! pair of lock classes in opposite orders — the seeded inversion the
+//! cycle detector must report with its full chain.
+
+pub fn forward(a: &M, b: &M) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(a: &M, b: &M) {
+    let gb = b.lock();
+    let ga = a.lock();
+    drop(ga);
+    drop(gb);
+}

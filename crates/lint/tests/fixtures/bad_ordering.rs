@@ -1,0 +1,13 @@
+//! Known-bad fixture for **ordering-audit**: one naked non-SeqCst
+//! ordering, one properly justified site that must stay silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+pub fn annotated(c: &AtomicU64) -> u64 {
+    // ordering: counter; nothing synchronizes on this value
+    c.load(Ordering::Relaxed)
+}

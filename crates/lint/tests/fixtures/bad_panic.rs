@@ -1,0 +1,10 @@
+//! Known-bad fixture for **no-panic-in-request-path**: indexing,
+//! `panic!` and `.unwrap()` on what the config declares a request path.
+
+pub fn handle(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    if first == 0 {
+        panic!("zero opcode");
+    }
+    buf.get(1).copied().unwrap()
+}

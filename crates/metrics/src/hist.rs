@@ -7,6 +7,7 @@
 //! to leave on in the engine's hot paths. [`LocalRecorder`] offers a
 //! plain-integer per-thread variant for tight bench loops; it merges into a
 //! shared [`Histogram`] (or folds into a [`HistSnapshot`]) afterwards.
+// lint-allow-file(ordering-audit): every atomic here is a statistics cell (bucket counts, sums, maxima) merged and read by snapshot; Relaxed is the design, nothing synchronizes on these values.
 
 use lobster_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;

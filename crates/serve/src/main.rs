@@ -20,9 +20,11 @@ use lobster_core::{
 };
 use lobster_serve::{ServeConfig, Server};
 use lobster_storage::{Device, FileDevice, MemDevice};
-use lobster_sync::atomic::Ordering;
 use lobster_sync::Arc;
-use std::sync::atomic::AtomicBool;
+// lint-allow(sync-facade): a signal-handler static needs const init and
+// async-signal-safety; the loom shim's atomics are neither, and nothing
+// model-checks the process signal plumbing.
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Set by the signal handler; polled by the main loop. `libc::signal`

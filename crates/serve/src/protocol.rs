@@ -165,21 +165,24 @@ pub fn parse_request(body: &[u8]) -> Parsed {
         *b = tail;
         Some(head)
     }
+    fn take_arr<const N: usize>(b: &mut &[u8]) -> Option<[u8; N]> {
+        take(b, N).and_then(|s| s.try_into().ok())
+    }
     fn take_u16(b: &mut &[u8]) -> Option<u16> {
-        take(b, 2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+        take_arr::<2>(b).map(u16::from_le_bytes)
     }
     fn take_u32(b: &mut &[u8]) -> Option<u32> {
-        take(b, 4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        take_arr::<4>(b).map(u32::from_le_bytes)
     }
     fn take_u64(b: &mut &[u8]) -> Option<u64> {
-        take(b, 8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        take_arr::<8>(b).map(u64::from_le_bytes)
     }
 
     let mut b = body;
-    let Some(op) = take(&mut b, 1) else {
+    let Some(&op) = take(&mut b, 1).and_then(<[u8]>::first) else {
         return Parsed::Bad;
     };
-    let Some(op) = Opcode::from_u8(op[0]) else {
+    let Some(op) = Opcode::from_u8(op) else {
         return Parsed::UnknownOpcode;
     };
     let parsed = (|| -> Option<Request> {
@@ -225,8 +228,9 @@ pub fn parse_request(body: &[u8]) -> Parsed {
 /// any, follow via plain `write_all` calls.
 pub fn write_response_header(w: &mut impl Write, status: Status, body_len: u64) -> Result<()> {
     let mut hdr = [0u8; 9];
-    hdr[0] = status as u8;
-    hdr[1..9].copy_from_slice(&body_len.to_le_bytes());
+    let [status_byte, len_bytes @ ..] = &mut hdr;
+    *status_byte = status as u8;
+    *len_bytes = body_len.to_le_bytes();
     w.write_all(&hdr).map_err(Error::Io)
 }
 
@@ -250,9 +254,8 @@ impl Response {
         if self.status != Status::Ok || self.body.len() != 40 {
             return None;
         }
-        let size = u64::from_le_bytes(self.body[..8].try_into().unwrap());
-        let mut sha256 = [0u8; 32];
-        sha256.copy_from_slice(&self.body[8..40]);
+        let size = u64::from_le_bytes(self.body.get(..8)?.try_into().ok()?);
+        let sha256: [u8; 32] = self.body.get(8..40)?.try_into().ok()?;
         Some(StatReply { size, sha256 })
     }
 }
@@ -261,13 +264,13 @@ impl Response {
 pub fn read_response(r: &mut impl Read) -> Result<Response> {
     let mut hdr = [0u8; 9];
     r.read_exact(&mut hdr).map_err(Error::Io)?;
-    let Some(status) = Status::from_u8(hdr[0]) else {
+    let [status_byte, len_bytes @ ..] = hdr;
+    let Some(status) = Status::from_u8(status_byte) else {
         return Err(Error::Corruption(format!(
-            "unknown response status {}",
-            hdr[0]
+            "unknown response status {status_byte}"
         )));
     };
-    let body_len = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+    let body_len = u64::from_le_bytes(len_bytes);
     let mut body = vec![0u8; body_len as usize];
     r.read_exact(&mut body).map_err(Error::Io)?;
     Ok(Response { status, body })

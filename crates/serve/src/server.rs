@@ -94,9 +94,12 @@ pub struct WorkerSlots {
 impl WorkerSlots {
     /// Create slots for worker ids `0..workers` over `num_shards` shards.
     pub fn new(workers: usize, num_shards: usize) -> WorkerSlots {
-        let mut by_shard = vec![Vec::new(); num_shards.max(1)];
+        let shards = num_shards.max(1);
+        let mut by_shard = vec![Vec::new(); shards];
         for w in 0..workers.max(1) {
-            by_shard[w % num_shards.max(1)].push(w);
+            if let Some(bucket) = by_shard.get_mut(w % shards) {
+                bucket.push(w);
+            }
         }
         WorkerSlots {
             by_shard: Mutex::new(by_shard),
@@ -111,10 +114,10 @@ impl WorkerSlots {
         let mut slots = self.by_shard.lock();
         loop {
             let n = slots.len();
-            if let Some(w) = slots[shard % n].pop() {
+            if let Some(w) = slots.get_mut(shard % n).and_then(Vec::pop) {
                 return Some(w);
             }
-            if let Some(w) = (0..n).find_map(|s| slots[s].pop()) {
+            if let Some(w) = slots.iter_mut().find_map(Vec::pop) {
                 return Some(w);
             }
             let now = Instant::now();
@@ -122,9 +125,11 @@ impl WorkerSlots {
                 return None;
             }
             if self.cv.wait_for(&mut slots, deadline - now).timed_out() {
-                // One post-timeout retry in case a release raced the wake.
-                let n = slots.len();
-                return (0..n).find_map(|s| slots[(shard + s) % n].pop());
+                // One post-timeout retry in case a release raced the wake,
+                // scanning from the home bucket around the ring.
+                let k = shard % slots.len();
+                let (head, tail) = slots.split_at_mut(k);
+                return tail.iter_mut().chain(head.iter_mut()).find_map(Vec::pop);
             }
         }
     }
@@ -133,7 +138,9 @@ impl WorkerSlots {
     pub fn release(&self, w: usize) {
         let mut slots = self.by_shard.lock();
         let n = slots.len();
-        slots[w % n].push(w);
+        if let Some(bucket) = slots.get_mut(w % n) {
+            bucket.push(w);
+        }
         drop(slots);
         self.cv.notify_one();
     }
@@ -194,6 +201,7 @@ impl Server {
             gate: PinGate::new(cfg.gate_budget),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: AtomicUsize::new(0),
+            // lint-allow(no-panic-in-request-path): server construction, not the request path; a sharded DB always has >= 1 shard
             metrics: Arc::clone(sdb.shards()[0].metrics()),
             sdb,
             rel,
@@ -231,6 +239,7 @@ impl ServerHandle {
 
     /// Connections currently open.
     pub fn active_connections(&self) -> usize {
+        // ordering: Relaxed; diagnostic gauge over a soft cap
         self.shared.active.load(Ordering::Relaxed)
     }
 
@@ -265,26 +274,30 @@ fn accept_loop(
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // ordering: Relaxed; soft admission cap, a stale count only mis-admits by a connection
                 if shared.active.load(Ordering::Relaxed) >= shared.cfg.max_conns {
                     // Admission control: reject at the door.
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     shared.metrics.serve_rejects.fetch_add(1, Ordering::Relaxed);
                     let mut s = stream;
                     let _ = s.set_nonblocking(false);
                     let _ = write_response_header(&mut s, Status::Busy, 0);
                     continue;
                 }
+                // ordering: Relaxed; soft admission count, a stale read only mis-admits by a connection
                 shared.active.fetch_add(1, Ordering::Relaxed);
                 let sess_shared = Arc::clone(&shared);
                 let h = std::thread::Builder::new()
                     .name("lobster-serve-conn".into())
                     .spawn(move || {
                         session(stream, &sess_shared);
+                        // ordering: Relaxed; soft admission count, a stale read only mis-admits by a connection
                         sess_shared.active.fetch_sub(1, Ordering::Relaxed);
                     });
                 match h {
                     Ok(h) => sessions.lock().push(h),
                     Err(_) => {
-                        shared.active.fetch_sub(1, Ordering::Relaxed);
+                        shared.active.fetch_sub(1, Ordering::Relaxed); // ordering: Relaxed; soft admission count, a stale read only mis-admits by a connection
                         shared.metrics.serve_rejects.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -316,8 +329,8 @@ enum FrameRead {
 fn next_frame(stream: &mut TcpStream, buf: &mut Vec<u8>, shared: &Shared) -> FrameRead {
     let mut tmp = [0u8; 16 << 10];
     loop {
-        if buf.len() >= 4 {
-            let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        if let Some(len_bytes) = buf.first_chunk::<4>() {
+            let len = u32::from_le_bytes(*len_bytes);
             if len > shared.cfg.max_frame {
                 return FrameRead::TooLarge;
             }
@@ -342,6 +355,7 @@ fn next_frame(stream: &mut TcpStream, buf: &mut Vec<u8>, shared: &Shared) -> Fra
                     FrameRead::DirtyEof
                 };
             }
+            // lint-allow(no-panic-in-request-path): Read's contract caps n at tmp.len()
             Ok(n) => buf.extend_from_slice(&tmp[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -369,6 +383,7 @@ fn session(mut stream: TcpStream, shared: &Shared) {
             }
             FrameRead::TooLarge => {
                 let _ = write_response_header(&mut stream, Status::TooLarge, 0);
+                // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                 shared.metrics.serve_rejects.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -377,7 +392,7 @@ fn session(mut stream: TcpStream, shared: &Shared) {
                 shared
                     .metrics
                     .serve_disconnects
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                 return;
             }
             FrameRead::Shutdown => {
@@ -395,7 +410,7 @@ fn handle_request(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> bool 
     shared
         .metrics
         .serve_requests
-        .fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
     let req = match parse_request(body) {
         Parsed::Req(r) => r,
         Parsed::UnknownOpcode => {
@@ -406,10 +421,6 @@ fn handle_request(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> bool 
         }
     };
 
-    if matches!(req, Request::Ping) {
-        return write_response_header(stream, Status::Ok, 0).is_ok();
-    }
-
     // Everything else runs engine work: lease a worker slot, preferring
     // the key's home shard.
     let key: &[u8] = match &req {
@@ -417,10 +428,12 @@ fn handle_request(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> bool 
         | Request::Get { key }
         | Request::GetRange { key, .. }
         | Request::Stat { key } => key,
-        Request::Ping => unreachable!(),
+        // No engine work: answered without leasing a worker slot.
+        Request::Ping => return write_response_header(stream, Status::Ok, 0).is_ok(),
     };
     let shard = shared.sdb.shard_for_key(key);
     let Some(w) = shared.slots.acquire(shard, shared.cfg.slot_timeout) else {
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         shared.metrics.serve_rejects.fetch_add(1, Ordering::Relaxed);
         return write_response_header(stream, Status::Busy, 0).is_ok();
     };
@@ -430,7 +443,9 @@ fn handle_request(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> bool 
     };
 
     match req {
-        Request::Ping => unreachable!(),
+        // Already answered before the slot lease; kept total (a stray
+        // Ping degrades to a harmless Ok header) rather than panicking.
+        Request::Ping => write_response_header(stream, Status::Ok, 0).is_ok(),
         Request::Put { key, value } => {
             let status = do_put(shared, w, &key, &value);
             write_response_header(stream, status, 0).is_ok()
@@ -534,7 +549,7 @@ fn do_stream(
             shared
                 .metrics
                 .serve_bytes_streamed
-                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             Ok(())
         },
     );
@@ -545,6 +560,7 @@ fn do_stream(
             true
         }
         Err(Error::BufferFull) if !sent_header => {
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             shared.metrics.serve_rejects.fetch_add(1, Ordering::Relaxed);
             write_response_header(stream, Status::Busy, 0).is_ok()
         }
@@ -556,7 +572,7 @@ fn do_stream(
             shared
                 .metrics
                 .serve_disconnects
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             false
         }
     }

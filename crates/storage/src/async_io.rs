@@ -80,6 +80,7 @@ impl BatchState {
                 *slot = Some(e);
             }
         }
+        // ordering: AcqRel; the last completion acquires every worker's writes before signalling done
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut done = self.done.lock();
             *done = true;

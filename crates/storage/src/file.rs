@@ -56,6 +56,7 @@ impl Device for FileDevice {
         self.file.read_exact_at(buf, offset)?;
         if let Some(m) = &self.metrics {
             m.bump_syscall();
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
         }
         Ok(())
@@ -66,7 +67,7 @@ impl Device for FileDevice {
         if let Some(m) = &self.metrics {
             m.bump_syscall();
             m.bytes_written
-                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                .fetch_add(buf.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         }
         Ok(())
     }
@@ -75,6 +76,7 @@ impl Device for FileDevice {
         self.file.sync_data()?;
         if let Some(m) = &self.metrics {
             m.bump_syscall();
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             m.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())

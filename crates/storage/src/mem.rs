@@ -69,6 +69,7 @@ impl Device for MemDevice {
             done += take;
         }
         if let Some(m) = &self.metrics {
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
         }
         Ok(())
@@ -90,13 +91,14 @@ impl Device for MemDevice {
         }
         if let Some(m) = &self.metrics {
             m.bytes_written
-                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                .fetch_add(buf.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         }
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
         if let Some(m) = &self.metrics {
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
             m.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())

@@ -84,7 +84,7 @@ impl<D: Device> OutOfPlaceDevice<D> {
     /// Cumulative garbage-collection work.
     pub fn gc_stats(&self) -> GcStats {
         GcStats {
-            runs: self.gc_runs.load(Ordering::Relaxed),
+            runs: self.gc_runs.load(Ordering::Relaxed), // ordering: Relaxed; GC stats snapshot
             relocated_blocks: self.gc_relocated.load(Ordering::Relaxed),
         }
     }
@@ -148,6 +148,7 @@ impl<D: Device> OutOfPlaceDevice<D> {
     /// Greedy GC: relocate the live blocks of the least-utilized
     /// non-frontier segments until at least `want` segments are free.
     fn gc_locked(&self, t: &mut Tables, want: usize) -> Result<()> {
+        // ordering: Relaxed GC counter; read only by stats()
         self.gc_runs.fetch_add(1, Ordering::Relaxed);
         while t.free_segments.len() < want {
             // Pick the victim with the fewest live blocks.
@@ -171,6 +172,7 @@ impl<D: Device> OutOfPlaceDevice<D> {
                 let new_phys = self.claim_block(t, false)?;
                 self.inner.write_at(&buf, new_phys * BLOCK as u64)?;
                 self.map(t, logical, new_phys);
+                // ordering: Relaxed GC counter; read only by stats()
                 self.gc_relocated.fetch_add(1, Ordering::Relaxed);
             }
             debug_assert_eq!(t.live[victim as usize], 0);

@@ -21,6 +21,12 @@ pub mod audit;
 
 pub use std::sync::Arc;
 
+// `Barrier` is a test/bench rendezvous, not a modeled primitive: the
+// loom shim has no Barrier (a model would explore nothing — every
+// thread just waits once), so both cfgs use std's. Re-exported here so
+// facade-bound crates never need a direct `std::sync` import.
+pub use std::sync::Barrier;
+
 #[cfg(not(lobster_loom))]
 pub use parking_lot::{
     Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,

@@ -121,6 +121,7 @@ impl FileSystem for DbFs {
         if state.is_none() {
             return Err(ENOENT);
         }
+        // ordering: Relaxed; fetch_add only needs uniqueness, the fd table lock orders the rest
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.open_files.lock().insert(
             fd.0,

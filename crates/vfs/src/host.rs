@@ -54,6 +54,7 @@ impl HostFs {
 impl FileSystem for HostFs {
     fn open(&self, path: &str) -> Result<Fd, Errno> {
         let f = File::open(self.resolve(path)).map_err(Self::errno)?;
+        // ordering: Relaxed; fetch_add only needs uniqueness, the fd table lock orders the rest
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.open_files.lock().insert(fd.0, f);
         Ok(fd)
@@ -113,6 +114,7 @@ impl FileSystem for HostFs {
             .truncate(true)
             .open(full)
             .map_err(Self::errno)?;
+        // ordering: Relaxed; fetch_add only needs uniqueness, the fd table lock orders the rest
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.open_files.lock().insert(fd.0, f);
         Ok(fd)

@@ -159,6 +159,7 @@ impl FileSystem for WritableDbFs {
         if map_db_err(txn.blob_state(&relation, key.as_bytes()))?.is_none() {
             return Err(ENOENT);
         }
+        // ordering: Relaxed; fetch_add only needs uniqueness, the fd table lock orders the rest
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.reads.lock().insert(
             fd.0,
@@ -278,6 +279,7 @@ impl FileSystem for WritableDbFs {
         self.batch
             .lock()
             .retain(|f| !(f.relation.id == relation.id && f.key == key.as_bytes()));
+        // ordering: Relaxed; fetch_add only needs uniqueness, the fd table lock orders the rest
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.pending.lock().insert(
             fd.0,

@@ -10,10 +10,10 @@
 use crate::record::{frame_record, parse_frame, LogRecord, FRAME_HEADER};
 use lobster_metrics::Metrics;
 use lobster_storage::Device;
+use lobster_sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use lobster_sync::Arc;
+use lobster_sync::{Condvar, Mutex};
 use lobster_types::{Error, Result, RetryPolicy};
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Byte offset within the log device; doubles as the LSN.
 pub type Lsn = u64;
@@ -129,10 +129,12 @@ impl Wal {
     /// Set the transient-I/O retry budget (`Config::io_retries`; `0`
     /// restores fail-fast).
     pub fn set_io_retries(&self, n: u32) {
+        // ordering: Relaxed; config knob, any recent value is acceptable
         self.io_retries.store(n, Ordering::Relaxed);
     }
 
     fn retry(&self) -> RetryPolicy {
+        // ordering: Relaxed; config knob read (see set_io_retries)
         RetryPolicy::new(self.io_retries.load(Ordering::Relaxed))
     }
 
@@ -146,6 +148,7 @@ impl Wal {
         });
         self.metrics.bump_io_retry(stats.retries, stats.gave_up);
         res?;
+        // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -188,6 +191,7 @@ impl Wal {
     }
 
     pub fn flushed_lsn(&self) -> Lsn {
+        // ordering: Acquire; pairs with the Release stores after fsync, the LSN implies durable bytes
         self.flushed.load(Ordering::Acquire)
     }
 
@@ -207,13 +211,14 @@ impl Wal {
         }
         self.metrics
             .wal_bytes
-            .fetch_add((staged.buf.len() - before) as u64, Ordering::Relaxed);
+            .fetch_add((staged.buf.len() - before) as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
         Ok(end)
     }
 
     /// Group commit: make everything up to `lsn` durable.
     pub fn commit_to(&self, lsn: Lsn) -> Result<()> {
         loop {
+            // ordering: Acquire fast path; pairs with the post-fsync Release store
             if self.flushed.load(Ordering::Acquire) >= lsn {
                 return Ok(());
             }
@@ -238,18 +243,20 @@ impl Wal {
                     self.metrics.bump_io_retry(stats.retries, stats.gave_up);
                     res?;
                     self.metrics.latencies.wal_flush.record_timer(t);
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
                     self.metrics
                         .bytes_written
-                        .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        .fetch_add(buf.len() as u64, Ordering::Relaxed); // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     self.flushed
-                        .store(base + buf.len() as u64, Ordering::Release);
+                        .store(base + buf.len() as u64, Ordering::Release); // ordering: Release; published only after the fsync above succeeded
                 }
                 let _m = self.flushed_cv_mutex.lock();
                 self.flushed_cv.notify_all();
             } else {
                 // Wait for the active flusher, then re-check.
                 let mut m = self.flushed_cv_mutex.lock();
+                // ordering: Acquire; re-check after the flusher handoff, pairs with the post-fsync Release
                 if self.flushed.load(Ordering::Acquire) >= lsn {
                     return Ok(());
                 }
@@ -279,7 +286,7 @@ impl Wal {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         drop(staged);
         self.write_header()?;
-        self.flushed.store(WAL_HEADER, Ordering::Release);
+        self.flushed.store(WAL_HEADER, Ordering::Release); // ordering: Release; the rewritten header is durable before the frontier resets
         self.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -335,10 +342,12 @@ impl Wal {
         }
         let mut header = [0u8; 8];
         device.read_at(&mut header, 0)?;
+        // lint-allow(no-panic-in-request-path): constant split of the fixed 8-byte header; cannot fail
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if magic != WAL_MAGIC {
             return Err(Error::Corruption("bad WAL magic".into()));
         }
+        // lint-allow(no-panic-in-request-path): constant split of the fixed 8-byte header; cannot fail
         let epoch = u32::from_le_bytes(header[4..8].try_into().unwrap());
         Self::read_records(device, epoch)
     }

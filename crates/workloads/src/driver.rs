@@ -17,7 +17,7 @@
 //! aggregate closed-loop throughput across clients.
 
 use lobster_metrics::{HistSnapshot, Histogram, LocalRecorder};
-use std::sync::Barrier;
+use lobster_sync::Barrier;
 use std::time::{Duration, Instant};
 
 /// Result of one attempt at an operation.
@@ -159,7 +159,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use lobster_sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn completes_every_op_once() {
@@ -194,12 +194,12 @@ mod tests {
 
     #[test]
     fn worker_and_op_indices_cover_the_grid() {
-        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let seen = lobster_sync::Mutex::new(std::collections::HashSet::new());
         run_closed_loop(3, 5, |w, op| {
-            seen.lock().unwrap().insert((w, op));
+            seen.lock().insert((w, op));
             OpOutcome::Done
         });
-        let seen = seen.into_inner().unwrap();
+        let seen = seen.into_inner();
         assert_eq!(seen.len(), 15);
         assert!((0..3).all(|w| (0..5).all(|op| seen.contains(&(w, op)))));
     }
@@ -234,15 +234,15 @@ mod tests {
 
     #[test]
     fn virtual_parallel_covers_the_grid_serially() {
-        let order = std::sync::Mutex::new(Vec::new());
+        let order = lobster_sync::Mutex::new(Vec::new());
         run_virtual_parallel(3, 2, |w, op| {
-            order.lock().unwrap().push((w, op));
+            order.lock().push((w, op));
             OpOutcome::Done
         });
         // Serial execution: each client's ops complete before the next
         // client starts.
         assert_eq!(
-            order.into_inner().unwrap(),
+            order.into_inner(),
             vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
         );
     }

@@ -17,7 +17,7 @@
 
 use crate::driver::{run_closed_loop, DriverReport, OpOutcome};
 use lobster_serve::{Client, Status};
-use std::sync::Mutex;
+use lobster_sync::Mutex;
 
 /// A GET-heavy closed-loop workload over `connections` TCP clients.
 #[derive(Clone, Debug)]
@@ -66,7 +66,7 @@ pub fn run_serve_load(load: &ServeLoad) -> DriverReport {
         .collect();
     let keys = &load.keys;
     run_closed_loop(load.connections, load.ops_per_conn, |w, op| {
-        let mut c = clients[w].lock().unwrap();
+        let mut c = clients[w].lock();
         let key = key_for(keys, w, op);
         match c.get(key) {
             Ok(resp) => match resp.status {
