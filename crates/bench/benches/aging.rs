@@ -1,0 +1,6 @@
+//! Thin wrapper: the body of this bench lives in `lobster_bench::suite`,
+//! shared with the `lobster-bench` binary and the CI regression gate.
+
+fn main() {
+    lobster_bench::suite::bench_main("aging");
+}

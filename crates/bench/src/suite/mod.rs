@@ -9,6 +9,7 @@ pub mod ablation_latching;
 pub mod ablation_out_of_place;
 pub mod ablation_tail_extent;
 pub mod ablation_tier_formula;
+pub mod aging;
 pub mod fig10_pool_compare;
 pub mod fig11_extent_reuse;
 pub mod fig5_small_payload;
@@ -147,6 +148,13 @@ static SPECS: &[BenchSpec] = &[
         run: micro_primitives::run,
     },
     BenchSpec {
+        name: "aging",
+        target: "aging",
+        title: "Aging — churn torture with/without online defragmentation",
+        paper_ref: "§III-D free lists + maintenance",
+        run: aging::run,
+    },
+    BenchSpec {
         name: "serve",
         target: "serve_curve",
         title: "Serving curve — lobster-serve vs modeled client/server",
@@ -210,7 +218,7 @@ mod tests {
             assert!(find(a.name).is_some());
             assert!(find(a.target).is_some());
         }
-        assert_eq!(all().len(), 17);
+        assert_eq!(all().len(), 18);
         assert!(find("no_such_bench").is_none());
     }
 }

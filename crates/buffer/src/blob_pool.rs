@@ -208,6 +208,16 @@ impl BlobPool {
         }
     }
 
+    /// Lease `spec` only if it is already resident (see
+    /// [`ExtentPool::try_lease_resident`]); the Ht pool keeps everything
+    /// resident but has no pin machinery, so it reports no lease taken.
+    pub fn try_lease_resident(&self, spec: ExtentSpec) -> Result<bool> {
+        match self {
+            BlobPool::Vm(p) => p.try_lease_resident(spec),
+            BlobPool::Ht(_) => Ok(false),
+        }
+    }
+
     /// Release a streaming lease taken by [`BlobPool::lease_extent`].
     pub fn unlease_extent(&self, spec: ExtentSpec) {
         match self {

@@ -1444,6 +1444,25 @@ impl ExtentPool {
         Ok(())
     }
 
+    /// Lease an extent only if it is already resident. The defragmenter's
+    /// relocation copy pins hot source extents for frame-coherent reads
+    /// but must not fault cold ones into the pool — its reads are
+    /// non-evicting by contract ([`ExtentPool::read_range_uncached`]
+    /// serves evicted extents straight from the device, which is current
+    /// because the pool is no-steal). Returns whether a lease was taken;
+    /// a `true` return must be paired with `unlease_extent`. The
+    /// residency probe races benignly with eviction: losing the race
+    /// faults the extent back in, which is correct, merely not free.
+    pub fn try_lease_resident(&self, spec: ExtentSpec) -> Result<bool> {
+        // ordering: Acquire pairs with the Release tag publication on
+        // evict/fault-in; a stale read is benign — it only declines the lease.
+        if tag_of(self.entry(spec.start).load(Ordering::Acquire)) == TAG_EVICTED {
+            return Ok(false);
+        }
+        self.lease_extent(spec)?;
+        Ok(true)
+    }
+
     /// Release a streaming lease taken by [`ExtentPool::lease_extent`],
     /// making the extent evictable again (unless dirty or latched).
     pub fn unlease_extent(&self, spec: ExtentSpec) {

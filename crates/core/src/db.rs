@@ -535,6 +535,12 @@ impl Database {
         self.device.clone()
     }
 
+    /// The static tier table shared by every placement decision (sizes
+    /// of a Blob State's extent sequence are derived from it).
+    pub fn table(&self) -> &Arc<TierTable> {
+        &self.table
+    }
+
     pub fn allocator(&self) -> &Arc<ExtentAllocator> {
         &self.alloc
     }
@@ -583,6 +589,23 @@ impl Database {
     /// Storage utilization of the page space (drives Figure 11).
     pub fn utilization(&self) -> f64 {
         self.alloc.utilization()
+    }
+
+    /// Free-run fragmentation score of the page space: 0 for one
+    /// contiguous free run, approaching 1 as free space shatters (drives
+    /// the aging bench and the `fragmentation_score_milli` gauge).
+    pub fn fragmentation_score(&self) -> f64 {
+        self.alloc.fragmentation_score()
+    }
+
+    /// One synchronous maintenance pass (coalesce + bounded relocation
+    /// batch); the [`crate::Defragmenter`] thread calls this on an
+    /// interval, tests and benches call it directly.
+    pub fn defrag_pass(
+        self: &Arc<Self>,
+        cfg: &crate::DefragConfig,
+    ) -> Result<crate::DefragPassReport> {
+        crate::defrag::defrag_pass(self, cfg)
     }
 
     /// Quarantine a BLOB whose content failed verification: fence each of

@@ -15,7 +15,10 @@
 //! returned, and a group's freed extents are recycled (and its pin budget
 //! released) only once its flush completed. Two in-flight batches never
 //! touch the same extent — the flush stage waits out the earlier flight —
-//! so writes to one extent cannot reorder. With
+//! so writes to one extent cannot reorder; the same admission check
+//! covers extents a group merely *recycles* at retire (deletes' freed,
+//! relocations' refenced), because dropping them from the pool would
+//! spin on the earlier flight's latches on the flush thread itself. With
 //! `commit_inflight_flushes <= 1` the WAL stage flushes inline, exactly
 //! reproducing the serial fsync→flush→recycle committer (the ablation
 //! baseline).
@@ -55,6 +58,14 @@ pub(crate) struct CommitBatch {
     pub records: Vec<LogRecord>,
     pub toflush: Vec<FlushItem>,
     pub freed: Vec<ExtentSpec>,
+    /// Old placements of relocated blobs: fenced in the allocator
+    /// (`quarantine_extent`) when the swap was staged, so nothing can
+    /// recycle them while readers of the pre-swap Blob State may still
+    /// be walking them. At the durability frontier (this batch's flush
+    /// completion) the fence is lifted and the pages recycled — the
+    /// defragmenter's fence→free dance, ending in a free instead of the
+    /// verify-on-read ladder's permanent park.
+    pub refenced: Vec<ExtentSpec>,
 }
 
 impl CommitBatch {
@@ -205,6 +216,7 @@ struct DurableGroup {
     epochs: Vec<u64>,
     items: Vec<FlushItem>,
     freed: Vec<ExtentSpec>,
+    refenced: Vec<ExtentSpec>,
     pinned: u64,
 }
 
@@ -214,6 +226,7 @@ impl DurableGroup {
             epochs: Vec::with_capacity(batches.len()),
             items: Vec::new(),
             freed: Vec::new(),
+            refenced: Vec::new(),
             pinned: 0,
         };
         for (epoch, batch) in batches {
@@ -221,6 +234,7 @@ impl DurableGroup {
             group.pinned += batch.pinned_bytes(page_size);
             group.items.extend(batch.toflush);
             group.freed.extend(batch.freed);
+            group.refenced.extend(batch.refenced);
         }
         group
     }
@@ -275,6 +289,17 @@ impl StageCtx {
             Ok(()) => {
                 self.blob_pool.drop_extents(&group.freed);
                 for spec in &group.freed {
+                    self.alloc.free_extent(*spec);
+                    // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                    self.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
+                }
+                // Relocated-away placements: the new placement is durable
+                // (this group's flush landed), so the fence taken at swap
+                // staging is lifted and the old pages recycle. Order
+                // matters — release first, or the free would be parked.
+                self.blob_pool.drop_extents(&group.refenced);
+                for spec in &group.refenced {
+                    self.alloc.release_quarantine(*spec);
                     self.alloc.free_extent(*spec);
                     // ordering: relaxed metrics counter; snapshot readers tolerate staleness
                     self.metrics.extent_frees.fetch_add(1, Ordering::Relaxed);
@@ -585,25 +610,31 @@ fn flush_stage(
             }
         };
 
-        if group.items.is_empty() {
-            // Metadata-only group: durable at fsync, nothing to flush.
-            ctx.retire(group, Ok(()));
-            continue;
-        }
-
         // Admission: wait out in-flight batches while over the limit, and
         // never start a second flight touching the same extent — the two
-        // device writes could reorder and land stale content.
+        // device writes could reorder and land stale content. The check
+        // covers not just this group's own writes (`items`) but every
+        // extent its retire will *recycle* (`freed` from deletes,
+        // `refenced` from relocations): retiring drops those extents from
+        // the pool, and `drop_extent` spin-waits on the earlier flight's
+        // shared latches — on this very thread, which is the only one that
+        // can reap that flight. Skipping the check for metadata-only
+        // groups (a delete racing an in-flight append flush of the same
+        // blob) deadlocked the whole pipeline: no retire, no recycling,
+        // allocator wedged at full.
         loop {
             let overlapping = inflight.iter().position(|f| {
                 group
                     .items
                     .iter()
-                    .any(|item| f.starts.contains(&item.spec.start.raw()))
+                    .map(|item| item.spec.start.raw())
+                    .chain(group.freed.iter().map(|spec| spec.start.raw()))
+                    .chain(group.refenced.iter().map(|spec| spec.start.raw()))
+                    .any(|start| f.starts.contains(&start))
             });
             let victim = match overlapping {
                 Some(i) => i,
-                None if inflight.len() >= limit => 0,
+                None if !group.items.is_empty() && inflight.len() >= limit => 0,
                 None => break,
             };
             // ordering: relaxed metrics counter; snapshot readers tolerate staleness
@@ -612,6 +643,13 @@ fn flush_stage(
             let result = f.ticket.wait();
             let result = result.or_else(|e| ctx.flush_retry(&f.group.items, e));
             ctx.retire(f.group, result);
+        }
+
+        if group.items.is_empty() {
+            // Metadata-only group: durable at fsync, nothing to flush —
+            // but only retired once no conflicting flight remains (above).
+            ctx.retire(group, Ok(()));
+            continue;
         }
 
         match ctx.blob_pool.flush_extents_async(&group.items) {

@@ -42,6 +42,7 @@ mod blob_state;
 mod catalog;
 mod db;
 mod dedup;
+mod defrag;
 mod group_commit;
 mod index;
 mod lock;
@@ -56,6 +57,9 @@ pub use db::{
     UpdatePolicy,
 };
 pub use dedup::{DedupStats, DedupStore};
+pub use defrag::{
+    defrag_pass, scrub_pass, DefragConfig, DefragPassReport, Defragmenter, ScrubCursor,
+};
 pub use index::{BlobIndex, BlobStateCmp, ExpressionIndex, Udf};
 pub use lock::{LockManager, LockMode};
 pub use recovery::RecoveryReport;

@@ -130,6 +130,21 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                     used.extend(state.extent_specs(&db.table));
                 }
             }
+            // A relocation references two placements and recovery may
+            // keep either (old if the swap's flush was lost, new if it
+            // survived) — reserve both until the final rebuild settles it.
+            if let LogRecord::BlobRelocate {
+                old_value,
+                new_value,
+                ..
+            } = rec
+            {
+                for value in [old_value, new_value] {
+                    if let Ok(state) = BlobState::decode(value) {
+                        used.extend(state.extent_specs(&db.table));
+                    }
+                }
+            }
         }
         used.sort_by_key(|e| e.start);
         used.dedup();
@@ -183,6 +198,17 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                     value,
                 } => (*txn, *relation, key, Some(value)),
                 LogRecord::Update {
+                    txn,
+                    relation,
+                    key,
+                    new_value,
+                    ..
+                }
+                // A relocation is a placement-only update: its new Blob
+                // State joins the version chain like any rewrite, so the
+                // SHA fixpoint fails the swap (falling back to the old
+                // placement) when its content flush was lost.
+                | LogRecord::BlobRelocate {
                     txn,
                     relation,
                     key,
@@ -290,6 +316,13 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                 key,
                 new_value,
                 ..
+            }
+            | LogRecord::BlobRelocate {
+                txn,
+                relation,
+                key,
+                new_value,
+                ..
             } if surviving.contains(txn) => {
                 if let Some(rel) = db.relation_by_id(*relation) {
                     rel.tree.insert(key, new_value, true)?;
@@ -336,7 +369,14 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                     set.clear(); // a fresh put starts a new lineage
                     set.insert(*txn);
                 }
+                // A relocation carries no content records, but it must not
+                // break the key's lineage either: earlier chunk records
+                // still replay (offsets resolve against the FINAL geometry,
+                // i.e. the relocated placement).
                 LogRecord::Update {
+                    txn, relation, key, ..
+                }
+                | LogRecord::BlobRelocate {
                     txn, relation, key, ..
                 } if surviving.contains(txn) && *relation != CATALOG_REL_ID => {
                     lineage
@@ -405,6 +445,12 @@ pub(crate) fn recover(db: &Database) -> Result<RecoveryReport> {
                 ..
             }
             | LogRecord::Delete {
+                relation,
+                key,
+                old_value,
+                ..
+            }
+            | LogRecord::BlobRelocate {
                 relation,
                 key,
                 old_value,

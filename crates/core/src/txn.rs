@@ -68,6 +68,11 @@ pub struct Txn {
     toflush: Vec<FlushItem>,
     allocated: Vec<ExtentSpec>,
     freed: Vec<ExtentSpec>,
+    /// Old placements of relocated blobs: quarantine-fenced at swap
+    /// staging, released and freed only at the durability frontier
+    /// (`StageCtx::retire`). Distinct from `freed`, whose extents carry
+    /// no fence and may be recycled by any later allocation.
+    refenced: Vec<ExtentSpec>,
     state: TxnState,
 }
 
@@ -82,6 +87,7 @@ impl Txn {
             toflush: Vec::new(),
             allocated: Vec::new(),
             freed: Vec::new(),
+            refenced: Vec::new(),
             state: TxnState::Active,
         }
     }
@@ -1121,6 +1127,223 @@ impl Txn {
         Ok(())
     }
 
+    // ---------------------------------------------- blob relocation -----
+
+    /// Move a BLOB's content to a freshly allocated placement without
+    /// changing a single byte of it — the defragmenter's core primitive.
+    ///
+    /// Protocol (crash-safe at every instant, see DESIGN.md §5g):
+    ///  1. exclusive key lock — waits out every in-flight reader, so no
+    ///     `get_blob`/`stream_blob_range` can span the swap;
+    ///  2. allocate the new tier sequence and copy the old placement into
+    ///     it through non-evicting reads, re-hashing in the same pass (the
+    ///     piggybacked scrub);
+    ///  3. quarantine-fence the old extents, swap the Blob State in the
+    ///     tree, and stage a [`LogRecord::BlobRelocate`];
+    ///  4. commit rides the ordinary group-commit pipeline; the fences are
+    ///     released and the old extents freed only at the durability
+    ///     frontier (`StageCtx::retire`).
+    ///
+    /// Returns `false` when there is nothing to move (missing key, inline
+    /// blob, or quarantined blob). A hash mismatch during the copy
+    /// quarantines the blob (degradation ladder) and fails the
+    /// transaction; the caller must abort, which discards the new
+    /// placement and lifts nothing that matters — the old placement was
+    /// never unpublished.
+    pub fn relocate_blob(&mut self, rel: &Relation, key: &[u8]) -> Result<bool> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Exclusive)?;
+        let Some(old_encoded) = rel.tree.lookup(key)? else {
+            return Ok(false);
+        };
+        let state = BlobState::decode(&old_encoded)?;
+        if state.extents.is_empty() && state.tail.is_none() {
+            return Ok(false); // inline: no placement to improve
+        }
+        if self.db.is_blob_quarantined(&rel.name, key) {
+            return Ok(false); // evidence stays put; never move a suspect
+        }
+        let old_specs = state.extent_specs(&self.db.table);
+        let geo = self.db.geo;
+
+        // Same size ⇒ same tier-sequence shape for the new placement.
+        let pages = geo.pages_for(state.size);
+        let plan = plan_sequence(&self.db.table, pages, state.tail.is_some())?;
+
+        // Copy old → new through the defrag source guard: resident source
+        // extents are leased (stable frame reads), cold ones are read
+        // uncached from the device — the copy never faults data into the
+        // pool or evicts anything hot. Hashing rides the same pass.
+        let src = crate::defrag::SourceGuard::new(&self.db.blob_pool, &old_specs);
+        let mut hasher = Sha256::new();
+        let mut extents = Vec::with_capacity(plan.sizes.len());
+        let mut off = 0u64;
+        for (i, _) in plan.sizes.iter().enumerate() {
+            let spec = self.db.alloc.allocate_tier(plan.first_position + i)?;
+            self.allocated.push(spec);
+            let ext_bytes = (spec.pages as usize) * geo.page_size();
+            let len = ((state.size - off) as usize).min(ext_bytes);
+            let mut buf = vec![0u8; len];
+            read_blob_window(&self.db, &state, off, &mut buf)?;
+            self.db
+                .blob_pool
+                .fill_extent_hashed(spec, &buf, &mut |b| hasher.update(b))?;
+            self.toflush.push(FlushItem {
+                spec,
+                dirty_from: 0,
+                dirty_pages: geo.pages_for(len as u64).max(1),
+            });
+            extents.push(spec.start);
+            off += len as u64;
+        }
+        let tail = match plan.tail_pages {
+            Some(tp) => {
+                let spec = self.db.alloc.allocate_tail(tp)?;
+                self.allocated.push(spec);
+                let len = (state.size - off) as usize;
+                let mut buf = vec![0u8; len];
+                read_blob_window(&self.db, &state, off, &mut buf)?;
+                self.db
+                    .blob_pool
+                    .fill_extent_hashed(spec, &buf, &mut |b| hasher.update(b))?;
+                self.toflush.push(FlushItem {
+                    spec,
+                    dirty_from: 0,
+                    dirty_pages: geo.pages_for(len as u64).max(1),
+                });
+                off += len as u64;
+                Some((spec.start, tp))
+            }
+            None => None,
+        };
+        drop(src);
+        debug_assert_eq!(off, state.size);
+
+        // Piggybacked scrub: the copy re-hashed every byte of the old
+        // placement. A mismatch means the *source* is rotten — feed the
+        // verify-on-read degradation ladder and fail the relocation (the
+        // caller's abort discards the new placement; the old one was
+        // never unpublished, so the evidence is intact under its fence).
+        let sha_midstate = hasher.midstate().state_bytes();
+        let digest = hasher.finalize();
+        // ordering: relaxed metrics counters; snapshot readers tolerate staleness
+        self.db.metrics.scrub_blobs.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .metrics
+            .scrub_bytes
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+            .fetch_add(state.size, Ordering::Relaxed);
+        if digest != state.sha256 {
+            self.db
+                .metrics
+                .scrub_failures
+                // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                .fetch_add(1, Ordering::Relaxed);
+            self.db.quarantine_blob(rel, key, &old_specs);
+            return Err(Error::Corruption(format!(
+                "relocation scrub: blob {:?} content does not match its Blob State SHA-256",
+                String::from_utf8_lossy(key)
+            )));
+        }
+
+        let new_state = BlobState {
+            size: state.size,
+            sha256: digest,
+            sha_midstate,
+            prefix: state.prefix,
+            tail,
+            extents,
+        };
+        let encoded = new_state.encode();
+
+        // Fence the old placement *before* publishing the swap: once the
+        // tree points at the new placement no new reader resolves the old
+        // extents, and the fence keeps the allocator from re-issuing them
+        // while the swap's durability is still unknown. The guard lifts
+        // the fences again if staging fails below.
+        let fence = crate::defrag::FenceGuard::new(&self.db.alloc, old_specs);
+        rel.tree.insert(key, &encoded, true)?;
+        self.undo.push(UndoOp::Update {
+            rel: rel.id,
+            key: key.to_vec(),
+            old: old_encoded.clone(),
+        });
+        self.records.push(LogRecord::BlobRelocate {
+            txn: self.id,
+            relation: rel.id,
+            key: key.to_vec(),
+            old_value: old_encoded,
+            new_value: encoded,
+        });
+        self.refenced.extend(fence.disarm());
+        // ordering: relaxed metrics counters; snapshot readers tolerate staleness
+        self.db
+            .metrics
+            .defrag_relocations
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+            .fetch_add(1, Ordering::Relaxed);
+        self.db
+            .metrics
+            .defrag_bytes_moved
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+            .fetch_add(state.size, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Re-hash `key`'s content against its Blob State SHA-256 under a
+    /// shared lock — the background scrubber's unit of work. Reads are
+    /// non-evicting (same contract as relocation copies). Returns
+    /// `Ok(None)` when there is nothing to check (missing key or already
+    /// quarantined); `Ok(Some(false))` quarantines the blob.
+    pub fn scrub_blob(&mut self, rel: &Relation, key: &[u8]) -> Result<Option<bool>> {
+        self.check_active()?;
+        debug_assert_eq!(rel.kind, RelationKind::Blob);
+        self.lock(rel, key, LockMode::Shared)?;
+        let Some(state) = rel.tree.lookup_map(key, BlobState::decode)?.transpose()? else {
+            return Ok(None);
+        };
+        if self.db.is_blob_quarantined(&rel.name, key) {
+            return Ok(None);
+        }
+        let mut hasher = Sha256::new();
+        if state.extents.is_empty() && state.tail.is_none() {
+            hasher.update(&state.prefix[..state.size as usize]);
+        } else {
+            let src = crate::defrag::SourceGuard::new(
+                &self.db.blob_pool,
+                &state.extent_specs(&self.db.table),
+            );
+            let mut buf = vec![0u8; (256 << 10).min(state.size as usize)];
+            let mut off = 0u64;
+            while off < state.size {
+                let take = ((state.size - off) as usize).min(buf.len());
+                read_blob_window(&self.db, &state, off, &mut buf[..take])?;
+                hasher.update(&buf[..take]);
+                off += take as u64;
+            }
+            drop(src);
+        }
+        let ok = hasher.finalize() == state.sha256;
+        // ordering: relaxed metrics counters; snapshot readers tolerate staleness
+        self.db.metrics.scrub_blobs.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .metrics
+            .scrub_bytes
+            // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+            .fetch_add(state.size, Ordering::Relaxed);
+        if !ok {
+            self.db
+                .metrics
+                .scrub_failures
+                // ordering: relaxed metrics counter; snapshot readers tolerate staleness
+                .fetch_add(1, Ordering::Relaxed);
+            self.db
+                .quarantine_blob(rel, key, &state.extent_specs(&self.db.table));
+        }
+        Ok(Some(ok))
+    }
+
     // --------------------------------------------------------- scans ----
 
     /// Visit Blob States in key order starting at `from` (used by the
@@ -1165,7 +1388,7 @@ impl Txn {
         if !self.records.is_empty() {
             self.records.push(LogRecord::TxnCommit { txn: self.id });
         }
-        if !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty() {
+        if self.has_writes() {
             // Both commit modes ride the same two-stage pipeline (sharing
             // its group fsync and in-flight extent flushes); they differ
             // only in whether this thread blocks on the batch's durability
@@ -1174,6 +1397,7 @@ impl Txn {
                 records: std::mem::take(&mut self.records),
                 toflush: std::mem::take(&mut self.toflush),
                 freed: std::mem::take(&mut self.freed),
+                refenced: std::mem::take(&mut self.refenced),
             })?;
             if db.cfg.commit_wait {
                 db.committer.wait_for(epoch)?;
@@ -1192,7 +1416,10 @@ impl Txn {
     /// participants of a cross-shard transaction commit locally and are
     /// excluded from the participant mask.
     pub(crate) fn has_writes(&self) -> bool {
-        !self.records.is_empty() || !self.toflush.is_empty() || !self.freed.is_empty()
+        !self.records.is_empty()
+            || !self.toflush.is_empty()
+            || !self.freed.is_empty()
+            || !self.refenced.is_empty()
     }
 
     /// Commit this transaction as one shard's slice of a cross-shard
@@ -1225,6 +1452,7 @@ impl Txn {
             records: std::mem::take(&mut self.records),
             toflush: std::mem::take(&mut self.toflush),
             freed: std::mem::take(&mut self.freed),
+            refenced: std::mem::take(&mut self.refenced),
         })?;
         db.locks.release_all(self.id);
         // ordering: relaxed metrics counter; snapshot readers tolerate staleness
@@ -1272,6 +1500,11 @@ impl Txn {
         }
         // Freed extents were only staged; nothing to do.
         self.freed.clear();
+        // Relocation fences are lifted *without* freeing: after undo the
+        // old placement is the live one again.
+        for spec in self.refenced.drain(..) {
+            db.alloc.release_quarantine(spec);
+        }
         if !self.records.is_empty() {
             // A durable abort record is unnecessary for correctness (no
             // earlier record of this txn was flushed), but harmless and
@@ -1288,6 +1521,30 @@ impl Drop for Txn {
     fn drop(&mut self) {
         self.rollback();
     }
+}
+
+/// Read the blob byte window `[off, off + buf.len())` of `state`'s
+/// current placement through non-evicting uncached reads, crossing
+/// extent boundaries as needed (old and new placements need not share a
+/// tier-sequence shape, e.g. after appends).
+pub(crate) fn read_blob_window(
+    db: &Database,
+    state: &BlobState,
+    mut off: u64,
+    buf: &mut [u8],
+) -> Result<()> {
+    let page = db.geo.page_size();
+    let mut done = 0usize;
+    while done < buf.len() {
+        let (spec, in_ext) = locate_extent(state, &db.table, page, off);
+        let avail = (spec.pages as usize) * page - in_ext;
+        let take = avail.min(buf.len() - done);
+        db.blob_pool
+            .read_range_uncached(spec, in_ext, &mut buf[done..done + take])?;
+        done += take;
+        off += take as u64;
+    }
+    Ok(())
 }
 
 /// The extent containing blob byte `off`, and the byte offset within it.

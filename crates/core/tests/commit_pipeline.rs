@@ -298,3 +298,75 @@ fn serial_mode_roundtrip_without_pipeline() {
     }
     assert!(db.scrub().unwrap().is_clean());
 }
+
+// ------------------------------- delete racing an in-flight flush ---
+
+/// A delete whose blob has an extent flush still in flight must not
+/// deadlock the pipeline: the delete's group is metadata-only (nothing to
+/// flush), but retiring it drops + frees the blob's extents, and
+/// `drop_extent` spin-waits on the in-flight batch's shared latches — on
+/// the flush-stage thread itself, the only thread that can ever reap that
+/// batch. The flush stage must wait the conflicting flight out first.
+#[test]
+fn delete_racing_inflight_append_flush_does_not_deadlock() {
+    let data = Arc::new(GateDevice::new(256 << 20));
+    let wal = Arc::new(MemDevice::new(64 << 20));
+    let db = Database::create(data.clone(), wal, pipelined_cfg()).unwrap();
+    let rel = db.create_relation("b", RelationKind::Blob).unwrap();
+
+    // Blob with a partially-filled tail extent, fully durable.
+    let mut t = db.begin();
+    t.put_blob(&rel, b"x", &pattern(300_000, 3)).unwrap();
+    t.commit().unwrap();
+    db.wait_for_durability().unwrap();
+    let flushes = |db: &Database| db.metrics().snapshot().commit_flush_batches;
+    let base = flushes(&db);
+
+    // Append: dirties the existing tail extent; its flush wedges on the
+    // gate holding shared latches on the blob's extents.
+    data.close();
+    let mut t = db.begin();
+    t.append_blob(&rel, b"x", &pattern(100_000, 4)).unwrap();
+    t.commit().unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || flushes(&db) == base + 1),
+        "append flush never submitted"
+    );
+
+    // Delete the same blob: its metadata-only group frees the extents the
+    // stuck flight is still latching.
+    let mut t = db.begin();
+    t.delete_blob(&rel, b"x").unwrap();
+    t.commit().unwrap();
+    // Give the flush stage time to pick the delete group up (pre-fix this
+    // is where it wedged spinning in drop_extent).
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Open the gate: the append flush lands, the delete retires, the
+    // frontier advances. Pre-fix, the spinning flush stage never reaped
+    // the landed flight and this wait hung forever.
+    data.open();
+    let done = Arc::new(AtomicBool::new(false));
+    let waiter = {
+        let db = db.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            db.wait_for_durability().unwrap();
+            done.store(true, Ordering::Release);
+        })
+    };
+    assert!(
+        wait_until(Duration::from_secs(20), || done.load(Ordering::Acquire)),
+        "durability frontier stuck: delete group deadlocked the flush stage"
+    );
+    waiter.join().unwrap();
+
+    let mut t = db.begin();
+    assert!(
+        t.get_blob(&rel, b"x", |b| b.to_vec()).is_err(),
+        "deleted blob still readable"
+    );
+    t.commit().unwrap();
+    assert_eq!(db.metrics().snapshot().commit_errors, 0);
+    assert!(db.scrub().unwrap().is_clean());
+}

@@ -2,7 +2,7 @@ use crate::{ExtentSpec, TierTable};
 use lobster_sync::Arc;
 use lobster_sync::Mutex;
 use lobster_types::{Error, Pid, Result};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Contiguous-range allocator with segregated (exact-size) free lists,
 /// a bump region, and best-fit splitting for arbitrary sizes.
@@ -53,6 +53,52 @@ impl RangeAllocator {
     pub fn fragment_count(&self) -> usize {
         let g = self.inner.lock();
         g.free.values().map(|v| v.len()).sum()
+    }
+
+    /// Every free run as `(start, len)`, sorted by start, with adjacent
+    /// runs coalesced and the untouched bump tail included as one final
+    /// run. This is the allocator's *geometry*: the defragmenter scores
+    /// placement quality from the run-length distribution.
+    pub fn free_runs(&self) -> Vec<(u64, u64)> {
+        let g = self.inner.lock();
+        let mut runs: Vec<(u64, u64)> = Vec::with_capacity(g.free_units as usize / 4 + 1);
+        for (&len, starts) in &g.free {
+            for &s in starts {
+                runs.push((s, len));
+            }
+        }
+        runs.sort_unstable();
+        // Coalesce: the exact-size lists fragment a hole of size 5 into
+        // entries [x,2] + [x+2,3]; geometrically it is one run.
+        let mut coalesced: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+        for (s, l) in runs {
+            match coalesced.last_mut() {
+                Some((ps, pl)) if *ps + *pl == s => *pl += l,
+                _ => coalesced.push((s, l)),
+            }
+        }
+        if g.bump < self.capacity {
+            match coalesced.last_mut() {
+                Some((ps, pl)) if *ps + *pl == g.bump => *pl += self.capacity - g.bump,
+                _ => coalesced.push((g.bump, self.capacity - g.bump)),
+            }
+        }
+        coalesced
+    }
+
+    /// Fragmentation score in `[0, 1)` from the free-run-length
+    /// distribution: `1 - sqrt(Σ len²) / Σ len`. One contiguous free run
+    /// scores 0; `n` equal scattered runs score `1 - 1/√n`, climbing
+    /// toward 1 as free space shatters. With no free space at all the
+    /// score is 0 (nothing to fragment).
+    pub fn fragmentation_score(&self) -> f64 {
+        let runs = self.free_runs();
+        let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sumsq: f64 = runs.iter().map(|&(_, l)| (l as f64) * (l as f64)).sum();
+        1.0 - sumsq.sqrt() / total as f64
     }
 
     /// Fraction of the address space handed out (including fragmentation
@@ -114,6 +160,54 @@ impl RangeAllocator {
         g.free_units += size;
     }
 
+    /// Merge adjacent free ranges into maximal runs and absorb a run
+    /// ending at the bump pointer back into the bump region. The
+    /// exact-size free lists recycle fixed tier sizes in O(1) but never
+    /// merge neighbours, so long create/delete churn with mixed sizes
+    /// shatters free space until large contiguous requests fail even at
+    /// moderate utilization — the aging decay the defragmenter repairs.
+    /// Returns the number of merges performed.
+    pub fn coalesce(&self) -> usize {
+        let mut g = self.inner.lock();
+        let mut runs: Vec<(u64, u64)> = Vec::with_capacity(g.free.len() * 2);
+        for (&len, starts) in &g.free {
+            for &s in starts {
+                runs.push((s, len));
+            }
+        }
+        if runs.is_empty() {
+            return 0;
+        }
+        runs.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+        let mut merges = 0usize;
+        for (s, l) in runs {
+            match merged.last_mut() {
+                Some((ps, pl)) if *ps + *pl == s => {
+                    *pl += l;
+                    merges += 1;
+                }
+                _ => merged.push((s, l)),
+            }
+        }
+        // A maximal run ending exactly at the bump pointer rejoins the
+        // never-allocated region: future allocations of any size can carve
+        // it, not just best-fit matches.
+        if let Some(&(ls, ll)) = merged.last() {
+            if ls + ll == g.bump {
+                merged.pop();
+                g.bump = ls;
+                g.free_units -= ll;
+                merges += 1;
+            }
+        }
+        g.free.clear();
+        for (s, l) in merged {
+            g.free.entry(l).or_default().push(s);
+        }
+        merges
+    }
+
     /// Reset the allocator so exactly `used` ranges are allocated: the bump
     /// pointer moves past the highest used unit and every hole below it
     /// becomes a free range. Used by recovery, which rediscovers the live
@@ -145,10 +239,23 @@ pub struct ExtentAllocator {
     table: Arc<TierTable>,
     ranges: RangeAllocator,
     base: u64,
-    /// Start pids of quarantined extents: a `free_extent` on one of these
-    /// parks the extent instead of returning it to the free lists, so
-    /// storage under corruption investigation is never re-allocated.
-    quarantined: Mutex<HashSet<u64>>,
+    /// Quarantined pid ranges, keyed `start pid → pages`: a `free_extent`
+    /// whose range *overlaps* any fenced range parks the extent instead of
+    /// returning it to the free lists, so storage under corruption
+    /// investigation is never re-allocated. Keying on the full range (not
+    /// just the start pid) closes the hole where a later free whose range
+    /// overlapped only a fenced extent's tail slipped past the fence.
+    quarantined: Mutex<BTreeMap<u64, u64>>,
+}
+
+/// Does `[start, start + pages)` overlap any fenced range in `q`?
+fn overlaps_fence(q: &BTreeMap<u64, u64>, start: u64, pages: u64) -> bool {
+    // The only candidate is the fenced range with the greatest start pid
+    // strictly below our end; ranges never overlap each other.
+    match q.range(..start + pages).next_back() {
+        Some((&qs, &qp)) => qs + qp > start,
+        None => false,
+    }
 }
 
 impl ExtentAllocator {
@@ -158,7 +265,7 @@ impl ExtentAllocator {
             table,
             ranges: RangeAllocator::new(page_capacity - base.raw()),
             base: base.raw(),
-            quarantined: Mutex::new(HashSet::new()),
+            quarantined: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -188,7 +295,7 @@ impl ExtentAllocator {
     /// in-use and are never handed out again until
     /// [`ExtentAllocator::release_quarantine`] lifts the fence.
     pub fn free_extent(&self, extent: ExtentSpec) {
-        if self.quarantined.lock().contains(&extent.start.raw()) {
+        if overlaps_fence(&self.quarantined.lock(), extent.start.raw(), extent.pages) {
             return;
         }
         self.ranges
@@ -197,9 +304,13 @@ impl ExtentAllocator {
 
     /// Fence an extent from re-allocation: once its current owner frees
     /// it, the pages are parked rather than recycled (verify-on-read
-    /// corruption quarantine).
+    /// corruption quarantine). Idempotent: re-fencing the same extent —
+    /// or a longer range at the same start — widens the fence, never
+    /// narrows it.
     pub fn quarantine_extent(&self, extent: ExtentSpec) {
-        self.quarantined.lock().insert(extent.start.raw());
+        let mut q = self.quarantined.lock();
+        let entry = q.entry(extent.start.raw()).or_insert(0);
+        *entry = (*entry).max(extent.pages);
     }
 
     /// Lift the fence on a quarantined extent *without* freeing it; the
@@ -208,9 +319,10 @@ impl ExtentAllocator {
         self.quarantined.lock().remove(&extent.start.raw());
     }
 
-    /// Is this extent currently fenced from re-allocation?
+    /// Is this extent currently fenced from re-allocation (does its pid
+    /// range overlap any fenced range)?
     pub fn is_quarantined(&self, extent: &ExtentSpec) -> bool {
-        self.quarantined.lock().contains(&extent.start.raw())
+        overlaps_fence(&self.quarantined.lock(), extent.start.raw(), extent.pages)
     }
 
     /// Number of extents currently fenced.
@@ -230,6 +342,23 @@ impl ExtentAllocator {
     /// Pages handed out and not yet freed.
     pub fn pages_in_use(&self) -> u64 {
         self.ranges.in_use()
+    }
+
+    /// Fragmentation score of the managed page space (see
+    /// [`RangeAllocator::fragmentation_score`]).
+    pub fn fragmentation_score(&self) -> f64 {
+        self.ranges.fragmentation_score()
+    }
+
+    /// Free-run geometry of the managed page space, in allocator-local
+    /// units (add `base` for pids).
+    pub fn free_runs(&self) -> Vec<(u64, u64)> {
+        self.ranges.free_runs()
+    }
+
+    /// Merge adjacent free ranges (see [`RangeAllocator::coalesce`]).
+    pub fn coalesce_free_space(&self) -> usize {
+        self.ranges.coalesce()
     }
 
     /// Fraction of the managed page space in use.
@@ -333,6 +462,144 @@ mod tests {
         alloc.free_extent(e);
         let e3 = alloc.allocate_tier(1).unwrap();
         assert_eq!(e3.start, e.start);
+    }
+
+    #[test]
+    fn fence_covers_full_pid_range_not_just_start() {
+        // The PR 10 satellite fix: a free whose range overlaps only the
+        // *tail* of a fenced extent must be parked too. Before the fix the
+        // fence was keyed on the start pid alone and such frees slipped
+        // straight back onto the free lists.
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(0), 1000);
+        let big = alloc.allocate_tail(8).unwrap();
+        alloc.quarantine_extent(big);
+        let in_use = alloc.pages_in_use();
+        // A free of the tail half (different start pid, overlapping range).
+        let tail_half = ExtentSpec::new(Pid::new(big.start.raw() + 4), 4);
+        assert!(alloc.is_quarantined(&tail_half), "overlap must be fenced");
+        alloc.free_extent(tail_half);
+        assert_eq!(
+            alloc.pages_in_use(),
+            in_use,
+            "a free overlapping a fenced extent's tail must be parked"
+        );
+        // A free overlapping the head from below is fenced as well.
+        let straddle_head = ExtentSpec::new(big.start, 2);
+        alloc.free_extent(straddle_head);
+        assert_eq!(alloc.pages_in_use(), in_use);
+        // A disjoint neighbour is not fenced.
+        let disjoint = ExtentSpec::new(Pid::new(big.start.raw() + 8), 4);
+        assert!(!alloc.is_quarantined(&disjoint));
+    }
+
+    #[test]
+    fn double_quarantine_is_idempotent() {
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(0), 1000);
+        let e = alloc.allocate_tier(2).unwrap();
+        alloc.quarantine_extent(e);
+        alloc.quarantine_extent(e);
+        assert_eq!(alloc.quarantined_count(), 1, "re-fencing must not stack");
+        let in_use = alloc.pages_in_use();
+        alloc.free_extent(e);
+        assert_eq!(alloc.pages_in_use(), in_use);
+        // One release lifts the fence completely.
+        alloc.release_quarantine(e);
+        assert!(!alloc.is_quarantined(&e));
+        alloc.free_extent(e);
+        let again = alloc.allocate_tier(2).unwrap();
+        assert_eq!(again.start, e.start, "released pages recycle exactly");
+    }
+
+    #[test]
+    fn quarantine_release_reallocation_round_trip() {
+        let table = Arc::new(TierTable::new(TierPolicy::default()));
+        let alloc = ExtentAllocator::new(table, Pid::new(0), 1000);
+        let e = alloc.allocate_tier(3).unwrap();
+        alloc.quarantine_extent(e);
+        alloc.free_extent(e); // parked
+        let other = alloc.allocate_tier(3).unwrap();
+        assert_ne!(other.start, e.start);
+        alloc.release_quarantine(e);
+        alloc.free_extent(e);
+        let reused = alloc.allocate_tier(3).unwrap();
+        assert_eq!(reused.start, e.start, "round trip must re-allocate");
+        assert_eq!(alloc.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn free_runs_and_fragmentation_score() {
+        let a = RangeAllocator::new(100);
+        assert_eq!(a.free_runs(), vec![(0, 100)], "fresh space is one run");
+        assert_eq!(a.fragmentation_score(), 0.0);
+        // Carve out ranges and free every other one: scattered holes.
+        let xs: Vec<u64> = (0..10).map(|_| a.allocate(10).unwrap()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(x, 10);
+            }
+        }
+        let runs = a.free_runs();
+        assert_eq!(runs.len(), 5, "five scattered 10-unit holes: {runs:?}");
+        let scattered = a.fragmentation_score();
+        assert!(scattered > 0.0 && scattered < 1.0);
+        // Freeing the rest coalesces everything into one run again.
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 1 {
+                a.free(x, 10);
+            }
+        }
+        assert_eq!(a.free_runs(), vec![(0, 100)]);
+        assert_eq!(a.fragmentation_score(), 0.0);
+        assert!(scattered > a.fragmentation_score());
+    }
+
+    #[test]
+    fn coalesce_merges_neighbours_and_rejoins_bump() {
+        let a = RangeAllocator::new(100);
+        let xs: Vec<u64> = (0..10).map(|_| a.allocate(10).unwrap()).collect();
+        for &x in &xs {
+            a.free(x, 10);
+        }
+        // All freed, but the exact-size lists hold ten separate 10-unit
+        // entries: a 20-unit request cannot be satisfied.
+        assert!(a.allocate(20).is_err(), "shattered free lists");
+        let merges = a.coalesce();
+        assert!(merges > 0);
+        // Everything merged and absorbed back into the bump region.
+        assert_eq!(a.free_runs(), vec![(0, 100)]);
+        assert_eq!(a.in_use(), 0);
+        let big = a.allocate(64).unwrap();
+        assert_eq!(big, 0);
+        a.free(big, 64);
+    }
+
+    #[test]
+    fn coalesce_preserves_used_ranges() {
+        let a = RangeAllocator::new(100);
+        let xs: Vec<u64> = (0..10).map(|_| a.allocate(10).unwrap()).collect();
+        // Free every other range: holes cannot merge across live ranges.
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(x, 10);
+            }
+        }
+        let before = a.in_use();
+        a.coalesce();
+        assert_eq!(a.in_use(), before);
+        assert_eq!(a.free_runs().len(), 5, "live ranges keep holes apart");
+        // Live ranges must still be intact: allocating over them is
+        // impossible because best-fit only hands out free space.
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 1 {
+                a.free(x, 10);
+            }
+            let _ = i;
+            let _ = x;
+        }
+        a.coalesce();
+        assert_eq!(a.free_runs(), vec![(0, 100)]);
     }
 
     #[test]

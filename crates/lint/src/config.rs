@@ -130,14 +130,35 @@ impl LintConfig {
             guard_rules: vec![
                 GuardRule {
                     what: "streaming lease (prevent_evict)",
-                    methods: vec!["lease_extent", "unlease_extent"],
+                    methods: vec!["lease_extent", "try_lease_resident", "unlease_extent"],
                     receiver_hints: vec![],
                     allowed_paths: vec![
                         // The pool implementations...
                         "crates/buffer/src/".into(),
-                        // ...and the one RAII wrapper: Txn::stream_blob_range's
-                        // lease guard, which drops leases on every exit path.
+                        // ...and the RAII wrappers: Txn::stream_blob_range's
+                        // lease guard, which drops leases on every exit path...
                         "crates/core/src/txn.rs".into(),
+                        // ...and the defragmenter's SourceGuard, which pins
+                        // resident relocation sources the same way.
+                        "crates/core/src/defrag.rs".into(),
+                    ],
+                },
+                GuardRule {
+                    what: "allocator quarantine fence",
+                    methods: vec!["quarantine_extent", "release_quarantine"],
+                    receiver_hints: vec![],
+                    allowed_paths: vec![
+                        // The allocator implements the fence ledger.
+                        "crates/extent/src/".into(),
+                        // The relocation FenceGuard (RAII: releases on drop
+                        // unless disarmed into the commit pipeline).
+                        "crates/core/src/defrag.rs".into(),
+                        // The fence lifecycle's non-RAII endpoints: verify-
+                        // on-read quarantine entry, rollback release, and
+                        // the durability-frontier release+free in retire.
+                        "crates/core/src/db.rs".into(),
+                        "crates/core/src/txn.rs".into(),
+                        "crates/core/src/group_commit.rs".into(),
                     ],
                 },
                 GuardRule {

@@ -185,6 +185,27 @@ counters! {
     /// Client connections that ended abnormally (mid-frame EOF, I/O error,
     /// or disconnect during a streamed response).
     serve_disconnects,
+    /// Defragmenter scan passes completed (a pass scores geometry and may
+    /// relocate a bounded batch of blobs).
+    defrag_passes,
+    /// BLOBs relocated into contiguous placement by the defragmenter.
+    defrag_relocations,
+    /// Content bytes copied by defragmenter relocations.
+    defrag_bytes_moved,
+    /// Relocation candidates skipped (lock contention, concurrent writer,
+    /// quarantined blob, or no better placement available).
+    defrag_skipped,
+    /// Allocator fragmentation score ×1000 at the last defragmenter scan
+    /// (gauge, maintained with `store`; 0 = one contiguous free run).
+    fragmentation_score_milli,
+    /// BLOBs re-hashed by the background scrubber (piggybacked on
+    /// relocation or standalone cold-data scrub).
+    scrub_blobs,
+    /// Content bytes hashed by the background scrubber.
+    scrub_bytes,
+    /// Scrub hash mismatches: the blob joined the verify-on-read →
+    /// quarantine degradation ladder.
+    scrub_failures,
 }
 
 /// Shared handle to a counter set.

@@ -7,16 +7,22 @@
 //!               [--capacity-mb MB]  per-shard data capacity (default 1024)
 //!               [--pool-mb MB]      per-shard buffer pool (default 256)
 //!               [--max-conns N] [--chunk-kb N] [--gate-mb N]
+//!               [--no-defrag]       disable background maintenance
+//!               [--defrag-interval-ms N]
 //! ```
 //!
 //! Without `--data` the engine runs on in-memory devices (benchmarks,
-//! smoke tests). SIGTERM or ctrl-c triggers a graceful drain: in-flight
-//! requests finish, the group committers quiesce (surfacing any sticky
-//! commit errors), and the process exits 0.
+//! smoke tests). A background defragmenter + scrubber runs per shard
+//! unless `--no-defrag` is given. SIGTERM or ctrl-c triggers a graceful
+//! drain: the maintenance loop quiesces first (its in-flight relocation
+//! batch commits or aborts, never half-lands), then in-flight requests
+//! finish, the group committers quiesce (surfacing any sticky commit
+//! errors), and the process exits 0.
 
 use lobster_buffer::AliasConfig;
 use lobster_core::{
-    Config, PoolVariant, RelationKind, ShardDevices, ShardedDatabase, ShardedRelation,
+    Config, DefragConfig, Defragmenter, PoolVariant, RelationKind, ShardDevices, ShardedDatabase,
+    ShardedRelation,
 };
 use lobster_serve::{ServeConfig, Server};
 use lobster_storage::{Device, FileDevice, MemDevice};
@@ -45,6 +51,8 @@ struct Args {
     max_conns: usize,
     chunk_kb: usize,
     gate_mb: u64,
+    defrag: bool,
+    defrag_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
         max_conns: 256,
         chunk_kb: 256,
         gate_mb: 0, // 0 = derive from pool size
+        defrag: true,
+        defrag_interval_ms: 200,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,10 +88,18 @@ fn parse_args() -> Result<Args, String> {
                 args.chunk_kb = val("--chunk-kb")?.parse().map_err(|e| format!("{e}"))?
             }
             "--gate-mb" => args.gate_mb = val("--gate-mb")?.parse().map_err(|e| format!("{e}"))?,
+            "--defrag" => args.defrag = true,
+            "--no-defrag" => args.defrag = false,
+            "--defrag-interval-ms" => {
+                args.defrag_interval_ms = val("--defrag-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: lobster-serve [--addr HOST:PORT] [--shards N] \
                      [--workers N] [--data DIR] [--capacity-mb MB] [--pool-mb MB] \
-                     [--max-conns N] [--chunk-kb N] [--gate-mb N]"
+                     [--max-conns N] [--chunk-kb N] [--gate-mb N] [--no-defrag] \
+                     [--defrag-interval-ms N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -193,6 +211,19 @@ fn main() {
     };
     println!("lobster-serve: listening on {}", handle.local_addr());
 
+    // Background maintenance: one defragmenter thread round-robins the
+    // shards, coalescing free space, relocating shattered cold blobs and
+    // scrubbing content hashes out-of-band.
+    let maintenance = args.defrag.then(|| {
+        Defragmenter::start(
+            sdb.shards().to_vec(),
+            DefragConfig {
+                interval: Duration::from_millis(args.defrag_interval_ms.max(1)),
+                ..DefragConfig::default()
+            },
+        )
+    });
+
     // SAFETY-adjacent note (no unsafe here, the shim wraps the call): the
     // handler performs one atomic store, which is async-signal-safe.
     // SAFETY: installing a handler that only stores an atomic.
@@ -208,6 +239,18 @@ fn main() {
         "lobster-serve: draining ({} connections)",
         handle.active_connections()
     );
+    // Quiesce maintenance before the serve drain: stop() joins the
+    // defragmenter thread, so an in-flight relocation batch finishes its
+    // atomic swap (or aborts) before the committers are drained below.
+    if let Some(d) = maintenance {
+        d.pause();
+        d.stop();
+        let m = sdb.metrics().snapshot();
+        eprintln!(
+            "lobster-serve: maintenance quiesced ({} relocations, {} blobs scrubbed)",
+            m.defrag_relocations, m.scrub_blobs
+        );
+    }
     match handle.shutdown() {
         Ok(()) => {
             let m = sdb.metrics().snapshot();

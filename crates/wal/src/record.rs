@@ -65,6 +65,21 @@ pub enum LogRecord {
         byte_offset: u64,
         data: Vec<u8>,
     },
+    /// Online relocation of a BLOB's extents by the defragmenter: the
+    /// content is byte-identical (same size, same SHA-256), only the
+    /// placement — the Blob State's extent pid array — changes. Carries
+    /// before and after Blob State images like [`LogRecord::Update`], so
+    /// recovery can redo the swap (install the new placement) or undo it
+    /// (the old placement stays the single readable truth). Kept distinct
+    /// from `Update` so recovery and log analytics can tell maintenance
+    /// traffic from user writes.
+    BlobRelocate {
+        txn: u64,
+        relation: RelationId,
+        key: Vec<u8>,
+        old_value: Vec<u8>,
+        new_value: Vec<u8>,
+    },
     /// Commit marker for one shard's slice of a cross-shard (global)
     /// transaction. `gtxn` is the global transaction id, `shard` the index
     /// of the shard this log stream belongs to, and `mask` the bitmask of
@@ -98,6 +113,7 @@ impl LogRecord {
             | LogRecord::Delete { txn, .. }
             | LogRecord::BlobDelta { txn, .. }
             | LogRecord::BlobChunk { txn, .. }
+            | LogRecord::BlobRelocate { txn, .. }
             | LogRecord::TxnCrossCommit { txn, .. } => Some(*txn),
             LogRecord::Checkpoint | LogRecord::PageImage { .. } => None,
         }
@@ -116,6 +132,7 @@ impl LogRecord {
             LogRecord::Checkpoint => 9,
             LogRecord::PageImage { .. } => 10,
             LogRecord::TxnCrossCommit { .. } => 11,
+            LogRecord::BlobRelocate { .. } => 12,
         }
     }
 
@@ -140,6 +157,13 @@ impl LogRecord {
                 put_bytes(out, value);
             }
             LogRecord::Update {
+                txn,
+                relation,
+                key,
+                old_value,
+                new_value,
+            }
+            | LogRecord::BlobRelocate {
                 txn,
                 relation,
                 key,
@@ -262,6 +286,13 @@ impl LogRecord {
                 gtxn: c.u64()?,
                 shard: c.u32()?,
                 mask: c.u64()?,
+            },
+            12 => LogRecord::BlobRelocate {
+                txn: c.u64()?,
+                relation: c.u32()?,
+                key: c.bytes()?,
+                old_value: c.bytes()?,
+                new_value: c.bytes()?,
             },
             t => {
                 return Err(Error::Corruption(format!("unknown log record tag {t}")));
@@ -421,6 +452,13 @@ mod tests {
                 gtxn: 0x8000_0000_0000_0003,
                 shard: 2,
                 mask: 0b1101,
+            },
+            LogRecord::BlobRelocate {
+                txn: 13,
+                relation: 2,
+                key: b"moved".to_vec(),
+                old_value: vec![4; 120],
+                new_value: vec![7; 120],
             },
         ]
     }

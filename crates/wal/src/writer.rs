@@ -31,6 +31,8 @@ pub struct WalAnalysis {
     pub deletes: u64,
     pub deltas: u64,
     pub chunks: u64,
+    /// Placement-only Blob State swaps staged by the defragmenter.
+    pub relocations: u64,
     pub checkpoints: u64,
     /// BLOB content bytes in the log (zero under asynchronous BLOB
     /// logging; dominant under physical logging).
@@ -314,6 +316,7 @@ impl Wal {
                 LogRecord::Insert { .. } => a.inserts += 1,
                 LogRecord::Update { .. } => a.updates += 1,
                 LogRecord::Delete { .. } => a.deletes += 1,
+                LogRecord::BlobRelocate { .. } => a.relocations += 1,
                 LogRecord::BlobDelta { after, .. } => {
                     a.deltas += 1;
                     a.content_bytes += after.len() as u64;
